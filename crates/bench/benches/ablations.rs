@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! timeline granularity (dense seconds vs event epochs), fixpoint strategy
+//! (semi-naive vs naive), and the engine vs the brute-force oracle.
+
+use chronolog_core::naive::naive_materialize;
+use chronolog_core::{Reasoner, ReasonerConfig};
+use chronolog_market::{generate, ScenarioConfig};
+use chronolog_perp::encode::encode_trace;
+use chronolog_perp::harness::run_datalog_with;
+use chronolog_perp::program::{build_program, TimelineMode};
+use chronolog_perp::MarketParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A small window so the dense-timeline variants stay benchable: 20
+/// minutes, 24 events, 6 trades.
+fn small_trace() -> chronolog_perp::Trace {
+    let mut config = ScenarioConfig::new("ablation", 5, 0, 24, 6, 310.0, 1365.0);
+    config.duration_secs = 1_200;
+    generate(&config)
+}
+
+fn bench_timeline_granularity(c: &mut Criterion) {
+    let params = MarketParams::default();
+    let trace = small_trace();
+    let mut group = c.benchmark_group("ablation_timeline");
+    group.sample_size(10);
+    group.bench_function("event_epochs", |b| {
+        b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true).unwrap())
+    });
+    group.bench_function("dense_seconds_1200s", |b| {
+        b.iter(|| run_datalog_with(&trace, &params, TimelineMode::DenseSeconds, true).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fixpoint_strategy(c: &mut Criterion) {
+    let params = MarketParams::default();
+    let trace = small_trace();
+    let mut group = c.benchmark_group("ablation_seminaive");
+    group.sample_size(10);
+    group.bench_function("semi_naive", |b| {
+        b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true).unwrap())
+    });
+    group.bench_function("naive_full_reeval", |b| {
+        b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, false).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_engine_vs_oracle(c: &mut Criterion) {
+    let params = MarketParams::default();
+    let trace = small_trace();
+    let program = build_program(&params, TimelineMode::EventEpochs).unwrap();
+    let encoded = encode_trace(&trace, TimelineMode::EventEpochs);
+    let (lo, hi) = encoded.horizon;
+    let mut group = c.benchmark_group("ablation_engine_vs_oracle");
+    group.sample_size(10);
+    group.bench_function("interval_engine", |b| {
+        let reasoner = Reasoner::new(
+            program.clone(),
+            ReasonerConfig::default().with_horizon(lo, hi),
+        )
+        .unwrap();
+        b.iter(|| reasoner.materialize(&encoded.database).unwrap())
+    });
+    group.bench_function("bruteforce_oracle", |b| {
+        b.iter(|| naive_materialize(&program, &encoded.database, lo, hi).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_session_streaming(c: &mut Criterion) {
+    use chronolog_core::{Database, Fact, Value};
+    use chronolog_perp::Method;
+    let params = MarketParams::default();
+    let trace = small_trace();
+    let mut group = c.benchmark_group("session_streaming");
+    group.sample_size(10);
+    // Batch: one materialization of the whole window.
+    group.bench_function("batch_full_window", |b| {
+        b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true).unwrap())
+    });
+    // Live: one advance per event (measures total, i.e. per-event cost × n).
+    group.bench_function("live_per_event_advances", |b| {
+        b.iter(|| {
+            let program = build_program(&params, TimelineMode::EventEpochs).unwrap();
+            let mut genesis = Database::new();
+            genesis.assert_at("start", &[], 0);
+            genesis.assert_at("startSkew", &[Value::num(trace.initial_skew)], 0);
+            genesis.assert_at("startFrs", &[Value::num(0.0)], 0);
+            genesis.assert_at("ts", &[Value::Int(trace.start_time)], 0);
+            let mut session = Reasoner::new(program, ReasonerConfig::default())
+                .unwrap()
+                .into_session(&genesis, 0)
+                .unwrap();
+            for (i, event) in trace.events.iter().enumerate() {
+                let epoch = i as i64 + 1;
+                let acc = Value::sym(&event.account.to_string());
+                let fact = match event.method {
+                    Method::TransferMargin { amount } => {
+                        Fact::at("tranM", vec![acc, Value::num(amount)], epoch)
+                    }
+                    Method::Withdraw => Fact::at("withdraw", vec![acc], epoch),
+                    Method::ModifyPosition { size } => {
+                        Fact::at("modPos", vec![acc, Value::num(size)], epoch)
+                    }
+                    Method::ClosePosition => Fact::at("closePos", vec![acc], epoch),
+                };
+                session.submit(fact).unwrap();
+                session
+                    .submit(Fact::at("price", vec![Value::num(event.price)], epoch))
+                    .unwrap();
+                session
+                    .submit(Fact::at("ts", vec![Value::Int(event.time)], epoch))
+                    .unwrap();
+                session.advance_to(epoch).unwrap();
+            }
+            session.database().tuple_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timeline_granularity,
+    bench_fixpoint_strategy,
+    bench_engine_vs_oracle,
+    bench_session_streaming
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Microbenchmarks of the engine substrate: interval-set algebra, operator
+//! transforms, parsing, and small materializations.
+
+use chronolog_core::{parse_program, parse_source, Database, Reasoner, ReasonerConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
+use std::hint::black_box;
+
+fn bench_interval_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+
+    // Insertions that keep coalescing into one component (the propagation
+    // pattern of the ETH-PERP recursion).
+    group.bench_function("insert_coalescing_1k", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for t in 0..1_000 {
+                s.insert(Interval::closed_int(t, t + 1));
+            }
+            black_box(s)
+        })
+    });
+
+    // Insertions that stay fragmented (event-style punctual facts).
+    group.bench_function("insert_fragmented_1k", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for t in 0..1_000 {
+                s.insert(Interval::at(2 * t));
+            }
+            black_box(s)
+        })
+    });
+
+    let coalesced = IntervalSet::from_interval(Interval::closed_int(0, 2_000));
+    let fragmented: IntervalSet = (0..1_000).map(|t| Interval::at(2 * t)).collect();
+    let rho = MetricInterval::closed_int(0, 5);
+
+    group.bench_function("box_minus_coalesced", |b| {
+        b.iter(|| black_box(coalesced.box_minus(&rho)))
+    });
+    group.bench_function("box_minus_fragmented_1k", |b| {
+        b.iter(|| black_box(fragmented.box_minus(&rho)))
+    });
+    group.bench_function("diamond_minus_fragmented_1k", |b| {
+        b.iter(|| black_box(fragmented.diamond_minus(&rho)))
+    });
+
+    let other: IntervalSet = (0..1_000).map(|t| Interval::at(2 * t + 1)).collect();
+    group.bench_function("difference_1k_x_1k", |b| {
+        b.iter(|| black_box(fragmented.difference(&other)))
+    });
+    group.bench_function("intersect_1k_x_1k", |b| {
+        b.iter(|| black_box(fragmented.intersect(&other)))
+    });
+    group.bench_function("contains_binary_search_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for t in 0..2_000 {
+                if fragmented.contains(Rational::integer(t)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let perp_source = chronolog_perp::program::program_source(
+        &chronolog_perp::MarketParams::default(),
+        chronolog_perp::program::TimelineMode::DenseSeconds,
+    );
+    c.bench_function("parse_ethperp_program", |b| {
+        b.iter(|| parse_program(black_box(&perp_source)).unwrap())
+    });
+}
+
+fn bench_small_materialization(c: &mut Criterion) {
+    // The isOpen/margin recursion over a 1000-step horizon.
+    let (program, facts) = parse_source(
+        "isOpen(A) :- tranM(A, M).\n\
+         isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+         margin(A, M) :- tranM(A, M), not boxminus isOpen(A).\n\
+         changeM(A) :- tranM(A, M).\n\
+         margin(A, M) :- diamondminus margin(A, M), not changeM(A).\n\
+         tranM(acc1, 50.0)@3.\n\
+         tranM(acc2, 70.0)@100.\n\
+         withdraw(acc2)@600.",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    c.bench_function("materialize_recursion_1k_steps", |b| {
+        b.iter_batched(
+            || {
+                Reasoner::new(
+                    program.clone(),
+                    ReasonerConfig::default().with_horizon(0, 1_000),
+                )
+                .unwrap()
+            },
+            |r| r.materialize(&db).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interval_sets,
+    bench_parser,
+    bench_small_materialization
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end benchmark of the §4 experiment: full DatalogMTL
+//! materialization of the ETH-PERP program over each Figure-3 interval
+//! (event-epoch timeline; the dense-seconds cost is covered by the
+//! `ablations` bench and `repro --table perf --dense`).
+
+use chronolog_bench::paper_traces;
+use chronolog_market::{generate, ScenarioConfig};
+use chronolog_perp::harness::run_datalog;
+use chronolog_perp::program::TimelineMode;
+use chronolog_perp::{MarketParams, ReferenceEngine};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_paper_intervals(c: &mut Criterion) {
+    let params = MarketParams::default();
+    let mut group = c.benchmark_group("perp_end_to_end");
+    group.sample_size(10);
+    for (config, trace) in paper_traces() {
+        group.bench_function(format!("datalog/{}", config.name), |b| {
+            b.iter(|| run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap())
+        });
+        group.bench_function(format!("reference_f64/{}", config.name), |b| {
+            b.iter(|| ReferenceEngine::<f64>::run_trace(params, &trace))
+        });
+        group.bench_function(format!("reference_fixed18/{}", config.name), |b| {
+            b.iter(|| ReferenceEngine::<chronolog_perp::Fixed18>::run_trace(params, &trace))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    for (name, events, trades) in [("small-32", 32, 8), ("fig3-interval-1", 267, 59)] {
+        let config = ScenarioConfig::new(name, 7, 0, events, trades, -100.0, 1330.0);
+        group.bench_function(name.to_string(), |b| {
+            b.iter_batched(|| config.clone(), |c| generate(&c), BatchSize::SmallInput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_intervals, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,419 @@
+//! The `chronolog` command-line interface, as a testable library.
+//!
+//! ```text
+//! chronolog check  <file>...                      validate a program
+//! chronolog run    <file>... [options]            materialize and report
+//! chronolog graph  <file>...                      dependency graph (DOT)
+//!
+//! run options:
+//!   --horizon LO..HI      reasoning horizon (integers; default unbounded)
+//!   --query 'p(X, 1)'     print facts matching an atom pattern (repeatable)
+//!   --explain 'p(a)@5'    print the derivation tree of a ground fact
+//!   --facts               dump the full materialization as fact text
+//!   --stats               print run statistics
+//! ```
+//!
+//! Files may mix rules and facts; `-` reads standard input.
+
+#![warn(missing_docs)]
+
+use chronolog_core::{
+    parse_source, Atom, Database, DependencyGraph, Error, Fact, Literal, MetricAtom, Program,
+    Rational, Reasoner, ReasonerConfig, Stratification, Term, Value,
+};
+use std::fmt::Write as _;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn failed(msg: impl std::fmt::Display) -> CliError {
+        CliError {
+            message: msg.to_string(),
+            code: 1,
+        }
+    }
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> Self {
+        CliError::failed(e)
+    }
+}
+
+/// Runs the CLI on the given arguments (without the program name), with
+/// `read_file` abstracted for testing. Returns the text to print.
+pub fn run_cli(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| CliError::usage(USAGE))?;
+    match command.as_str() {
+        "check" => {
+            let (program, facts) = load_sources(&mut it.cloned().collect::<Vec<_>>(), &read_file)?;
+            cmd_check(&program, &facts)
+        }
+        "graph" => {
+            let (program, _) = load_sources(&mut it.cloned().collect::<Vec<_>>(), &read_file)?;
+            Ok(DependencyGraph::build(&program).to_dot())
+        }
+        "run" => cmd_run(&it.cloned().collect::<Vec<_>>(), &read_file),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
+  run options: --horizon LO..HI  --query 'p(X)'  --explain 'p(a)@5'  --facts  --stats";
+
+fn load_sources(
+    paths: &mut Vec<String>,
+    read_file: &impl Fn(&str) -> std::io::Result<String>,
+) -> Result<(Program, Vec<Fact>), CliError> {
+    if paths.is_empty() {
+        return Err(CliError::usage("no input files"));
+    }
+    let mut program = Program::new();
+    let mut facts = Vec::new();
+    for path in paths {
+        let text = read_file(path)
+            .map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?;
+        let (p, f) = parse_source(&text)?;
+        program.rules.extend(p.rules);
+        facts.extend(f);
+    }
+    Ok((program, facts))
+}
+
+fn cmd_check(program: &Program, facts: &[Fact]) -> Result<String, CliError> {
+    chronolog_core::analysis::check_program(program)?;
+    let strat = Stratification::compute(program)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ok: {} rules, {} facts, {} strata",
+        program.rules.len(),
+        facts.len(),
+        strat.count()
+    );
+    let mut by_stratum: Vec<(usize, Vec<String>)> = Vec::new();
+    for (pred, stratum) in &strat.strata {
+        match by_stratum.iter_mut().find(|(s, _)| s == stratum) {
+            Some((_, v)) => v.push(pred.to_string()),
+            None => by_stratum.push((*stratum, vec![pred.to_string()])),
+        }
+    }
+    by_stratum.sort();
+    for (stratum, mut preds) in by_stratum {
+        preds.sort();
+        let _ = writeln!(out, "  stratum {stratum}: {}", preds.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_run(
+    args: &[String],
+    read_file: &impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let mut paths = Vec::new();
+    let mut horizon: Option<(i64, i64)> = None;
+    let mut queries: Vec<String> = Vec::new();
+    let mut explains: Vec<String> = Vec::new();
+    let mut dump_facts = false;
+    let mut stats = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--horizon" => {
+                i += 1;
+                let spec = args.get(i).ok_or_else(|| CliError::usage("--horizon needs LO..HI"))?;
+                let (lo, hi) = spec
+                    .split_once("..")
+                    .ok_or_else(|| CliError::usage("--horizon format is LO..HI"))?;
+                let lo: i64 = lo.parse().map_err(|_| CliError::usage("bad horizon bound"))?;
+                let hi: i64 = hi.parse().map_err(|_| CliError::usage("bad horizon bound"))?;
+                horizon = Some((lo, hi));
+            }
+            "--query" => {
+                i += 1;
+                queries.push(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--query needs an atom pattern"))?
+                        .clone(),
+                );
+            }
+            "--explain" => {
+                i += 1;
+                explains.push(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--explain needs 'p(a)@t'"))?
+                        .clone(),
+                );
+            }
+            "--facts" => dump_facts = true,
+            "--stats" => stats = true,
+            other if other.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown option {other}")));
+            }
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+
+    let (program, facts) = load_sources(&mut paths, read_file)?;
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+
+    let mut config = ReasonerConfig {
+        provenance: !explains.is_empty(),
+        ..ReasonerConfig::default()
+    };
+    if let Some((lo, hi)) = horizon {
+        config = config.with_horizon(lo, hi);
+    }
+    let reasoner = Reasoner::new(program.clone(), config)?;
+    let m = reasoner.materialize(&db)?;
+
+    let mut out = String::new();
+    if dump_facts || (queries.is_empty() && explains.is_empty() && !stats) {
+        let _ = writeln!(out, "{}", m.database.to_facts_text());
+    }
+    for q in &queries {
+        let pattern = parse_query_atom(q)?;
+        let _ = writeln!(out, "-- query {q} --");
+        let mut lines = query_database(&m.database, &pattern);
+        lines.sort();
+        if lines.is_empty() {
+            let _ = writeln!(out, "(no matches)");
+        }
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    for e in &explains {
+        let (atom, t) = parse_explain_spec(e)?;
+        let args: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|term| match term {
+                Term::Val(v) => Ok(*v),
+                Term::Var(_) => Err(CliError::usage("--explain needs a ground fact")),
+            })
+            .collect::<Result<_, _>>()?;
+        let _ = writeln!(out, "-- explain {e} --");
+        match m.explain(&program, &atom.pred.to_string(), &args, t) {
+            Some(tree) => {
+                let _ = writeln!(out, "{tree}");
+            }
+            None => {
+                let _ = writeln!(out, "(fact does not hold at {t})");
+            }
+        }
+    }
+    if stats {
+        let _ = writeln!(
+            out,
+            "stats: {} derived tuples, {} components, iterations {:?}, {:?}",
+            m.stats.derived_tuples,
+            m.stats.total_components,
+            m.stats.iterations,
+            m.stats.elapsed
+        );
+    }
+    Ok(out)
+}
+
+/// Parses an atom pattern like `margin(acc1, M)` by disguising it as a
+/// rule body.
+fn parse_query_atom(q: &str) -> Result<Atom, CliError> {
+    let rule = chronolog_core::parse_rule(&format!("query_probe_() :- {q}."))
+        .map_err(|e| CliError::usage(format!("bad query `{q}`: {e}")))?;
+    match rule.body.first() {
+        Some(Literal::Pos(MetricAtom::Rel(atom))) => Ok(atom.clone()),
+        _ => Err(CliError::usage(format!(
+            "query `{q}` must be a plain atom pattern"
+        ))),
+    }
+}
+
+fn parse_explain_spec(spec: &str) -> Result<(Atom, i64), CliError> {
+    let (atom_text, t_text) = spec
+        .rsplit_once('@')
+        .ok_or_else(|| CliError::usage("--explain format is 'p(a, 1)@t'"))?;
+    let t: i64 = t_text
+        .trim()
+        .parse()
+        .map_err(|_| CliError::usage("--explain time must be an integer"))?;
+    Ok((parse_query_atom(atom_text)?, t))
+}
+
+/// All facts matching an atom pattern, rendered one per line.
+fn query_database(db: &Database, pattern: &Atom) -> Vec<String> {
+    let mut out = Vec::new();
+    for (tuple, ivs) in db.query(pattern, None) {
+        let args = tuple
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        for iv in ivs.iter() {
+            out.push(format!("{}({args})@{iv}", pattern.pred));
+        }
+    }
+    out
+}
+
+/// Quick helper for tests: `t` must be inside the horizon used in `run`.
+pub fn holds(db: &Database, pred: &str, args: &[Value], t: i64) -> bool {
+    db.holds_at_rational(chronolog_core::Symbol::new(pred), args, Rational::integer(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn fake_fs(files: &[(&str, &str)]) -> impl Fn(&str) -> std::io::Result<String> {
+        let map: HashMap<String, String> = files
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        move |path: &str| {
+            map.get(path).cloned().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no such test file")
+            })
+        }
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const DEMO: &str = "isOpen(A) :- tranM(A, M).\n\
+                        isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+                        tranM(acc1, 20.0)@3.\n\
+                        withdraw(acc1)@8.";
+
+    #[test]
+    fn check_reports_strata() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(&args(&["check", "demo.dmtl"]), fs).unwrap();
+        assert!(out.contains("ok: 2 rules, 2 facts"), "{out}");
+        assert!(out.contains("stratum"), "{out}");
+    }
+
+    #[test]
+    fn run_with_query() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--query", "isOpen(A)"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("isOpen(acc1)@[3]"), "{out}");
+        assert!(out.contains("isOpen(acc1)@[7]"), "{out}");
+        assert!(!out.contains("isOpen(acc1)@[8]"), "{out}");
+    }
+
+    #[test]
+    fn run_with_explain() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--explain", "isOpen(acc1)@5"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("[by rule"), "{out}");
+        assert!(out.contains("tranM(acc1, 20.0)"), "{out}");
+        // Negative case.
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--explain", "isOpen(acc1)@9"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("does not hold"), "{out}");
+    }
+
+    #[test]
+    fn run_dumps_facts_by_default() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(&args(&["run", "demo.dmtl", "--horizon", "0..20"]), fs).unwrap();
+        assert!(out.contains("tranM(acc1, 20.0)@[3]"), "{out}");
+        assert!(out.contains("isOpen(acc1)@[5]"), "{out}");
+    }
+
+    #[test]
+    fn graph_emits_dot() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(&args(&["graph", "demo.dmtl"]), fs).unwrap();
+        assert!(out.starts_with("digraph"), "{out}");
+        assert!(out.contains("\"tranM\" -> \"isOpen\""), "{out}");
+    }
+
+    #[test]
+    fn stats_flag() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let out = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--stats"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("derived tuples"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_with_codes() {
+        let fs = fake_fs(&[("bad.dmtl", "p(X :- q(X).")]);
+        let err = run_cli(&args(&["run", "bad.dmtl"]), fs).unwrap_err();
+        assert_eq!(err.code, 1);
+        let fs = fake_fs(&[]);
+        let err = run_cli(&args(&["run", "missing.dmtl"]), fs).unwrap_err();
+        assert!(err.message.contains("cannot read"), "{}", err.message);
+        let fs = fake_fs(&[]);
+        let err = run_cli(&args(&["bogus"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn multiple_files_merge() {
+        let fs = fake_fs(&[
+            ("rules.dmtl", "h(A) :- p(A), q(A)."),
+            ("facts.dmtl", "p(x)@[0, 5].\nq(x)@[3, 9]."),
+        ]);
+        let out = run_cli(
+            &args(&["run", "rules.dmtl", "facts.dmtl", "--horizon", "0..10", "--query", "h(X)"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("h(x)@[3,5]"), "{out}");
+    }
+
+    #[test]
+    fn query_with_constants_filters() {
+        let fs = fake_fs(&[(
+            "f.dmtl",
+            "p(x, 1)@0.\np(x, 2)@1.\np(y, 1)@2.",
+        )]);
+        let out = run_cli(
+            &args(&["run", "f.dmtl", "--query", "p(x, N)"]),
+            fs,
+        )
+        .unwrap();
+        assert!(out.contains("p(x, 1)@[0]"), "{out}");
+        assert!(out.contains("p(x, 2)@[1]"), "{out}");
+        assert!(!out.contains("p(y, 1)"), "{out}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Static analysis of DatalogMTL programs: safety, the predicate dependency
+//! graph (Figure 1 of the paper is this graph for the ETH-PERP program), and
+//! stratification of negation and aggregation.
+
+use crate::ast::{Expr, Literal, Program, Rule, Term};
+use crate::error::{Error, Result};
+use crate::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Kind of a dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Positive body occurrence: `σ(P) ≤ σ(H)`.
+    Positive,
+    /// Negated body occurrence: `σ(P) < σ(H)`.
+    Negative,
+    /// Body occurrence feeding an aggregate head: `σ(P) < σ(H)`
+    /// (stratified aggregation).
+    Aggregated,
+}
+
+/// The predicate dependency graph of a program.
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    /// All predicates (body or head).
+    pub predicates: Vec<Symbol>,
+    /// Edges `(from, to, kind)`: `from` occurs in a body whose head is `to`.
+    pub edges: Vec<(Symbol, Symbol, EdgeKind)>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of a program.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let mut predicates = HashSet::new();
+        let mut edges = HashSet::new();
+        for rule in &program.rules {
+            let head = rule.head.atom.pred;
+            predicates.insert(head);
+            let aggregated = rule.head.aggregate.is_some();
+            for lit in &rule.body {
+                let (atoms, base_kind) = match lit {
+                    Literal::Pos(m) => (m.atoms(), EdgeKind::Positive),
+                    Literal::Neg(m) => (m.atoms(), EdgeKind::Negative),
+                    Literal::Constraint(..) => continue,
+                };
+                for a in atoms {
+                    predicates.insert(a.pred);
+                    let kind = if aggregated && base_kind == EdgeKind::Positive {
+                        EdgeKind::Aggregated
+                    } else {
+                        base_kind
+                    };
+                    edges.insert((a.pred, head, kind));
+                }
+            }
+        }
+        let mut predicates: Vec<_> = predicates.into_iter().collect();
+        predicates.sort();
+        let mut edges: Vec<_> = edges.into_iter().collect();
+        edges.sort();
+        DependencyGraph { predicates, edges }
+    }
+
+    /// Renders the graph in Graphviz DOT format (regenerates Figure 1).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph dependencies {\n  rankdir=BT;\n");
+        for p in &self.predicates {
+            let _ = writeln!(out, "  \"{p}\";");
+        }
+        for (from, to, kind) in &self.edges {
+            let style = match kind {
+                EdgeKind::Positive => "",
+                EdgeKind::Negative => " [style=dashed, label=\"¬\"]",
+                EdgeKind::Aggregated => " [style=dotted, label=\"agg\"]",
+            };
+            let _ = writeln!(out, "  \"{from}\" -> \"{to}\"{style};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The stratification of a program: a stratum index per predicate and the
+/// rules grouped by the stratum of their head.
+#[derive(Debug)]
+pub struct Stratification {
+    /// Stratum of each predicate (EDB predicates sit at 0).
+    pub strata: HashMap<Symbol, usize>,
+    /// Rule indices (into `program.rules`) per stratum, in ascending order.
+    pub rules_by_stratum: Vec<Vec<usize>>,
+}
+
+impl Stratification {
+    /// Computes a stratification, or fails when negation/aggregation occurs
+    /// in a dependency cycle.
+    ///
+    /// Classic relaxation: `σ(H) ≥ σ(P)` over positive edges and
+    /// `σ(H) ≥ σ(P) + 1` over negative/aggregated edges; a value exceeding
+    /// the predicate count witnesses a strict cycle.
+    pub fn compute(program: &Program) -> Result<Stratification> {
+        let graph = DependencyGraph::build(program);
+        let n = graph.predicates.len();
+        let mut strata: HashMap<Symbol, usize> =
+            graph.predicates.iter().map(|p| (*p, 0usize)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (from, to, kind) in &graph.edges {
+                let need = match kind {
+                    EdgeKind::Positive => strata[from],
+                    EdgeKind::Negative | EdgeKind::Aggregated => strata[from] + 1,
+                };
+                let cur = strata[to];
+                if need > cur {
+                    if need > n {
+                        return Err(Error::NotStratifiable(format!(
+                            "negation or aggregation in a cycle through predicate {to}"
+                        )));
+                    }
+                    strata.insert(*to, need);
+                    changed = true;
+                }
+            }
+        }
+        let max = strata.values().copied().max().unwrap_or(0);
+        let mut rules_by_stratum = vec![Vec::new(); max + 1];
+        for (i, rule) in program.rules.iter().enumerate() {
+            rules_by_stratum[strata[&rule.head.atom.pred]].push(i);
+        }
+        Ok(Stratification {
+            strata,
+            rules_by_stratum,
+        })
+    }
+
+    /// Number of strata.
+    pub fn count(&self) -> usize {
+        self.rules_by_stratum.len()
+    }
+}
+
+/// Checks every rule of the program for safety and arity consistency.
+pub fn check_program(program: &Program) -> Result<()> {
+    let mut arities: HashMap<Symbol, usize> = HashMap::new();
+    for rule in &program.rules {
+        check_rule_safety(rule)?;
+        let mut check_arity = |pred: Symbol, arity: usize| -> Result<()> {
+            match arities.get(&pred) {
+                Some(&a) if a != arity => Err(Error::ArityMismatch(format!(
+                    "predicate {pred} used with arity {arity} and {a}"
+                ))),
+                _ => {
+                    arities.insert(pred, arity);
+                    Ok(())
+                }
+            }
+        };
+        check_arity(rule.head.atom.pred, rule.head.atom.arity())?;
+        for lit in &rule.body {
+            if let Literal::Pos(m) | Literal::Neg(m) = lit {
+                for a in m.atoms() {
+                    check_arity(a.pred, a.arity())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Safety: every head variable and every constraint variable must be bound
+/// by positive body atoms (or by a chain of `X = expr` assignments rooted in
+/// bound variables); variables under negation must be bound or local to
+/// their literal.
+fn check_rule_safety(rule: &Rule) -> Result<()> {
+    let rule_name = || {
+        rule.label
+            .clone()
+            .unwrap_or_else(|| rule.to_string())
+    };
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    for lit in &rule.body {
+        if let Literal::Pos(m) = lit {
+            bound.extend(m.variables());
+        }
+    }
+    // Assignment closure: X = expr (or expr = X) binds X once expr is bound.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for lit in &rule.body {
+            if let Literal::Constraint(lhs, crate::ast::CmpOp::Eq, rhs) = lit {
+                for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+                    if let Expr::Term(Term::Var(v)) = a {
+                        if !bound.contains(v) && b.variables().iter().all(|w| bound.contains(w)) {
+                            bound.insert(*v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // All constraint variables must now be bound.
+    for lit in &rule.body {
+        if let Literal::Constraint(lhs, _, rhs) = lit {
+            for v in lhs.variables().into_iter().chain(rhs.variables()) {
+                if !bound.contains(&v) {
+                    return Err(Error::Unsafe(format!(
+                        "variable {v} in constraint of rule `{}` is never bound",
+                        rule_name()
+                    )));
+                }
+            }
+        }
+    }
+    // Negated literals: unbound variables must be local to a single literal.
+    let mut seen_elsewhere: HashMap<Symbol, usize> = HashMap::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        if let Literal::Neg(m) = lit {
+            for v in m.variables() {
+                if !bound.contains(&v) {
+                    if let Some(j) = seen_elsewhere.get(&v) {
+                        if *j != i {
+                            return Err(Error::Unsafe(format!(
+                                "unbound variable {v} shared across negated literals in rule `{}`",
+                                rule_name()
+                            )));
+                        }
+                    }
+                    seen_elsewhere.insert(v, i);
+                }
+            }
+        }
+    }
+    for v in rule.head.atom.variables() {
+        if !bound.contains(&v) {
+            return Err(Error::Unsafe(format!(
+                "head variable {v} of rule `{}` is never bound",
+                rule_name()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn stratifies_negation_chain() {
+        let p = parse_program(
+            "a(X) :- e(X).\n\
+             b(X) :- a(X), not c(X).\n\
+             c(X) :- e(X), e(X).\n",
+        )
+        .unwrap();
+        let s = Stratification::compute(&p).unwrap();
+        assert!(s.strata[&Symbol::new("c")] < s.strata[&Symbol::new("b")]);
+        assert_eq!(s.strata[&Symbol::new("e")], 0);
+    }
+
+    #[test]
+    fn rejects_negative_cycle() {
+        let p = parse_program(
+            "a(X) :- e(X), not b(X).\n\
+             b(X) :- a(X).\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Stratification::compute(&p),
+            Err(Error::NotStratifiable(_))
+        ));
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        let p = parse_program("a(X) :- boxminus a(X).\na(X) :- e(X).").unwrap();
+        let s = Stratification::compute(&p).unwrap();
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn aggregation_is_strict_like_negation() {
+        let p = parse_program("e(sum(S)) :- m(A, S).\nskew(K) :- e(K).").unwrap();
+        let s = Stratification::compute(&p).unwrap();
+        assert!(s.strata[&Symbol::new("m")] < s.strata[&Symbol::new("e")]);
+    }
+
+    #[test]
+    fn rejects_aggregation_in_cycle() {
+        let p = parse_program("e(sum(S)) :- e(S).").unwrap();
+        assert!(Stratification::compute(&p).is_err());
+    }
+
+    #[test]
+    fn safety_accepts_assignment_chains() {
+        let p = parse_program("h(A, M) :- m(A, X), t(A, Y), Z = X + Y, M = Z * 2.").unwrap();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn safety_rejects_unbound_head_var() {
+        let p = parse_program("h(A, M) :- m(A, X).").unwrap();
+        assert!(matches!(check_program(&p), Err(Error::Unsafe(_))));
+    }
+
+    #[test]
+    fn safety_rejects_unbound_constraint_var() {
+        let p = parse_program("h(A) :- m(A), X > 3.").unwrap();
+        assert!(matches!(check_program(&p), Err(Error::Unsafe(_))));
+    }
+
+    #[test]
+    fn safety_allows_local_unbound_under_negation() {
+        // `not order(A, _)`: the wildcard is a negated existential.
+        let p = parse_program("h(A) :- m(A), not order(A, _).").unwrap();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn safety_rejects_shared_unbound_negated_var() {
+        let p = parse_program("h(A) :- m(A), not p(A, X), not q(A, X).").unwrap();
+        assert!(matches!(check_program(&p), Err(Error::Unsafe(_))));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let p = parse_program("h(A) :- m(A, B).\ng(X) :- m(X).").unwrap();
+        assert!(matches!(check_program(&p), Err(Error::ArityMismatch(_))));
+    }
+
+    #[test]
+    fn dependency_graph_dot_contains_all_predicates() {
+        let p = parse_program("b(X) :- a(X), not c(X).").unwrap();
+        let g = DependencyGraph::build(&p);
+        let dot = g.to_dot();
+        for name in ["a", "b", "c"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn head_vars_bound_by_time_capture_are_safe() {
+        let p = parse_program("tdiff(T, T) :- start()@T.").unwrap();
+        check_program(&p).unwrap();
+    }
+}

@@ -1,0 +1,356 @@
+//! The temporal database: ground tuples annotated with interval sets.
+//!
+//! A database `D` in the paper is a finite set of facts `P(v̄)@ρ`; here each
+//! `(P, v̄)` maps to the coalesced [`IntervalSet`] of all its annotations,
+//! which is the canonical representation of the induced interpretation.
+
+use crate::ast::Fact;
+use crate::symbol::Symbol;
+use crate::value::{Tuple, Value};
+use mtl_temporal::{Interval, IntervalSet, Rational};
+use std::collections::HashMap;
+use std::fmt;
+
+/// All tuples of one predicate with their validity intervals.
+#[derive(Clone, Default, Debug)]
+pub struct Relation {
+    tuples: HashMap<Tuple, IntervalSet>,
+}
+
+impl Relation {
+    /// Inserts an interval for a tuple; returns `true` iff the set grew.
+    pub fn insert(&mut self, tuple: Tuple, interval: Interval) -> bool {
+        self.tuples.entry(tuple).or_default().insert(interval)
+    }
+
+    /// Merges an interval set for a tuple; returns the genuinely new part
+    /// (empty when nothing grew).
+    pub fn merge(&mut self, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
+        let entry = self.tuples.entry(tuple).or_default();
+        let delta = ivs.difference(entry);
+        if !delta.is_empty() {
+            entry.union_with(&delta);
+        }
+        delta
+    }
+
+    /// The interval set of a tuple (empty-set view for missing tuples).
+    pub fn get(&self, tuple: &[Value]) -> Option<&IntervalSet> {
+        self.tuples.get(tuple)
+    }
+
+    /// Iterates `(tuple, intervals)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &IntervalSet)> {
+        self.tuples.iter()
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A temporal database: one [`Relation`] per predicate.
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    rels: HashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts a parsed fact. Returns `true` iff the database grew.
+    pub fn insert_fact(&mut self, fact: &Fact) -> bool {
+        self.insert(fact.pred, fact.args.clone().into_boxed_slice(), fact.interval)
+    }
+
+    /// Inserts facts from an iterator.
+    pub fn extend_facts<'a, I: IntoIterator<Item = &'a Fact>>(&mut self, facts: I) {
+        for f in facts {
+            self.insert_fact(f);
+        }
+    }
+
+    /// Inserts a single `(pred, tuple)@interval`. Returns `true` iff grew.
+    pub fn insert(&mut self, pred: Symbol, tuple: Tuple, interval: Interval) -> bool {
+        self.rels.entry(pred).or_default().insert(tuple, interval)
+    }
+
+    /// Convenience insertion with builder-style values.
+    pub fn assert_at(&mut self, pred: &str, args: &[Value], t: i64) -> &mut Self {
+        self.insert(
+            Symbol::new(pred),
+            args.to_vec().into_boxed_slice(),
+            Interval::at(t),
+        );
+        self
+    }
+
+    /// Convenience insertion over an interval.
+    pub fn assert_over(&mut self, pred: &str, args: &[Value], interval: Interval) -> &mut Self {
+        self.insert(Symbol::new(pred), args.to_vec().into_boxed_slice(), interval);
+        self
+    }
+
+    /// The relation for a predicate, if any tuple exists.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Merges `(pred, tuple)@ivs`; returns the genuinely new intervals.
+    pub fn merge(&mut self, pred: Symbol, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
+        self.rels.entry(pred).or_default().merge(tuple, ivs)
+    }
+
+    /// The interval set of a specific ground atom.
+    pub fn intervals(&self, pred: Symbol, args: &[Value]) -> IntervalSet {
+        self.rels
+            .get(&pred)
+            .and_then(|r| r.get(args))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Does `pred(args)` hold at time `t`?
+    pub fn holds_at(&self, pred: &str, args: &[Value], t: i64) -> bool {
+        self.holds_at_rational(Symbol::new(pred), args, Rational::integer(t))
+    }
+
+    /// Does `pred(args)` hold at rational time `t`?
+    pub fn holds_at_rational(&self, pred: Symbol, args: &[Value], t: Rational) -> bool {
+        self.rels
+            .get(&pred)
+            .and_then(|r| r.get(args))
+            .is_some_and(|ivs| ivs.contains(t))
+    }
+
+    /// All predicates present.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Iterates every `(pred, tuple, intervals)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Tuple, &IntervalSet)> {
+        self.rels
+            .iter()
+            .flat_map(|(p, r)| r.iter().map(move |(t, ivs)| (*p, t, ivs)))
+    }
+
+    /// Renders the database as parseable fact text, sorted for determinism.
+    pub fn to_facts_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .iter()
+            .flat_map(|(p, tuple, ivs)| {
+                ivs.iter()
+                    .map(move |iv| {
+                        let args = tuple
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("{p}({args})@{iv}.")
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Total number of distinct tuples across relations.
+    pub fn tuple_count(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Pattern query: all tuples of `pattern.pred` unifying with the
+    /// pattern's arguments (variables bind, repeated variables must agree,
+    /// constants filter — numeric constants match semantically), together
+    /// with their validity. Optionally restricted to a time window.
+    ///
+    /// ```
+    /// use chronolog_core::{parse_facts, Atom, Database, Term, Value};
+    /// let mut db = Database::new();
+    /// db.extend_facts(&parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.").unwrap());
+    /// let pattern = Atom::new("p", vec![Term::Val(Value::sym("a")), Term::var("N")]);
+    /// let hits = db.query(&pattern, None);
+    /// assert_eq!(hits.len(), 2);
+    /// ```
+    pub fn query(
+        &self,
+        pattern: &crate::ast::Atom,
+        window: Option<&Interval>,
+    ) -> Vec<(Tuple, IntervalSet)> {
+        let Some(rel) = self.rels.get(&pattern.pred) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        'tuples: for (tuple, ivs) in rel.iter() {
+            if tuple.len() != pattern.args.len() {
+                continue;
+            }
+            let mut bound: HashMap<Symbol, Value> = HashMap::new();
+            for (term, v) in pattern.args.iter().zip(tuple.iter()) {
+                match term {
+                    crate::ast::Term::Val(c) => {
+                        if !c.semantic_eq(v) {
+                            continue 'tuples;
+                        }
+                    }
+                    crate::ast::Term::Var(x) => match bound.get(x) {
+                        Some(prev) if !prev.semantic_eq(v) => continue 'tuples,
+                        _ => {
+                            bound.insert(*x, *v);
+                        }
+                    },
+                }
+            }
+            let clipped = match window {
+                Some(w) => ivs.intersect_interval(w),
+                None => ivs.clone(),
+            };
+            if !clipped.is_empty() {
+                out.push((tuple.clone(), clipped));
+            }
+        }
+        out
+    }
+
+    /// Parses fact text (as produced by [`Database::to_facts_text`]) back
+    /// into a database — the snapshot counterpart of the renderer.
+    pub fn from_facts_text(text: &str) -> crate::error::Result<Database> {
+        let facts = crate::parser::parse_facts(text)?;
+        let mut db = Database::new();
+        db.extend_facts(&facts);
+        Ok(db)
+    }
+
+    /// Total number of interval components (a proxy for memory footprint).
+    pub fn component_count(&self) -> usize {
+        self.iter().map(|(_, _, ivs)| ivs.components().len()).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_facts_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = Database::new();
+        db.assert_at("price", &[Value::num(1300.0)], 10);
+        assert!(db.holds_at("price", &[Value::num(1300.0)], 10));
+        assert!(!db.holds_at("price", &[Value::num(1300.0)], 11));
+        assert!(!db.holds_at("price", &[Value::num(9.0)], 10));
+    }
+
+    #[test]
+    fn repeated_insert_reports_growth_correctly() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
+        assert!(db.insert(pred, tup.clone(), Interval::closed_int(0, 5)));
+        assert!(!db.insert(pred, tup.clone(), Interval::closed_int(2, 4)));
+        assert!(db.insert(pred, tup, Interval::closed_int(4, 8)));
+    }
+
+    #[test]
+    fn merge_returns_only_new_part() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
+        db.insert(pred, tup.clone(), Interval::closed_int(0, 5));
+        let delta = db.merge(
+            pred,
+            tup,
+            &IntervalSet::from_interval(Interval::closed_int(3, 8)),
+        );
+        assert_eq!(
+            delta.components(),
+            &[Interval::new(
+                Rational::integer(5).into(),
+                false,
+                Rational::integer(8).into(),
+                true
+            )
+            .unwrap()]
+        );
+    }
+
+    #[test]
+    fn facts_text_is_sorted_and_parseable() {
+        let mut db = Database::new();
+        db.assert_at("b", &[Value::Int(2)], 3);
+        db.assert_at("a", &[Value::sym("x")], 1);
+        let text = db.to_facts_text();
+        assert!(text.starts_with("a(x)@[1]."));
+        let reparsed = crate::parser::parse_facts(&text).unwrap();
+        assert_eq!(reparsed.len(), 2);
+    }
+
+    #[test]
+    fn query_patterns() {
+        let mut db = Database::new();
+        db.extend_facts(
+            &crate::parser::parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.\nq(a)@1.").unwrap(),
+        );
+        use crate::ast::{Atom, Term};
+        // All p-tuples.
+        let all = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("Y")]), None);
+        assert_eq!(all.len(), 3);
+        // Constant filter.
+        let a_only = db.query(
+            &Atom::new("p", vec![Term::Val(Value::sym("a")), Term::var("Y")]),
+            None,
+        );
+        assert_eq!(a_only.len(), 2);
+        // Repeated variable: p(X, X) matches nothing here.
+        let diag = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("X")]), None);
+        assert!(diag.is_empty());
+        // Window restriction.
+        let windowed = db.query(
+            &Atom::new("p", vec![Term::var("X"), Term::var("Y")]),
+            Some(&Interval::closed_int(4, 5)),
+        );
+        assert_eq!(windowed.len(), 2);
+        // Unknown predicate.
+        assert!(db.query(&Atom::new("zzz", vec![]), None).is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut db = Database::new();
+        db.extend_facts(
+            &crate::parser::parse_facts(
+                "margin(acc1, 97.5)@[3, 9].\nprice(1330.0)@4.\nflag(true).",
+            )
+            .unwrap(),
+        );
+        let text = db.to_facts_text();
+        let back = Database::from_facts_text(&text).unwrap();
+        assert_eq!(back.to_facts_text(), text);
+    }
+
+    #[test]
+    fn counts() {
+        let mut db = Database::new();
+        db.assert_at("p", &[Value::Int(1)], 0);
+        db.assert_at("p", &[Value::Int(1)], 2); // second component
+        db.assert_at("p", &[Value::Int(2)], 0);
+        assert_eq!(db.tuple_count(), 2);
+        assert_eq!(db.component_count(), 3);
+    }
+}

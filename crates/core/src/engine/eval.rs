@@ -1,0 +1,780 @@
+//! Rule-body evaluation: temporal joins, operator application, stratified
+//! negation, built-in constraints, and the `@T` time capture.
+//!
+//! A body evaluates to a set of `(binding, interval set)` pairs: the variable
+//! assignments satisfying the relational/constraint part, each with the time
+//! points at which the whole conjunction holds.
+
+use crate::ast::{Atom, CmpOp, Expr, Literal, MetricAtom, Rule, Term};
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use mtl_temporal::{Interval, IntervalSet};
+use std::collections::HashMap;
+
+/// A variable assignment.
+pub(crate) type Bindings = HashMap<Symbol, Value>;
+
+/// Evaluation context for one rule application.
+pub(crate) struct EvalCtx<'a> {
+    /// Everything derived so far (EDB + all strata up to the current point).
+    pub total: &'a Database,
+    /// Per-iteration delta of current-stratum predicates (semi-naive).
+    pub delta: Option<&'a Database>,
+    /// The reasoning horizon.
+    pub horizon: Interval,
+}
+
+impl EvalCtx<'_> {
+    fn horizon_set(&self) -> IntervalSet {
+        IntervalSet::from_interval(self.horizon)
+    }
+}
+
+/// Is this literal eligible to be the delta-restricted literal of a
+/// semi-naive variant? Requires a unary operator chain over a single
+/// relational atom where every box operator is punctual (box with a
+/// positive-length window is not union-distributive, so reading only the
+/// delta would miss derivations that combine old and new time points).
+pub(crate) fn delta_eligible(lit: &Literal) -> Option<Symbol> {
+    fn chain(m: &MetricAtom) -> Option<Symbol> {
+        match m {
+            MetricAtom::Rel(a) => Some(a.pred),
+            MetricAtom::DiamondMinus(_, inner) | MetricAtom::DiamondPlus(_, inner) => {
+                chain(inner)
+            }
+            MetricAtom::BoxMinus(rho, inner) | MetricAtom::BoxPlus(rho, inner) => {
+                if rho.is_punctual() {
+                    chain(inner)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+    match lit {
+        Literal::Pos(m) => chain(m),
+        _ => None,
+    }
+}
+
+/// Evaluates a rule body. When `delta_literal` is set, that literal's base
+/// relation is read from `ctx.delta` instead of `ctx.total`.
+///
+/// Returns deduplicated `(binding, intervals)` pairs with non-empty interval
+/// sets.
+pub(crate) fn eval_body(
+    rule: &Rule,
+    ctx: &EvalCtx<'_>,
+    delta_literal: Option<usize>,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let mut acc: Vec<(Bindings, IntervalSet)> =
+        vec![(Bindings::new(), ctx.horizon_set())];
+
+    let n = rule.body.len();
+    let mut done = vec![false; n];
+
+    // Phase 1: positive literals, interleaving constraints that become
+    // schedulable after each (early filtering keeps joins small). The
+    // delta-restricted literal goes first: its (tiny) per-iteration delta
+    // prunes the remaining joins to the changed time points, which is what
+    // makes semi-naive evaluation pay off on rules whose other literals
+    // join only through time (e.g. a `price` stream).
+    let order: Vec<usize> = match delta_literal {
+        Some(d) => std::iter::once(d).chain((0..n).filter(|&i| i != d)).collect(),
+        None => (0..n).collect(),
+    };
+    for i in order {
+        if let Literal::Pos(m) = &rule.body[i] {
+            let use_delta = delta_literal == Some(i);
+            acc = join_positive(acc, m, ctx, use_delta)?;
+            done[i] = true;
+            schedule_constraints(rule, ctx, &mut acc, &mut done)?;
+            if acc.is_empty() {
+                return Ok(vec![]);
+            }
+        }
+    }
+    // Phase 2: any remaining constraints (assignment chains).
+    schedule_constraints(rule, ctx, &mut acc, &mut done)?;
+    // Phase 3: negations.
+    #[allow(clippy::needless_range_loop)] // index drives both body and done
+    for i in 0..n {
+        if done[i] {
+            continue;
+        }
+        match &rule.body[i] {
+            Literal::Neg(m) => {
+                acc = apply_negation(acc, m, ctx)?;
+                done[i] = true;
+            }
+            Literal::Constraint(..) => {
+                return Err(Error::Unsafe(format!(
+                    "constraint `{}` could not be scheduled (unbound variable)",
+                    rule.body[i]
+                )));
+            }
+            Literal::Pos(_) => unreachable!("handled in phase 1"),
+        }
+    }
+    // Deduplicate bindings, merging interval sets.
+    let mut merged: HashMap<Vec<(Symbol, Value)>, IntervalSet> = HashMap::new();
+    for (b, ivs) in acc {
+        if ivs.is_empty() {
+            continue;
+        }
+        let mut key: Vec<(Symbol, Value)> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        key.sort();
+        merged.entry(key).or_default().union_with(&ivs);
+    }
+    Ok(merged
+        .into_iter()
+        .map(|(k, ivs)| (k.into_iter().collect(), ivs))
+        .collect())
+}
+
+/// Processes every not-yet-done constraint that is currently schedulable,
+/// repeating until none becomes newly schedulable.
+fn schedule_constraints(
+    rule: &Rule,
+    _ctx: &EvalCtx<'_>,
+    acc: &mut Vec<(Bindings, IntervalSet)>,
+    done: &mut [bool],
+) -> Result<()> {
+    // The set of bound variables is identical across accumulator entries;
+    // an empty accumulator means the body already failed.
+    loop {
+        let bound: std::collections::HashSet<Symbol> = match acc.first() {
+            Some((b, _)) => b.keys().copied().collect(),
+            None => return Ok(()),
+        };
+        let mut progressed = false;
+        #[allow(clippy::needless_range_loop)] // index drives both body and done
+        for i in 0..rule.body.len() {
+            if done[i] {
+                continue;
+            }
+            if let Literal::Constraint(lhs, op, rhs) = &rule.body[i] {
+                if let Some(mode) = constraint_mode(lhs, *op, rhs, &bound) {
+                    *acc = apply_constraint(std::mem::take(acc), lhs, *op, rhs, mode)?;
+                    done[i] = true;
+                    progressed = true;
+                    if acc.is_empty() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ConstraintMode {
+    /// All variables bound: evaluate and filter.
+    Filter,
+    /// `X = expr` with X unbound: bind X (left side).
+    AssignLeft,
+    /// `expr = X` with X unbound: bind X (right side).
+    AssignRight,
+}
+
+fn constraint_mode(
+    lhs: &Expr,
+    op: CmpOp,
+    rhs: &Expr,
+    bound: &std::collections::HashSet<Symbol>,
+) -> Option<ConstraintMode> {
+    let lv = lhs.variables();
+    let rv = rhs.variables();
+    let l_bound = lv.iter().all(|v| bound.contains(v));
+    let r_bound = rv.iter().all(|v| bound.contains(v));
+    if l_bound && r_bound {
+        return Some(ConstraintMode::Filter);
+    }
+    if op == CmpOp::Eq {
+        if let Expr::Term(Term::Var(v)) = lhs {
+            if !bound.contains(v) && r_bound {
+                return Some(ConstraintMode::AssignLeft);
+            }
+        }
+        if let Expr::Term(Term::Var(v)) = rhs {
+            if !bound.contains(v) && l_bound {
+                return Some(ConstraintMode::AssignRight);
+            }
+        }
+    }
+    None
+}
+
+fn apply_constraint(
+    acc: Vec<(Bindings, IntervalSet)>,
+    lhs: &Expr,
+    op: CmpOp,
+    rhs: &Expr,
+    mode: ConstraintMode,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let mut out = Vec::with_capacity(acc.len());
+    for (mut b, ivs) in acc {
+        match mode {
+            ConstraintMode::AssignLeft => {
+                let v = eval_expr(rhs, &b)?;
+                let var = match lhs {
+                    Expr::Term(Term::Var(x)) => *x,
+                    _ => unreachable!("mode implies lone variable"),
+                };
+                b.insert(var, v);
+                out.push((b, ivs));
+            }
+            ConstraintMode::AssignRight => {
+                let v = eval_expr(lhs, &b)?;
+                let var = match rhs {
+                    Expr::Term(Term::Var(x)) => *x,
+                    _ => unreachable!("mode implies lone variable"),
+                };
+                b.insert(var, v);
+                out.push((b, ivs));
+            }
+            ConstraintMode::Filter => {
+                let l = eval_expr(lhs, &b)?;
+                let r = eval_expr(rhs, &b)?;
+                if compare(l, op, r)? {
+                    out.push((b, ivs));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn compare(l: Value, op: CmpOp, r: Value) -> Result<bool> {
+    match op {
+        CmpOp::Eq => Ok(l.semantic_eq(&r)),
+        CmpOp::Ne => Ok(!l.semantic_eq(&r)),
+        _ => {
+            let ord = l.semantic_cmp(&r).ok_or_else(|| {
+                Error::Eval(format!("cannot compare {l} and {r}"))
+            })?;
+            Ok(match op {
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+/// Evaluates an arithmetic expression under a binding. Integer arithmetic
+/// stays exact; mixing with floats coerces to `f64`.
+pub(crate) fn eval_expr(expr: &Expr, b: &Bindings) -> Result<Value> {
+    fn num2(
+        a: Value,
+        bb: Value,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        f_op: impl Fn(f64, f64) -> f64,
+        what: &str,
+    ) -> Result<Value> {
+        match (a, bb) {
+            (Value::Int(x), Value::Int(y)) => match int_op(x, y) {
+                Some(v) => Ok(Value::Int(v)),
+                None => Ok(Value::num(f_op(x as f64, y as f64))),
+            },
+            _ => {
+                let (x, y) = (
+                    a.as_f64().ok_or_else(|| {
+                        Error::Eval(format!("non-numeric operand {a} in {what}"))
+                    })?,
+                    bb.as_f64().ok_or_else(|| {
+                        Error::Eval(format!("non-numeric operand {bb} in {what}"))
+                    })?,
+                );
+                let v = f_op(x, y);
+                if v.is_nan() {
+                    return Err(Error::Eval(format!("NaN from {what}({x}, {y})")));
+                }
+                Ok(Value::num(v))
+            }
+        }
+    }
+    match expr {
+        Expr::Term(Term::Val(v)) => Ok(*v),
+        Expr::Term(Term::Var(v)) => b
+            .get(v)
+            .copied()
+            .ok_or_else(|| Error::Eval(format!("unbound variable {v} in expression"))),
+        Expr::Add(x, y) => num2(
+            eval_expr(x, b)?,
+            eval_expr(y, b)?,
+            i64::checked_add,
+            |a, c| a + c,
+            "+",
+        ),
+        Expr::Sub(x, y) => num2(
+            eval_expr(x, b)?,
+            eval_expr(y, b)?,
+            i64::checked_sub,
+            |a, c| a - c,
+            "-",
+        ),
+        Expr::Mul(x, y) => num2(
+            eval_expr(x, b)?,
+            eval_expr(y, b)?,
+            i64::checked_mul,
+            |a, c| a * c,
+            "*",
+        ),
+        Expr::Div(x, y) => {
+            let (xv, yv) = (eval_expr(x, b)?, eval_expr(y, b)?);
+            if yv.as_f64() == Some(0.0) {
+                return Err(Error::Eval("division by zero".into()));
+            }
+            num2(
+                xv,
+                yv,
+                |a, c| if c != 0 && a % c == 0 { Some(a / c) } else { None },
+                |a, c| a / c,
+                "/",
+            )
+        }
+        Expr::Neg(x) => match eval_expr(x, b)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Num(n) => Ok(Value::num(-n.get())),
+            other => Err(Error::Eval(format!("cannot negate {other}"))),
+        },
+        Expr::Abs(x) => match eval_expr(x, b)? {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Num(n) => Ok(Value::num(n.get().abs())),
+            other => Err(Error::Eval(format!("abs of non-number {other}"))),
+        },
+        Expr::Min(x, y) => {
+            let (a, c) = (eval_expr(x, b)?, eval_expr(y, b)?);
+            Ok(if compare(a, CmpOp::Le, c)? { a } else { c })
+        }
+        Expr::Max(x, y) => {
+            let (a, c) = (eval_expr(x, b)?, eval_expr(y, b)?);
+            Ok(if compare(a, CmpOp::Ge, c)? { a } else { c })
+        }
+    }
+}
+
+/// Joins the accumulator with a positive metric atom. The accumulated
+/// interval hull is pushed down as a read mask: only the time window that
+/// can still contribute is pulled out of (possibly huge) base relations.
+fn join_positive(
+    acc: Vec<(Bindings, IntervalSet)>,
+    m: &MetricAtom,
+    ctx: &EvalCtx<'_>,
+    use_delta: bool,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let mut out = Vec::new();
+    for (b, ivs) in acc {
+        let mask = ivs.hull();
+        for (b2, ivs2) in eval_matom_masked(m, ctx, use_delta, &b, mask)? {
+            let joined = ivs.intersect(&ivs2);
+            if !joined.is_empty() {
+                out.push((b2, joined));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Subtracts the (existentially closed) intervals of a negated metric atom.
+fn apply_negation(
+    acc: Vec<(Bindings, IntervalSet)>,
+    m: &MetricAtom,
+    ctx: &EvalCtx<'_>,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let mut out = Vec::with_capacity(acc.len());
+    for (b, ivs) in acc {
+        let mask = ivs.hull();
+        let mut neg = IntervalSet::new();
+        for (_, nivs) in eval_matom_masked(m, ctx, false, &b, mask)? {
+            neg.union_with(&nivs);
+        }
+        let rest = ivs.difference(&neg);
+        if !rest.is_empty() {
+            out.push((b, rest));
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a metric atom under a binding, returning extended bindings with
+/// the (operator-transformed) interval sets.
+pub(crate) fn eval_matom(
+    m: &MetricAtom,
+    ctx: &EvalCtx<'_>,
+    use_delta: bool,
+    binding: &Bindings,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    eval_matom_masked(m, ctx, use_delta, binding, None)
+}
+
+/// Masked evaluation: `mask`, when present, is a time window such that only
+/// output points inside it will be used by the caller. It is pushed through
+/// the operator tree (inversely transformed at each unary operator) and
+/// applied as a binary-searched clip at the relation leaves — exact, since
+/// the base points relevant to outputs in `mask` lie inside the pushed-down
+/// window.
+fn eval_matom_masked(
+    m: &MetricAtom,
+    ctx: &EvalCtx<'_>,
+    use_delta: bool,
+    binding: &Bindings,
+    mask: Option<Interval>,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    // Base times contributing to past-operator outputs in `mask` lie in
+    // mask ⊕ mirrored-ρ, which is exactly the hull transform below.
+    let past_mask = |rho| mask.as_ref().map(|w| w.diamond_plus(rho));
+    let future_mask = |rho| mask.as_ref().map(|w| w.diamond_minus(rho));
+    match m {
+        MetricAtom::Top => Ok(vec![(binding.clone(), ctx.horizon_set())]),
+        MetricAtom::Bottom => Ok(vec![]),
+        MetricAtom::Rel(atom) => eval_rel(atom, ctx, use_delta, binding, mask),
+        MetricAtom::DiamondMinus(rho, inner) => {
+            Ok(eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
+                .into_iter()
+                .map(|(b, ivs)| (b, ivs.diamond_minus(rho)))
+                .filter(|(_, ivs)| !ivs.is_empty())
+                .collect())
+        }
+        MetricAtom::DiamondPlus(rho, inner) => {
+            Ok(eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
+                .into_iter()
+                .map(|(b, ivs)| (b, ivs.diamond_plus(rho)))
+                .filter(|(_, ivs)| !ivs.is_empty())
+                .collect())
+        }
+        MetricAtom::BoxMinus(rho, inner) => {
+            Ok(eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
+                .into_iter()
+                .map(|(b, ivs)| (b, ivs.box_minus(rho)))
+                .filter(|(_, ivs)| !ivs.is_empty())
+                .collect())
+        }
+        MetricAtom::BoxPlus(rho, inner) => {
+            Ok(eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
+                .into_iter()
+                .map(|(b, ivs)| (b, ivs.box_plus(rho)))
+                .filter(|(_, ivs)| !ivs.is_empty())
+                .collect())
+        }
+        MetricAtom::Since(m1, rho, m2) => {
+            debug_assert!(!use_delta, "delta never designates multi-atom literals");
+            let mut out = Vec::new();
+            for (b1, iv1) in eval_matom(m1, ctx, false, binding)? {
+                for (b2, iv2) in eval_matom(m2, ctx, false, &b1)? {
+                    let s = iv1.since(&iv2, rho);
+                    if !s.is_empty() {
+                        out.push((b2, s));
+                    }
+                }
+            }
+            // `since` can also fire from M2 alone when 0 ∈ ρ even if M1 has
+            // no matching tuples; cover the empty-M1 case explicitly.
+            if rho.as_interval().contains(mtl_temporal::Rational::ZERO) {
+                for (b2, iv2) in eval_matom(m2, ctx, false, binding)? {
+                    out.push((b2, IntervalSet::new().since(&iv2, rho)));
+                }
+            }
+            Ok(out.into_iter().filter(|(_, s)| !s.is_empty()).collect())
+        }
+        MetricAtom::Until(m1, rho, m2) => {
+            debug_assert!(!use_delta, "delta never designates multi-atom literals");
+            let mut out = Vec::new();
+            for (b1, iv1) in eval_matom(m1, ctx, false, binding)? {
+                for (b2, iv2) in eval_matom(m2, ctx, false, &b1)? {
+                    let s = iv1.until(&iv2, rho);
+                    if !s.is_empty() {
+                        out.push((b2, s));
+                    }
+                }
+            }
+            if rho.as_interval().contains(mtl_temporal::Rational::ZERO) {
+                for (b2, iv2) in eval_matom(m2, ctx, false, binding)? {
+                    out.push((b2, IntervalSet::new().until(&iv2, rho)));
+                }
+            }
+            Ok(out.into_iter().filter(|(_, s)| !s.is_empty()).collect())
+        }
+    }
+}
+
+/// Base-relation lookup with unification and optional `@T` time capture.
+fn eval_rel(
+    atom: &Atom,
+    ctx: &EvalCtx<'_>,
+    use_delta: bool,
+    binding: &Bindings,
+    mask: Option<Interval>,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let db = if use_delta {
+        ctx.delta.expect("delta variant evaluated without a delta database")
+    } else {
+        ctx.total
+    };
+    let Some(rel) = db.relation(atom.pred) else {
+        return Ok(vec![]);
+    };
+    let mut out = Vec::new();
+    for (tuple, ivs) in rel.iter() {
+        let Some(b2) = unify(atom, tuple, binding) else {
+            continue;
+        };
+        let ivs = match &mask {
+            Some(w) => ivs.intersect_interval(w),
+            None => ivs.clone(),
+        };
+        if ivs.is_empty() {
+            continue;
+        }
+        match atom.time_var {
+            None => out.push((b2, ivs)),
+            Some(tv) => {
+                // The capture refers to the base fact's own time points, so
+                // the fact must be punctual (event-style predicates are).
+                let points = ivs.punctual_points().ok_or_else(|| {
+                    Error::Eval(format!(
+                        "time capture @{tv} on non-punctual fact {}{:?}",
+                        atom.pred, tuple
+                    ))
+                })?;
+                for p in points {
+                    let tval = Value::from_time(p);
+                    match b2.get(&tv) {
+                        Some(existing) if !existing.semantic_eq(&tval) => continue,
+                        _ => {}
+                    }
+                    let mut b3 = b2.clone();
+                    b3.insert(tv, tval);
+                    out.push((
+                        b3,
+                        IntervalSet::from_interval(Interval::point(p)),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Unifies an atom's argument pattern with a ground tuple under a binding.
+/// Numeric values unify semantically (`3 = 3.0`), so integer-initialized
+/// state joins with float-updated state.
+///
+/// Checked in two passes: match first without allocating, clone the binding
+/// only on success — this runs once per scanned tuple and is the hottest
+/// spot of dense-timeline materialization.
+fn unify(atom: &Atom, tuple: &[Value], binding: &Bindings) -> Option<Bindings> {
+    if atom.args.len() != tuple.len() {
+        return None;
+    }
+    // Pass 1: consistency check. Repeated fresh variables (e.g. p(X, X))
+    // are validated against the tuple's own values.
+    for (i, (t, v)) in atom.args.iter().zip(tuple.iter()).enumerate() {
+        match t {
+            Term::Val(c) => {
+                if !c.semantic_eq(v) {
+                    return None;
+                }
+            }
+            Term::Var(x) => {
+                if let Some(bound) = binding.get(x) {
+                    if !bound.semantic_eq(v) {
+                        return None;
+                    }
+                } else {
+                    // First occurrence in this atom; check later repeats.
+                    for (t2, v2) in atom.args[..i].iter().zip(tuple.iter()) {
+                        if t2 == t && !v2.semantic_eq(v) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: build the extended binding.
+    let mut b = binding.clone();
+    for (t, v) in atom.args.iter().zip(tuple.iter()) {
+        if let Term::Var(x) = t {
+            b.entry(*x).or_insert(*v);
+        }
+    }
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_facts, parse_rule};
+
+    fn ctx_db(facts: &str) -> Database {
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts(facts).unwrap());
+        db
+    }
+
+    fn eval(rule_src: &str, facts: &str) -> Vec<(Bindings, IntervalSet)> {
+        let rule = parse_rule(rule_src).unwrap();
+        let db = ctx_db(facts);
+        let ctx = EvalCtx {
+            total: &db,
+            delta: None,
+            horizon: Interval::closed_int(0, 100),
+        };
+        eval_body(&rule, &ctx, None).unwrap()
+    }
+
+    #[test]
+    fn simple_join_intersects_time() {
+        let out = eval(
+            "h(A) :- p(A), q(A).",
+            "p(x)@[0, 10].\nq(x)@[5, 20].\np(y)@[0, 10].",
+        );
+        assert_eq!(out.len(), 1);
+        let (b, ivs) = &out[0];
+        assert_eq!(b[&Symbol::new("A")], Value::sym("x"));
+        assert_eq!(ivs.components(), &[Interval::closed_int(5, 10)]);
+    }
+
+    #[test]
+    fn diamond_shifts_join() {
+        let out = eval("h(A) :- diamondminus p(A).", "p(x)@3.");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.components(), &[Interval::at(4)]);
+    }
+
+    #[test]
+    fn negation_subtracts() {
+        let out = eval("h(A) :- p(A), not q(A).", "p(x)@[0, 10].\nq(x)@[4, 6].");
+        assert_eq!(out.len(), 1);
+        let ivs = &out[0].1;
+        assert!(ivs.contains(3.into()));
+        assert!(!ivs.contains(5.into()));
+        assert!(ivs.contains(7.into()));
+    }
+
+    #[test]
+    fn negation_is_existential_over_wildcards() {
+        let out = eval(
+            "h(A) :- p(A), not q(A, _).",
+            "p(x)@[0, 10].\nq(x, 1)@[2, 3].\nq(x, 2)@[5, 6].",
+        );
+        assert_eq!(out.len(), 1);
+        let ivs = &out[0].1;
+        assert!(ivs.contains(0.into()));
+        assert!(!ivs.contains(2.into()));
+        assert!(ivs.contains(4.into()));
+        assert!(!ivs.contains(6.into()));
+    }
+
+    #[test]
+    fn constraints_assign_and_filter() {
+        let out = eval(
+            "h(A, M) :- p(A, X), q(A, Y), M = X + Y, M > 10.",
+            "p(x, 4)@1.\nq(x, 7)@1.\np(y, 1)@1.\nq(y, 2)@1.",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0[&Symbol::new("M")], Value::Int(11));
+    }
+
+    #[test]
+    fn assignment_chains_resolve_out_of_order() {
+        let out = eval("h(A, M) :- M = Z * 2, Z = X + 1, p(A, X).", "p(x, 4)@1.");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0[&Symbol::new("M")], Value::Int(10));
+    }
+
+    #[test]
+    fn time_capture_binds_event_time() {
+        let out = eval("h(T) :- p(A)@T.", "p(x)@7.\np(y)@9.");
+        let mut times: Vec<Value> = out.iter().map(|(b, _)| b[&Symbol::new("T")]).collect();
+        times.sort();
+        assert_eq!(times, vec![Value::Int(7), Value::Int(9)]);
+    }
+
+    #[test]
+    fn time_capture_on_long_interval_errors() {
+        let rule = parse_rule("h(T) :- p(A)@T.").unwrap();
+        let db = ctx_db("p(x)@[0, 5].");
+        let ctx = EvalCtx {
+            total: &db,
+            delta: None,
+            horizon: Interval::closed_int(0, 100),
+        };
+        assert!(eval_body(&rule, &ctx, None).is_err());
+    }
+
+    #[test]
+    fn semantic_unification_joins_int_and_float() {
+        let out = eval("h(A) :- p(A, S), q(A, S).", "p(x, 0)@1.\nq(x, 0.0)@1.");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn delta_eligibility_rules() {
+        assert!(delta_eligible(&parse_rule("h(X) :- p(X).").unwrap().body[0]).is_some());
+        assert!(delta_eligible(&parse_rule("h(X) :- boxminus p(X).").unwrap().body[0]).is_some());
+        assert!(
+            delta_eligible(&parse_rule("h(X) :- diamondminus[0, 5] p(X).").unwrap().body[0])
+                .is_some()
+        );
+        // non-punctual box is not union-distributive
+        assert!(
+            delta_eligible(&parse_rule("h(X) :- boxminus[0, 5] p(X).").unwrap().body[0]).is_none()
+        );
+        assert!(
+            delta_eligible(&parse_rule("h(X) :- since(p(X), q(X)).").unwrap().body[0]).is_none()
+        );
+        assert!(delta_eligible(&parse_rule("h(X) :- p(X), not q(X).").unwrap().body[1]).is_none());
+    }
+
+    #[test]
+    fn expr_integer_exactness() {
+        let b = Bindings::new();
+        let e = crate::parser::parse_rule("h(X) :- p(Y), X = 6 / 3.")
+            .unwrap();
+        drop(e);
+        assert_eq!(
+            eval_expr(&Expr::Div(Box::new(Expr::val(6i64)), Box::new(Expr::val(3i64))), &b)
+                .unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_expr(&Expr::Div(Box::new(Expr::val(7i64)), Box::new(Expr::val(2i64))), &b)
+                .unwrap(),
+            Value::num(3.5)
+        );
+        assert!(eval_expr(
+            &Expr::Div(Box::new(Expr::val(1i64)), Box::new(Expr::val(0i64))),
+            &b
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn since_in_body() {
+        let out = eval(
+            "h(A) :- since[0, 5](p(A), q(A)).",
+            "p(x)@[0, 10].\nq(x)@0.",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.components(), &[Interval::closed_int(0, 5)]);
+    }
+
+    #[test]
+    fn top_and_bottom_literals() {
+        let out = eval("h(A) :- p(A), top.", "p(x)@[0, 10].");
+        assert_eq!(out.len(), 1);
+        let out = eval("h(A) :- p(A), bottom.", "p(x)@[0, 10].");
+        assert!(out.is_empty());
+    }
+}

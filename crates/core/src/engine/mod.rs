@@ -1,0 +1,581 @@
+//! The DatalogMTL materialization engine.
+//!
+//! [`Reasoner::materialize`] computes the horizon-bounded least model of a
+//! stratified DatalogMTL program over a temporal database: strata are
+//! processed in order; within a stratum, aggregate rules run once (their
+//! inputs are strictly lower, per stratified aggregation) and the remaining
+//! rules run to fixpoint with semi-naive deltas where the operators permit
+//! (see [`eval::delta_eligible`]).
+
+mod aggregate;
+mod eval;
+mod provenance;
+mod session;
+
+pub use provenance::{Explanation, ProvenanceLog};
+pub use session::Session;
+pub(crate) use eval::eval_expr as eval_expr_public;
+
+use crate::analysis::{check_program, Stratification};
+use crate::ast::{HeadOp, Program, Rule, Term};
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::symbol::Symbol;
+use crate::value::{Tuple, Value};
+use eval::{delta_eligible, eval_body, EvalCtx};
+use mtl_temporal::{Interval, IntervalSet};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Reasoner configuration.
+#[derive(Clone, Debug)]
+pub struct ReasonerConfig {
+    /// The reasoning horizon: derivations are clipped to this interval (the
+    /// paper's "interval under analysis"). With temporal recursion, a
+    /// bounded horizon is what guarantees termination.
+    pub horizon: Interval,
+    /// Maximum fixpoint iterations per stratum.
+    pub max_iterations: usize,
+    /// Maximum total interval components in the materialization.
+    pub max_components: usize,
+    /// Semi-naive evaluation (`false` re-evaluates every rule fully on every
+    /// iteration — the ablation baseline).
+    pub semi_naive: bool,
+    /// Record provenance for [`Materialization::explain`].
+    pub provenance: bool,
+}
+
+impl Default for ReasonerConfig {
+    fn default() -> Self {
+        ReasonerConfig {
+            horizon: Interval::ALL,
+            max_iterations: 1_000_000,
+            max_components: 50_000_000,
+            semi_naive: true,
+            provenance: false,
+        }
+    }
+}
+
+impl ReasonerConfig {
+    /// Convenience: a bounded integer horizon.
+    pub fn with_horizon(mut self, lo: i64, hi: i64) -> Self {
+        self.horizon = Interval::closed_int(lo, hi);
+        self
+    }
+}
+
+/// Statistics of one materialization run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Fixpoint iterations per stratum.
+    pub iterations: Vec<usize>,
+    /// Number of rule applications (body evaluations).
+    pub rule_evaluations: usize,
+    /// Tuples in the result that were not in the input.
+    pub derived_tuples: usize,
+    /// Interval components in the result.
+    pub total_components: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The result of materializing a program over a database.
+pub struct Materialization {
+    /// Input facts plus everything entailed (within the horizon).
+    pub database: Database,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Provenance (populated when [`ReasonerConfig::provenance`] is on).
+    pub provenance: Option<ProvenanceLog>,
+}
+
+impl Materialization {
+    /// Explains why `pred(args)` holds at time `t` as a derivation tree.
+    /// Requires provenance recording; returns `None` when the fact does not
+    /// hold at `t` or provenance is off.
+    pub fn explain(
+        &self,
+        program: &Program,
+        pred: &str,
+        args: &[Value],
+        t: i64,
+    ) -> Option<Explanation> {
+        let log = self.provenance.as_ref()?;
+        log.explain(program, &self.database, Symbol::new(pred), args, t)
+    }
+}
+
+/// A compiled, validated DatalogMTL reasoner.
+pub struct Reasoner {
+    program: Program,
+    strat: Stratification,
+    config: ReasonerConfig,
+}
+
+/// How a rule participates in its stratum's fixpoint.
+enum RulePlan {
+    /// No body dependency on the current stratum: runs only on iteration 0.
+    Once,
+    /// Every current-stratum dependency sits in a delta-eligible literal:
+    /// these literal indices drive semi-naive variants.
+    SemiNaive(Vec<usize>),
+    /// Some current-stratum dependency is not delta-eligible (non-punctual
+    /// box, since/until): full re-evaluation each iteration.
+    Full,
+}
+
+impl Reasoner {
+    /// Validates (safety, arity, stratification) and compiles a program.
+    pub fn new(program: Program, config: ReasonerConfig) -> Result<Reasoner> {
+        check_program(&program)?;
+        let strat = Stratification::compute(&program)?;
+        Ok(Reasoner {
+            program,
+            strat,
+            config,
+        })
+    }
+
+    /// The validated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.strat
+    }
+
+    /// Materializes all consequences of the program over `input`.
+    pub fn materialize(&self, input: &Database) -> Result<Materialization> {
+        let start = Instant::now();
+        let mut total = input.clone();
+        let mut provenance = self.config.provenance.then(ProvenanceLog::default);
+        let mut stats = RunStats::default();
+        let input_tuples = input.tuple_count();
+
+        for rule_indices in &self.strat.rules_by_stratum {
+            let iterations = self.run_stratum(
+                rule_indices,
+                &mut total,
+                &mut provenance,
+                &mut stats,
+                self.config.horizon,
+                None,
+                None,
+            )?;
+            stats.iterations.push(iterations);
+        }
+
+        stats.derived_tuples = total.tuple_count().saturating_sub(input_tuples);
+        stats.total_components = total.component_count();
+        stats.elapsed = start.elapsed();
+        Ok(Materialization {
+            database: total,
+            stats,
+            provenance,
+        })
+    }
+
+    /// Runs one stratum to fixpoint.
+    ///
+    /// * `horizon` — clipping window (the session engine grows it).
+    /// * `seed` — incremental mode: iteration 0 evaluates semi-naive
+    ///   variants against this delta (covering *all* predicates) instead of
+    ///   re-evaluating every rule in full; rules with a positive literal
+    ///   that is not delta-eligible fall back to a full evaluation.
+    /// * `collected` — when present, every fact added by this stratum is
+    ///   also merged here (the session's cross-stratum seed accumulator).
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratum(
+        &self,
+        rule_indices: &[usize],
+        total: &mut Database,
+        provenance: &mut Option<ProvenanceLog>,
+        stats: &mut RunStats,
+        horizon: Interval,
+        seed: Option<&Database>,
+        mut collected: Option<&mut Database>,
+    ) -> Result<usize> {
+        let current_preds: HashSet<Symbol> = rule_indices
+            .iter()
+            .map(|&i| self.program.rules[i].head.atom.pred)
+            .collect();
+
+        // --- Aggregate rules: once, inputs are strictly lower strata. ---
+        let mut agg_groups: Vec<(Symbol, Vec<usize>)> = Vec::new();
+        let mut normal: Vec<usize> = Vec::new();
+        for &i in rule_indices {
+            let rule = &self.program.rules[i];
+            if rule.head.aggregate.is_some() {
+                match agg_groups.iter_mut().find(|(p, _)| *p == rule.head.atom.pred) {
+                    Some((_, v)) => v.push(i),
+                    None => agg_groups.push((rule.head.atom.pred, vec![i])),
+                }
+            } else {
+                normal.push(i);
+            }
+        }
+        for (pred, indices) in &agg_groups {
+            let rules: Vec<&Rule> = indices.iter().map(|&i| &self.program.rules[i]).collect();
+            let ctx = EvalCtx {
+                total,
+                delta: None,
+                horizon,
+            };
+            let derived = aggregate::eval_aggregate_rules(&rules, &ctx)?;
+            stats.rule_evaluations += indices.len();
+            for (tuple, interval) in derived {
+                let mut ivs = IntervalSet::from_interval(interval);
+                for op in &rules[0].head.ops {
+                    ivs = apply_head_op(op, &ivs);
+                }
+                let ivs = ivs.intersect_interval(&horizon);
+                let added = total.merge(*pred, tuple.clone(), &ivs);
+                if !added.is_empty() {
+                    if let Some(acc) = collected.as_deref_mut() {
+                        acc.merge(*pred, tuple.clone(), &added);
+                    }
+                    if let Some(log) = provenance {
+                        log.record(indices[0], *pred, tuple, added, Vec::new());
+                    }
+                }
+            }
+        }
+
+        // --- Plans for the normal rules. ---
+        let plans: Vec<(usize, RulePlan)> = normal
+            .iter()
+            .map(|&i| {
+                let rule = &self.program.rules[i];
+                let mut dep_literals = Vec::new();
+                let mut blocked = false;
+                let mut has_dep = false;
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let mentions_current = match lit {
+                        crate::ast::Literal::Pos(m) | crate::ast::Literal::Neg(m) => {
+                            m.atoms().iter().any(|a| current_preds.contains(&a.pred))
+                        }
+                        crate::ast::Literal::Constraint(..) => false,
+                    };
+                    if !mentions_current {
+                        continue;
+                    }
+                    has_dep = true;
+                    match delta_eligible(lit) {
+                        Some(_) => dep_literals.push(li),
+                        None => blocked = true,
+                    }
+                }
+                let plan = if !has_dep {
+                    RulePlan::Once
+                } else if blocked || !self.config.semi_naive {
+                    RulePlan::Full
+                } else {
+                    RulePlan::SemiNaive(dep_literals)
+                };
+                (i, plan)
+            })
+            .collect();
+
+        // --- Fixpoint. ---
+        let mut prev_delta = Database::new();
+        let mut iteration = 0usize;
+        loop {
+            if iteration >= self.config.max_iterations {
+                return Err(Error::BudgetExceeded(format!(
+                    "stratum exceeded {} iterations (unbounded temporal recursion? \
+                     set a bounded horizon)",
+                    self.config.max_iterations
+                )));
+            }
+            // component_count walks the whole database; sample it.
+            if iteration.is_multiple_of(64) && total.component_count() > self.config.max_components {
+                return Err(Error::BudgetExceeded(format!(
+                    "materialization exceeded {} interval components",
+                    self.config.max_components
+                )));
+            }
+            let mut next_delta = Database::new();
+            let mut grew = false;
+
+            for (rule_idx, plan) in &plans {
+                let rule = &self.program.rules[*rule_idx];
+                // Which evaluations to run this iteration.
+                let modes: Vec<Option<usize>> = match (plan, iteration, seed) {
+                    // Incremental iteration 0: semi-naive against the seed
+                    // when every positive literal supports it.
+                    (_, 0, Some(_)) => {
+                        let pos: Vec<usize> = rule
+                            .body
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, l)| matches!(l, crate::ast::Literal::Pos(_)))
+                            .map(|(i, _)| i)
+                            .collect();
+                        if pos
+                            .iter()
+                            .all(|&i| delta_eligible(&rule.body[i]).is_some())
+                        {
+                            pos.into_iter().map(Some).collect()
+                        } else {
+                            vec![None]
+                        }
+                    }
+                    (RulePlan::Once, 0, None) => vec![None],
+                    (RulePlan::Once, _, _) => continue,
+                    (RulePlan::Full, _, _) => vec![None],
+                    (RulePlan::SemiNaive(_), 0, None) => vec![None],
+                    (RulePlan::SemiNaive(lits), _, _) => {
+                        lits.iter().map(|&l| Some(l)).collect()
+                    }
+                };
+                let iter0_delta = if iteration == 0 { seed } else { None };
+                for delta_literal in modes {
+                    let ctx = EvalCtx {
+                        total,
+                        delta: if delta_literal.is_some() {
+                            Some(iter0_delta.unwrap_or(&prev_delta))
+                        } else {
+                            None
+                        },
+                        horizon,
+                    };
+                    let results = eval_body(rule, &ctx, delta_literal)?;
+                    stats.rule_evaluations += 1;
+                    for (binding, ivs) in results {
+                        let tuple = ground_head(rule, &binding)?;
+                        let mut out = ivs;
+                        for op in &rule.head.ops {
+                            out = apply_head_op(op, &out);
+                        }
+                        let out = out.intersect_interval(&horizon);
+                        if out.is_empty() {
+                            continue;
+                        }
+                        let added = total.merge(rule.head.atom.pred, tuple.clone(), &out);
+                        if !added.is_empty() {
+                            grew = true;
+                            next_delta.merge(rule.head.atom.pred, tuple.clone(), &added);
+                            if let Some(acc) = collected.as_deref_mut() {
+                                acc.merge(rule.head.atom.pred, tuple.clone(), &added);
+                            }
+                            if let Some(log) = provenance {
+                                let b: Vec<(Symbol, Value)> =
+                                    binding.iter().map(|(k, v)| (*k, *v)).collect();
+                                log.record(*rule_idx, rule.head.atom.pred, tuple, added, b);
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !grew {
+                break;
+            }
+            prev_delta = next_delta;
+            iteration += 1;
+        }
+        Ok(iteration + 1)
+    }
+}
+
+/// A head operator spreads the derived validity:
+/// `⊟ρ P` derived at `T` means `P` holds on `T ⊖ ρ` (towards the past);
+/// `⊞ρ P` derived at `T` means `P` holds on `T ⊕ ρ` (towards the future).
+fn apply_head_op(op: &HeadOp, ivs: &IntervalSet) -> IntervalSet {
+    match op {
+        HeadOp::BoxMinus(rho) => ivs.diamond_plus(rho),
+        HeadOp::BoxPlus(rho) => ivs.diamond_minus(rho),
+    }
+}
+
+fn ground_head(rule: &Rule, binding: &eval::Bindings) -> Result<Tuple> {
+    rule.head
+        .atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Val(v) => Ok(*v),
+            Term::Var(x) => binding.get(x).copied().ok_or_else(|| {
+                Error::Eval(format!(
+                    "unbound head variable {x} in rule `{}`",
+                    rule.label.as_deref().unwrap_or("<unlabeled>")
+                ))
+            }),
+        })
+        .collect::<Result<Vec<_>>>()
+        .map(Vec::into_boxed_slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_facts, parse_program};
+
+    fn run(rules: &str, facts: &str, horizon: (i64, i64)) -> Database {
+        let program = parse_program(rules).unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts(facts).unwrap());
+        let reasoner = Reasoner::new(
+            program,
+            ReasonerConfig::default().with_horizon(horizon.0, horizon.1),
+        )
+        .unwrap();
+        reasoner.materialize(&db).unwrap().database
+    }
+
+    #[test]
+    fn non_recursive_derivation() {
+        let db = run("h(A) :- p(A), q(A).", "p(x)@[0, 5].\nq(x)@[3, 9].", (0, 100));
+        assert!(db.holds_at("h", &[Value::sym("x")], 4));
+        assert!(!db.holds_at("h", &[Value::sym("x")], 2));
+    }
+
+    #[test]
+    fn temporal_recursion_propagates_to_horizon() {
+        // The paper's rule 2 pattern: isOpen propagates forever until withdraw.
+        let db = run(
+            "isOpen(A) :- tranM(A, M).\n\
+             isOpen(A) :- boxminus isOpen(A), not withdraw(A).",
+            "tranM(acc, 20)@3.\nwithdraw(acc)@7.",
+            (0, 20),
+        );
+        for t in 3..=6 {
+            assert!(db.holds_at("isOpen", &[Value::sym("acc")], t), "t={t}");
+        }
+        // withdraw at 7 blocks the derivation at 7 itself and onwards.
+        for t in 7..=20 {
+            assert!(!db.holds_at("isOpen", &[Value::sym("acc")], t), "t={t}");
+        }
+        assert!(!db.holds_at("isOpen", &[Value::sym("acc")], 2));
+    }
+
+    #[test]
+    fn stratified_negation_and_recursion_interact() {
+        // margin propagation (paper rule 7): carry value unless changed.
+        let db = run(
+            "margin(A, M) :- tranM(A, M), not boxminus isOpen(A).\n\
+             isOpen(A) :- tranM(A, M).\n\
+             isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+             changeM(A) :- tranM(A, M).\n\
+             margin(A, M) :- diamondminus margin(A, M), not changeM(A).\n\
+             margin(A, M) :- boxminus isOpen(A), diamondminus margin(A, X), tranM(A, Y), M = X + Y.",
+            "tranM(acc, 97)@1.\ntranM(acc, 3)@5.",
+            (0, 10),
+        );
+        assert!(db.holds_at("margin", &[Value::sym("acc"), Value::Int(97)], 1));
+        assert!(db.holds_at("margin", &[Value::sym("acc"), Value::Int(97)], 4));
+        assert!(db.holds_at("margin", &[Value::sym("acc"), Value::Int(100)], 5));
+        assert!(db.holds_at("margin", &[Value::sym("acc"), Value::Int(100)], 10));
+        assert!(!db.holds_at("margin", &[Value::sym("acc"), Value::Int(97)], 5));
+    }
+
+    #[test]
+    fn head_box_operators_spread_validity() {
+        let db = run("boxplus[0, 3] alert(X) :- spike(X).", "spike(s)@10.", (0, 100));
+        for t in 10..=13 {
+            assert!(db.holds_at("alert", &[Value::sym("s")], t), "t={t}");
+        }
+        assert!(!db.holds_at("alert", &[Value::sym("s")], 14));
+        let db = run("boxminus[1, 2] pre(X) :- spike(X).", "spike(s)@10.", (0, 100));
+        assert!(db.holds_at("pre", &[Value::sym("s")], 8));
+        assert!(db.holds_at("pre", &[Value::sym("s")], 9));
+        assert!(!db.holds_at("pre", &[Value::sym("s")], 10));
+    }
+
+    #[test]
+    fn aggregates_feed_recursion() {
+        // skew pattern: event sums feed a recursive accumulator.
+        let db = run(
+            "event(sum(S)) :- modPos(A, S).\n\
+             skew(K) :- startSkew(K).\n\
+             skew(K) :- diamondminus skew(K), not event(_).\n\
+             skew(K) :- diamondminus skew(X), event(S), K = X + S.",
+            "startSkew(0)@0.\nmodPos(a, 5)@2.\nmodPos(b, -2)@2.\nmodPos(a, 1)@4.",
+            (0, 6),
+        );
+        assert!(db.holds_at("skew", &[Value::Int(0)], 1));
+        assert!(db.holds_at("skew", &[Value::Int(3)], 2));
+        assert!(db.holds_at("skew", &[Value::Int(3)], 3));
+        assert!(db.holds_at("skew", &[Value::Int(4)], 4));
+        assert!(db.holds_at("skew", &[Value::Int(4)], 6));
+        assert!(!db.holds_at("skew", &[Value::Int(0)], 2));
+    }
+
+    #[test]
+    fn unbounded_recursion_hits_iteration_budget() {
+        let program = parse_program(
+            "p(X) :- q(X).\n\
+             p(X) :- boxminus p(X).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts("q(a)@0.").unwrap());
+        let reasoner = Reasoner::new(
+            program,
+            ReasonerConfig {
+                max_iterations: 50,
+                ..ReasonerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            reasoner.materialize(&db),
+            Err(Error::BudgetExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let rules = "isOpen(A) :- tranM(A, M).\n\
+                     isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+                     pair(A, B) :- isOpen(A), isOpen(B).";
+        let facts = "tranM(x, 1)@0.\ntranM(y, 2)@3.\nwithdraw(x)@6.";
+        let program = parse_program(rules).unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts(facts).unwrap());
+        let mk = |semi| {
+            Reasoner::new(
+                program.clone(),
+                ReasonerConfig {
+                    semi_naive: semi,
+                    ..ReasonerConfig::default().with_horizon(0, 12)
+                },
+            )
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .database
+        };
+        let a = mk(true);
+        let b = mk(false);
+        assert_eq!(a.to_facts_text(), b.to_facts_text());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let program = parse_program("h(A) :- p(A).").unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts("p(x)@1.").unwrap());
+        let m = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .materialize(&db)
+            .unwrap();
+        assert_eq!(m.stats.derived_tuples, 1);
+        assert_eq!(m.stats.iterations.len(), 1);
+        assert!(m.stats.rule_evaluations >= 1);
+    }
+
+    #[test]
+    fn rigid_facts_combine_with_temporal_ones() {
+        let db = run(
+            "h(A, R) :- p(A), rate(R).",
+            "p(x)@[2, 4].\nrate(0.5).",
+            (0, 10),
+        );
+        assert!(db.holds_at("h", &[Value::sym("x"), Value::num(0.5)], 3));
+        assert!(!db.holds_at("h", &[Value::sym("x"), Value::num(0.5)], 5));
+    }
+}

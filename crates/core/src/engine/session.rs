@@ -1,0 +1,439 @@
+//! The memory-resident execution model of §3.1: a continuously running
+//! reasoning process that "takes as input the actions that the users send
+//! to the smart contract … and updates multiple state amounts".
+//!
+//! A [`Session`] wraps a compiled program, accepts facts as they happen,
+//! and *advances a watermark* instead of re-materializing from scratch.
+//! This is sound for the paper's forward-propagating fragment
+//! (DatalogMTL^FP): past-only operators mean a derivation at time `u`
+//! depends only on facts at times `≤ u`, so once every fact up to the
+//! watermark is known, everything derived below it is final. Each advance
+//! therefore runs one semi-naive round seeded with (a) the newly submitted
+//! facts and (b) the boundary slice `[now − reach, now]` of the existing
+//! materialization, where `reach` is the program's maximal temporal
+//! look-back — exactly the facts a boundary-crossing derivation could
+//! consume.
+
+use crate::ast::{Literal, MetricAtom, Program};
+use crate::database::Database;
+use crate::engine::{ProvenanceLog, Reasoner, RunStats};
+use crate::error::{Error, Result};
+use crate::Fact;
+use mtl_temporal::{Interval, Rational, TimeBound};
+
+/// A live, incrementally maintained materialization.
+///
+/// ```
+/// use chronolog_core::{parse_program, Database, Fact, Reasoner, ReasonerConfig, Value};
+///
+/// let program = parse_program(
+///     "isOpen(A) :- tranM(A, M).\n\
+///      isOpen(A) :- boxminus isOpen(A), not withdraw(A).",
+/// )
+/// .unwrap();
+/// let mut session = Reasoner::new(program, ReasonerConfig::default())
+///     .unwrap()
+///     .into_session(&Database::new(), 0)
+///     .unwrap();
+///
+/// session
+///     .submit(Fact::at("tranM", vec![Value::sym("acc"), Value::num(20.0)], 3))
+///     .unwrap();
+/// session.advance_to(5).unwrap();
+/// assert!(session.database().holds_at("isOpen", &[Value::sym("acc")], 5));
+///
+/// // Derivations below the watermark are final; the session keeps going.
+/// session
+///     .submit(Fact::at("withdraw", vec![Value::sym("acc")], 7))
+///     .unwrap();
+/// session.advance_to(10).unwrap();
+/// assert!(!session.database().holds_at("isOpen", &[Value::sym("acc")], 8));
+/// ```
+pub struct Session {
+    reasoner: Reasoner,
+    total: Database,
+    pending: Vec<Fact>,
+    start: Rational,
+    now: Rational,
+    reach: Rational,
+    stats: RunStats,
+}
+
+impl Reasoner {
+    /// Turns this reasoner into a live session starting at `start` with the
+    /// given initial database (genesis facts; rigid facts go here).
+    ///
+    /// Fails unless the program is in the forward-propagating fragment:
+    /// no future operators (`◇⁺`, `⊞`, `until`) in bodies, no head
+    /// operators, and finite operator windows.
+    pub fn into_session(self, initial: &Database, start: i64) -> Result<Session> {
+        let reach = program_reach(self.program())?;
+        let start = Rational::integer(start);
+        let mut session = Session {
+            reasoner: self,
+            total: initial.clone(),
+            pending: Vec::new(),
+            start,
+            now: start,
+            reach,
+            stats: RunStats::default(),
+        };
+        // Materialize the starting instant so `database()` is consistent
+        // with `now` from the first moment.
+        session.run_advance(start)?;
+        Ok(session)
+    }
+}
+
+impl Session {
+    /// The current watermark: everything at or before it is final.
+    pub fn now(&self) -> Rational {
+        self.now
+    }
+
+    /// The materialization up to the watermark.
+    pub fn database(&self) -> &Database {
+        &self.total
+    }
+
+    /// Cumulative statistics across all advances.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Submits a fact that happened strictly after the watermark. It takes
+    /// effect at the next [`Session::advance_to`].
+    pub fn submit(&mut self, fact: Fact) -> Result<()> {
+        match fact.interval.lo() {
+            TimeBound::Finite(lo) if lo > self.now => {
+                self.pending.push(fact);
+                Ok(())
+            }
+            other => Err(Error::Eval(format!(
+                "session facts must start strictly after the watermark {} (got {other:?})",
+                self.now
+            ))),
+        }
+    }
+
+    /// Advances the watermark to `t`, deriving everything in `(now, t]`.
+    pub fn advance_to(&mut self, t: i64) -> Result<&Database> {
+        let t = Rational::integer(t);
+        if t < self.now {
+            return Err(Error::Eval(format!(
+                "cannot advance backwards: watermark {} > target {t}",
+                self.now
+            )));
+        }
+        if let Some(f) = self
+            .pending
+            .iter()
+            .find(|f| matches!(f.interval.hi(), TimeBound::Finite(hi) if hi > t))
+            .or_else(|| {
+                self.pending
+                    .iter()
+                    .find(|f| !f.interval.hi().is_finite())
+            })
+        {
+            return Err(Error::Eval(format!(
+                "pending fact {f} extends beyond the advance target {t}"
+            )));
+        }
+        self.run_advance(t)?;
+        Ok(&self.total)
+    }
+
+    fn run_advance(&mut self, t: Rational) -> Result<()> {
+        let started = std::time::Instant::now();
+        // Seed: boundary slice of the existing materialization plus the
+        // pending submissions, clipped to the derivation window.
+        let window = Interval::new(
+            TimeBound::Finite(self.now - self.reach),
+            true,
+            TimeBound::Finite(t),
+            true,
+        )
+        .expect("non-empty seed window");
+        let mut seed = Database::new();
+        for (pred, tuple, ivs) in self.total.iter() {
+            let clipped = ivs.intersect_interval(&window);
+            if !clipped.is_empty() {
+                seed.merge(pred, tuple.clone(), &clipped);
+            }
+        }
+        for fact in self.pending.drain(..) {
+            self.total.insert_fact(&fact);
+            seed.insert(
+                fact.pred,
+                fact.args.clone().into_boxed_slice(),
+                fact.interval,
+            );
+        }
+
+        let horizon = Interval::new(
+            TimeBound::Finite(self.start),
+            true,
+            TimeBound::Finite(t),
+            true,
+        )
+        .expect("non-empty horizon");
+
+        // Each stratum's new facts also become seeds for the next stratum.
+        let mut provenance: Option<ProvenanceLog> = None;
+        let strata: Vec<Vec<usize>> = self
+            .reasoner
+            .stratification()
+            .rules_by_stratum
+            .clone();
+        for rule_indices in &strata {
+            let mut collected = Database::new();
+            let iterations = self.reasoner.run_stratum(
+                rule_indices,
+                &mut self.total,
+                &mut provenance,
+                &mut self.stats,
+                horizon,
+                Some(&seed),
+                Some(&mut collected),
+            )?;
+            self.stats.iterations.push(iterations);
+            for (pred, tuple, ivs) in collected.iter() {
+                seed.merge(pred, tuple.clone(), ivs);
+            }
+        }
+        self.now = t;
+        self.stats.elapsed += started.elapsed();
+        self.stats.total_components = self.total.component_count();
+        Ok(())
+    }
+}
+
+/// The maximal temporal look-back of any body literal: how far into the
+/// past a single rule application can reach. Errors on future operators,
+/// head operators, and unbounded windows (outside the session fragment).
+fn program_reach(program: &Program) -> Result<Rational> {
+    fn chain_reach(m: &MetricAtom) -> Result<Rational> {
+        match m {
+            MetricAtom::Top | MetricAtom::Bottom => Ok(Rational::ZERO),
+            MetricAtom::Rel(_) => Ok(Rational::ZERO),
+            MetricAtom::DiamondMinus(rho, inner) | MetricAtom::BoxMinus(rho, inner) => {
+                let hi = match rho.as_interval().hi() {
+                    TimeBound::Finite(h) => h,
+                    _ => {
+                        return Err(Error::Eval(
+                            "session mode requires finite operator windows".into(),
+                        ))
+                    }
+                };
+                Ok(hi + chain_reach(inner)?)
+            }
+            MetricAtom::DiamondPlus(..) | MetricAtom::BoxPlus(..) | MetricAtom::Until(..) => {
+                Err(Error::Eval(
+                    "session mode requires the forward-propagating fragment \
+                     (no future operators)"
+                        .into(),
+                ))
+            }
+            MetricAtom::Since(m1, rho, m2) => {
+                let hi = match rho.as_interval().hi() {
+                    TimeBound::Finite(h) => h,
+                    _ => {
+                        return Err(Error::Eval(
+                            "session mode requires finite operator windows".into(),
+                        ))
+                    }
+                };
+                Ok(hi + chain_reach(m1)?.max(chain_reach(m2)?))
+            }
+        }
+    }
+    let mut reach = Rational::ZERO;
+    for rule in &program.rules {
+        if !rule.head.ops.is_empty() {
+            return Err(Error::Eval(
+                "session mode does not support head operators".into(),
+            ));
+        }
+        for lit in &rule.body {
+            if let Literal::Pos(m) | Literal::Neg(m) = lit {
+                reach = reach.max(chain_reach(m)?);
+            }
+        }
+    }
+    Ok(reach)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ReasonerConfig;
+    use crate::parser::{parse_facts, parse_program};
+    use crate::Value;
+
+    const MARGIN_RULES: &str = "isOpen(A) :- tranM(A, M).\n\
+         isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+         margin(A, M) :- tranM(A, M), not boxminus isOpen(A).\n\
+         changeM(A) :- tranM(A, M).\n\
+         changeM(A) :- withdraw(A).\n\
+         margin(A, M) :- diamondminus margin(A, M), not changeM(A).\n\
+         margin(A, M) :- boxminus isOpen(A), diamondminus margin(A, X), tranM(A, Y), M = X + Y.";
+
+    fn session() -> Session {
+        let program = parse_program(MARGIN_RULES).unwrap();
+        Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        // Stream the quickstart scenario event by event...
+        let mut s = session();
+        s.submit(Fact::at("tranM", vec![Value::sym("acc"), Value::num(97.0)], 9))
+            .unwrap();
+        s.advance_to(9).unwrap();
+        s.submit(Fact::at("tranM", vec![Value::sym("acc"), Value::num(3.0)], 10))
+            .unwrap();
+        s.advance_to(12).unwrap();
+        s.submit(Fact::at("withdraw", vec![Value::sym("acc")], 15))
+            .unwrap();
+        s.advance_to(20).unwrap();
+
+        // ...and compare against the batch materialization.
+        let program = parse_program(MARGIN_RULES).unwrap();
+        let mut db = Database::new();
+        db.extend_facts(
+            &parse_facts(
+                "tranM(acc, 97.0)@9.\ntranM(acc, 3.0)@10.\nwithdraw(acc)@15.",
+            )
+            .unwrap(),
+        );
+        let batch = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20))
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .database;
+        assert_eq!(s.database().to_facts_text(), batch.to_facts_text());
+    }
+
+    #[test]
+    fn derivations_below_watermark_are_final() {
+        let mut s = session();
+        s.submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(50.0)], 5))
+            .unwrap();
+        s.advance_to(8).unwrap();
+        let before = s.database().to_facts_text();
+        // Advancing with no new facts only extends, never rewrites.
+        s.advance_to(12).unwrap();
+        let after = s.database().to_facts_text();
+        for line in before.lines() {
+            assert!(after.contains(line), "lost fact {line}");
+        }
+        assert!(s
+            .database()
+            .holds_at("margin", &[Value::sym("a"), Value::num(50.0)], 12));
+    }
+
+    #[test]
+    fn rejects_facts_at_or_before_watermark() {
+        let mut s = session();
+        s.advance_to(10).unwrap();
+        assert!(s
+            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 10))
+            .is_err());
+        assert!(s
+            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 3))
+            .is_err());
+        assert!(s
+            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 11))
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_backward_advance_and_overshooting_facts() {
+        let mut s = session();
+        s.advance_to(10).unwrap();
+        assert!(s.advance_to(5).is_err());
+        s.submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 20))
+            .unwrap();
+        // The pending fact lies beyond the advance target.
+        assert!(s.advance_to(15).is_err());
+        assert!(s.advance_to(25).is_ok());
+    }
+
+    #[test]
+    fn rejects_programs_outside_the_fragment() {
+        let future = parse_program("h(X) :- diamondplus[0, 2] p(X).").unwrap();
+        assert!(Reasoner::new(future, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .is_err());
+        let head_op = parse_program("boxplus[0, 2] h(X) :- p(X).").unwrap();
+        assert!(Reasoner::new(head_op, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .is_err());
+        let unbounded = parse_program("h(X) :- diamondminus[0, inf) p(X).").unwrap();
+        assert!(Reasoner::new(unbounded, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn rigid_genesis_facts_extend_with_the_watermark() {
+        let program = parse_program("h(X) :- p(X), rate(X, R).").unwrap();
+        let mut init = Database::new();
+        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap());
+        let mut s = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&init, 0)
+            .unwrap();
+        s.submit(Fact::over(
+            "p",
+            vec![Value::sym("a")],
+            Interval::closed_int(3, 8),
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        assert!(s.database().holds_at("h", &[Value::sym("a")], 5));
+        assert!(!s.database().holds_at("h", &[Value::sym("a")], 9));
+    }
+
+    #[test]
+    fn aggregates_stream_correctly() {
+        let program = parse_program(
+            "event(sum(S)) :- modPos(A, S).\n\
+             skew(K) :- startSkew(K).\n\
+             skew(K) :- diamondminus skew(K), not event(_).\n\
+             skew(K) :- diamondminus skew(X), event(S), K = X + S.",
+        )
+        .unwrap();
+        let mut init = Database::new();
+        init.extend_facts(&parse_facts("startSkew(0)@0.").unwrap());
+        let mut s = Reasoner::new(program.clone(), ReasonerConfig::default())
+            .unwrap()
+            .into_session(&init, 0)
+            .unwrap();
+        s.submit(Fact::at("modPos", vec![Value::sym("a"), Value::Int(5)], 2))
+            .unwrap();
+        s.advance_to(3).unwrap();
+        assert!(s.database().holds_at("skew", &[Value::Int(5)], 3));
+        s.submit(Fact::at("modPos", vec![Value::sym("b"), Value::Int(-2)], 4))
+            .unwrap();
+        s.advance_to(6).unwrap();
+        assert!(s.database().holds_at("skew", &[Value::Int(3)], 6));
+        // Batch agreement.
+        let mut db = Database::new();
+        db.extend_facts(
+            &parse_facts("startSkew(0)@0.\nmodPos(a, 5)@2.\nmodPos(b, -2)@4.").unwrap(),
+        );
+        let batch = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 6))
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .database;
+        assert_eq!(s.database().to_facts_text(), batch.to_facts_text());
+    }
+}

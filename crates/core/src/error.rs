@@ -1,0 +1,55 @@
+//! Error types for parsing, program analysis, and reasoning.
+
+use std::fmt;
+
+/// Any error produced by the chronolog core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Syntax error with line/column and message.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The program is not safe (a variable escapes its positive bindings).
+    Unsafe(String),
+    /// The program has no stratification (negation/aggregation in a cycle).
+    NotStratifiable(String),
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch(String),
+    /// Runtime evaluation error (type error in a built-in, bad time capture…).
+    Eval(String),
+    /// A resource budget was exceeded (facts, iterations).
+    BudgetExceeded(String),
+}
+
+impl Error {
+    pub(crate) fn parse(line: usize, col: usize, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            Error::Unsafe(m) => write!(f, "unsafe rule: {m}"),
+            Error::NotStratifiable(m) => write!(f, "program is not stratifiable: {m}"),
+            Error::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for chronolog operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,336 @@
+//! Tokenizer for the chronolog concrete syntax.
+//!
+//! The syntax is line-oriented Datalog with MTL operator keywords:
+//!
+//! ```text
+//! % MARGIN module, rule 2 of the paper
+//! isOpen(A) :- boxminus isOpen(A), not withdraw(A).
+//! margin(A, M) :- diamondminus margin(A, X), tranM(A, Y), M = X + Y.
+//! event(sum(S)) :- modPos(A, S).
+//! price(1362.5)@[100, 200].
+//! ```
+
+use crate::error::{Error, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier starting with a lowercase letter (predicate/symbol/keyword).
+    LowerIdent(String),
+    /// Identifier starting with an uppercase letter (variable).
+    UpperIdent(String),
+    /// `_` or `_name` (anonymous variable).
+    Underscore(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal (kept as text for exact rational parsing where needed).
+    Decimal(String),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `:-`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes a full source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+
+    macro_rules! tok {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            col += $len;
+            i += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&'-') {
+                    tok!(TokenKind::Arrow, 2);
+                } else {
+                    return Err(Error::parse(line, col, "expected ':-'"));
+                }
+            }
+            '(' => tok!(TokenKind::LParen, 1),
+            ')' => tok!(TokenKind::RParen, 1),
+            '[' => tok!(TokenKind::LBracket, 1),
+            ']' => tok!(TokenKind::RBracket, 1),
+            ',' => tok!(TokenKind::Comma, 1),
+            '.' => tok!(TokenKind::Dot, 1),
+            '@' => tok!(TokenKind::At, 1),
+            '+' => tok!(TokenKind::Plus, 1),
+            '-' => tok!(TokenKind::Minus, 1),
+            '*' => tok!(TokenKind::Star, 1),
+            '/' => tok!(TokenKind::Slash, 1),
+            '=' => tok!(TokenKind::Eq, 1),
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tok!(TokenKind::Ne, 2);
+                } else {
+                    return Err(Error::parse(line, col, "expected '!='"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tok!(TokenKind::Le, 2);
+                } else {
+                    tok!(TokenKind::Lt, 1);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tok!(TokenKind::Ge, 2);
+                } else {
+                    tok!(TokenKind::Gt, 1);
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '"' {
+                    if bytes[j] == '\n' {
+                        return Err(Error::parse(line, col, "unterminated string literal"));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::parse(line, col, "unterminated string literal"));
+                }
+                let s: String = bytes[start..j].iter().collect();
+                let len = j + 1 - i;
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                    col,
+                });
+                col += len;
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_decimal = false;
+                // A '.' is part of the number only when followed by a digit;
+                // otherwise it terminates a fact/rule.
+                if j < bytes.len()
+                    && bytes[j] == '.'
+                    && bytes.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_decimal = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Scientific notation: 1e-12 / 2.5e3.
+                if j < bytes.len() && (bytes[j] == 'e' || bytes[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == '+' || bytes[k] == '-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_decimal = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let len = j - start;
+                let kind = if is_decimal {
+                    TokenKind::Decimal(text)
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| Error::parse(line, col, "integer literal out of range"))?;
+                    TokenKind::Int(v)
+                };
+                out.push(Token { kind, line, col });
+                col += len;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let len = j - start;
+                let kind = if c == '_' {
+                    TokenKind::Underscore(text)
+                } else if c.is_ascii_uppercase() {
+                    TokenKind::UpperIdent(text)
+                } else {
+                    TokenKind::LowerIdent(text)
+                };
+                out.push(Token { kind, line, col });
+                col += len;
+                i = j;
+            }
+            other => {
+                return Err(Error::parse(line, col, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_rule() {
+        let ks = kinds("isOpen(A) :- boxminus isOpen(A), not withdraw(A).");
+        assert_eq!(ks[0], TokenKind::LowerIdent("isOpen".into()));
+        assert_eq!(ks[1], TokenKind::LParen);
+        assert_eq!(ks[2], TokenKind::UpperIdent("A".into()));
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn distinguishes_decimal_from_terminating_dot() {
+        let ks = kinds("p(1.5). q(2).");
+        assert_eq!(ks[2], TokenKind::Decimal("1.5".into()));
+        assert_eq!(ks[4], TokenKind::Dot);
+        assert_eq!(ks[7], TokenKind::Int(2));
+        assert_eq!(ks[9], TokenKind::Dot);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let ks = kinds("p(1e-12, 2.5E3).");
+        assert_eq!(ks[2], TokenKind::Decimal("1e-12".into()));
+        assert_eq!(ks[4], TokenKind::Decimal("2.5E3".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% a comment\np(X). // another\n");
+        assert_eq!(ks[0], TokenKind::LowerIdent("p".into()));
+        assert_eq!(ks.len(), 6); // p ( X ) . EOF
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("X <= 3, Y != 4, Z >= 5, W < 6, V > 7, U = 8");
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::Ne));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Lt));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert!(ks.contains(&TokenKind::Eq));
+    }
+
+    #[test]
+    fn string_literals() {
+        let ks = kinds(r#"p("hello world")."#);
+        assert_eq!(ks[2], TokenKind::Str("hello world".into()));
+        assert!(tokenize(r#"p("unterminated"#).is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = tokenize("p(X).\nq(Y).").unwrap();
+        let q = toks.iter().find(|t| t.kind == TokenKind::LowerIdent("q".into())).unwrap();
+        assert_eq!(q.line, 2);
+        assert_eq!(q.col, 1);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("p(X) ? q(X)").is_err());
+        assert!(tokenize("p(X) : q(X)").is_err());
+    }
+}

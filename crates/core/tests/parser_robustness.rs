@@ -1,0 +1,87 @@
+//! The parser must never panic: arbitrary byte soup, token soup, and
+//! mutations of valid programs all either parse or return `Error::Parse`.
+
+use chronolog_core::parse_source;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC*") {
+        let _ = parse_source(&s);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("p".to_string()),
+            Just("X".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just(",".to_string()),
+            Just(".".to_string()),
+            Just(":-".to_string()),
+            Just("@".to_string()),
+            Just("not".to_string()),
+            Just("boxminus".to_string()),
+            Just("diamondminus".to_string()),
+            Just("since".to_string()),
+            Just("sum".to_string()),
+            Just("=".to_string()),
+            Just("+".to_string()),
+            Just("-".to_string()),
+            Just("1".to_string()),
+            Just("2.5".to_string()),
+            Just("inf".to_string()),
+            Just("_".to_string()),
+        ],
+        0..24,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_source(&src);
+    }
+
+    /// Deleting a random chunk from a valid program must not panic.
+    #[test]
+    fn truncated_valid_programs_never_panic(start in 0usize..300, len in 0usize..80) {
+        let valid = "margin(A, M) :- diamondminus margin(A, X), tranM(A, Y), M = X + Y.\n\
+                     event(sum(S)) :- modPos(A, S).\n\
+                     h(T) :- p(A)@T, since[0, 5](q(A), r(A)).\n\
+                     price(1362.5)@[100, 200].";
+        let bytes = valid.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..start]);
+        mutated.extend_from_slice(&bytes[end..]);
+        if let Ok(s) = String::from_utf8(mutated) {
+            let _ = parse_source(&s);
+        }
+    }
+}
+
+#[test]
+fn error_messages_carry_positions() {
+    for bad in [
+        "p(X) :- q(X",
+        "p(X) q(X).",
+        "p(X) :- boxminus[1, -2] q(X).",
+        "p(X) :- .",
+        "@5.",
+        "p('unterminated).",
+    ] {
+        match parse_source(bad) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("parse error at") || msg.contains("error"),
+                    "uninformative error for `{bad}`: {msg}"
+                );
+            }
+            Ok(_) => panic!("`{bad}` should not parse"),
+        }
+    }
+}

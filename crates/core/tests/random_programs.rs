@@ -1,0 +1,279 @@
+//! Engine vs brute-force oracle on *randomly generated* stratified
+//! programs — beyond the fixed templates of `engine_vs_naive.rs`, this
+//! explores rule shapes the templates don't: random operator chains,
+//! random join structure, recursion through shifted heads, and negation
+//! at random strata.
+
+use chronolog_core::naive::naive_materialize;
+use chronolog_core::{Database, Rational, Reasoner, ReasonerConfig, Value};
+use proptest::prelude::*;
+
+const T_MIN: i64 = 0;
+const T_MAX: i64 = 18;
+
+/// Predicates: EDB e1/1, e2/2; IDB p0/1, p1/2, p2/1, p3/2 — negation is
+/// only generated against strictly lower-numbered predicates, which makes
+/// every generated program stratifiable by construction.
+const IDB: [(&str, usize); 4] = [("p0", 1), ("p1", 2), ("p2", 1), ("p3", 2)];
+const EDB: [(&str, usize); 2] = [("e1", 1), ("e2", 2)];
+
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    head: usize,                 // IDB index
+    body: Vec<(usize, u8)>,      // (atom source, operator code)
+    negated: Option<usize>,      // atom source for a trailing negation
+    window: (i64, i64),          // diamond window
+    shift: i64,                  // punctual box shift
+}
+
+/// Atom sources 0..6: e1, e2, p0, p1, p2, p3.
+fn source_pred(src: usize) -> (&'static str, usize) {
+    match src {
+        0 | 1 => EDB[src],
+        _ => IDB[src - 2],
+    }
+}
+
+fn arb_rule() -> impl Strategy<Value = RuleSpec> {
+    (
+        0usize..IDB.len(),
+        proptest::collection::vec((0usize..6, 0u8..5), 1..4),
+        proptest::option::of(0usize..6),
+        (0i64..3, 0i64..3),
+        1i64..3,
+    )
+        .prop_map(|(head, body, negated, (wlo, wlen), shift)| RuleSpec {
+            head,
+            body,
+            negated,
+            window: (wlo, wlo + wlen),
+            shift,
+        })
+}
+
+/// Renders a rule spec into concrete syntax, enforcing safety (head
+/// variables come from the first body atom) and stratifiability (negation
+/// only on strictly lower predicates / EDB).
+fn render_rule(spec: &RuleSpec) -> Option<String> {
+    let (head_name, head_arity) = IDB[spec.head];
+    // Head variables X, Y bound by making the first atom use them.
+    let head_args = match head_arity {
+        1 => "X".to_string(),
+        _ => "X, Y".to_string(),
+    };
+    let mut body = Vec::new();
+    for (i, (src, op)) in spec.body.iter().enumerate() {
+        // Positive IDB atoms may only reference same-or-lower predicates
+        // (level recursion allowed); together with strictly-lower negation
+        // this makes every generated program stratifiable by construction.
+        let src = if *src >= 2 && (*src - 2) > spec.head {
+            spec.head + 2
+        } else {
+            *src
+        };
+        let (name, arity) = source_pred(src);
+        // First atom binds X (and Y); later atoms rejoin on X.
+        let args = match (i, arity, head_arity) {
+            (0, 1, 1) => "X".to_string(),
+            (0, 1, _) => return None, // cannot bind Y from a unary atom
+            (0, _, 1) => "X, _".to_string(),
+            (0, _, _) => "X, Y".to_string(),
+            (_, 1, _) => "X".to_string(),
+            (_, _, _) => "X, _".to_string(),
+        };
+        let (wlo, whi) = spec.window;
+        let atom = format!("{name}({args})");
+        let wrapped = match op {
+            0 => atom,
+            1 => format!("diamondminus[{wlo}, {whi}] {atom}"),
+            2 => format!("boxminus[{s}, {s}] {atom}", s = spec.shift),
+            3 => format!("diamondplus[{wlo}, {whi}] {atom}"),
+            _ => format!("boxplus[{s}, {s}] {atom}", s = spec.shift),
+        };
+        body.push(wrapped);
+    }
+    if let Some(nsrc) = spec.negated {
+        let (name, arity) = source_pred(nsrc);
+        // Stratifiable by construction: only EDB or strictly lower IDB.
+        let lower = nsrc < 2 || (nsrc - 2) < spec.head;
+        if lower {
+            let args = if arity == 1 { "X" } else { "X, _" };
+            body.push(format!("not {name}({args})"));
+        }
+    }
+    Some(format!("{head_name}({head_args}) :- {}.", body.join(", ")))
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_rule(), 1..6).prop_map(|specs| {
+        specs
+            .iter()
+            .filter_map(render_rule)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+fn arb_facts() -> impl Strategy<Value = Vec<(usize, i64, i64, i64)>> {
+    // (edb index, x, y, t)
+    proptest::collection::vec((0usize..2, 0i64..3, 0i64..3, T_MIN..=T_MAX), 0..10)
+}
+
+fn build_db(facts: &[(usize, i64, i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for &(e, x, y, t) in facts {
+        let (name, arity) = EDB[e];
+        let args: Vec<Value> = if arity == 1 {
+            vec![Value::Int(x)]
+        } else {
+            vec![Value::Int(x), Value::Int(y)]
+        };
+        db.assert_at(name, &args, t);
+    }
+    db
+}
+
+fn engine_text(db: &Database) -> String {
+    let mut lines = Vec::new();
+    for (pred, tuple, ivs) in db.iter() {
+        for t in T_MIN..=T_MAX {
+            if ivs.contains(Rational::integer(t)) {
+                let args = tuple
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                lines.push(format!("{pred}({args})@{t}"));
+            }
+        }
+    }
+    lines.sort();
+    lines.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_programs_agree_with_oracle(
+        src in arb_program(),
+        facts in arb_facts(),
+    ) {
+        if src.is_empty() {
+            return Ok(());
+        }
+        let program = chronolog_core::parse_program(&src)
+            .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
+        // Generated programs are stratifiable and safe by construction.
+        let reasoner = Reasoner::new(
+            program.clone(),
+            ReasonerConfig::default().with_horizon(T_MIN, T_MAX),
+        )
+        .unwrap_or_else(|e| panic!("generated program must validate: {e}\n{src}"));
+        let db = build_db(&facts);
+        let naive = naive_materialize(&program, &db, T_MIN, T_MAX).unwrap();
+        let engine = reasoner.materialize(&db).unwrap();
+        prop_assert_eq!(
+            engine_text(&engine.database),
+            naive.to_text(),
+            "program:\n{}\nfacts: {:?}",
+            src,
+            facts
+        );
+    }
+}
+
+/// Forward-propagating variant of the rule generator: operators restricted
+/// to `◇⁻`/`⊟` so the program is eligible for session (incremental) mode.
+fn arb_fp_program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (
+            0usize..IDB.len(),
+            proptest::collection::vec((0usize..6, 0u8..3), 1..4), // ops 0..3: none/◇⁻/⊟
+            proptest::option::of(0usize..6),
+            (0i64..3, 0i64..3),
+            1i64..3,
+        )
+            .prop_map(|(head, body, negated, (wlo, wlen), shift)| RuleSpec {
+                head,
+                body,
+                negated,
+                window: (wlo, wlo + wlen),
+                shift,
+            }),
+        1..6,
+    )
+    .prop_map(|specs| {
+        specs
+            .iter()
+            .filter_map(render_rule)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming facts in time order through a Session equals the batch
+    /// materialization — the incremental engine misses and invents nothing.
+    #[test]
+    fn session_streaming_equals_batch(
+        src in arb_fp_program(),
+        facts in arb_facts(),
+    ) {
+        if src.is_empty() {
+            return Ok(());
+        }
+        let program = chronolog_core::parse_program(&src).unwrap();
+        let batch_db = build_db(&facts);
+        let batch = Reasoner::new(
+            program.clone(),
+            ReasonerConfig::default().with_horizon(T_MIN, T_MAX),
+        )
+        .unwrap()
+        .materialize(&batch_db)
+        .unwrap();
+
+        // Stream the same facts in time order: genesis facts (at T_MIN)
+        // seed the session; later facts are grouped by timestamp, submitted
+        // together, and the watermark advances after each group.
+        let mk_fact = |&(e, x, y, t): &(usize, i64, i64, i64)| {
+            let (name, arity) = EDB[e];
+            let args: Vec<chronolog_core::Value> = if arity == 1 {
+                vec![chronolog_core::Value::Int(x)]
+            } else {
+                vec![chronolog_core::Value::Int(x), chronolog_core::Value::Int(y)]
+            };
+            chronolog_core::Fact::at(name, args, t)
+        };
+        let mut genesis = chronolog_core::Database::new();
+        for f in facts.iter().filter(|&&(_, _, _, t)| t == T_MIN) {
+            genesis.insert_fact(&mk_fact(f));
+        }
+        let mut later: Vec<&(usize, i64, i64, i64)> =
+            facts.iter().filter(|&&(_, _, _, t)| t > T_MIN).collect();
+        later.sort_by_key(|&&(_, _, _, t)| t);
+        let mut session = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&genesis, T_MIN)
+            .unwrap();
+        let mut i = 0;
+        while i < later.len() {
+            let t = later[i].3;
+            while i < later.len() && later[i].3 == t {
+                session.submit(mk_fact(later[i])).unwrap();
+                i += 1;
+            }
+            session.advance_to(t).unwrap();
+        }
+        session.advance_to(T_MAX).unwrap();
+        prop_assert_eq!(
+            engine_text(session.database()),
+            engine_text(&batch.database),
+            "program:\n{}\nfacts: {:?}",
+            src,
+            facts
+        );
+    }
+}

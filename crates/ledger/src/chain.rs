@@ -1,0 +1,268 @@
+//! Block structure over the ledger — the shape the event stream actually
+//! has on an L2 like Optimism: transactions are sealed into blocks, each
+//! block extends its parent by hash, and downstream consumers (like the
+//! live reasoning session) process *block by block* rather than
+//! transaction by transaction.
+//!
+//! The paper's conclusion asks "which blockchains, which consensus
+//! protocols" a DatalogMTL deployment would sit on; this module is the
+//! minimal deterministic substrate those questions presuppose: a sealing
+//! policy, hash-chained blocks, and verified replay.
+
+use crate::log::{Ledger, LedgerRecord};
+use serde::{Deserialize, Serialize};
+
+/// A sealed block of consecutive ledger records.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height (0-based).
+    pub number: u64,
+    /// Block timestamp = timestamp of its last transaction.
+    pub timestamp: i64,
+    /// Hash of the parent block (0 for the genesis block).
+    pub parent_hash: u64,
+    /// The transactions, in chain order.
+    pub txs: Vec<LedgerRecord>,
+    /// This block's hash.
+    pub hash: u64,
+}
+
+/// A hash-linked chain of blocks over one market window.
+///
+/// ```
+/// use chronolog_ledger::{Chain, Ledger};
+/// use chronolog_perp::{AccountId, Event, Method, Trace};
+///
+/// let trace = Trace {
+///     start_time: 0,
+///     end_time: 600,
+///     initial_skew: 0.0,
+///     initial_price: 1300.0,
+///     events: vec![
+///         Event { time: 5, account: AccountId(1),
+///                 method: Method::TransferMargin { amount: 50.0 }, price: 1300.0 },
+///         Event { time: 40, account: AccountId(1),
+///                 method: Method::ModifyPosition { size: 0.5 }, price: 1301.0 },
+///     ],
+/// };
+/// let ledger = Ledger::from_trace(&trace).unwrap();
+/// let chain = Chain::seal(&ledger, 30).unwrap(); // 30-second blocks
+/// chain.verify().unwrap();
+/// assert_eq!(chain.blocks.len(), 2);
+/// assert_eq!(chain.to_ledger(), ledger);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    /// Window start.
+    pub start_time: i64,
+    /// Window end.
+    pub end_time: i64,
+    /// Initial skew.
+    pub initial_skew: f64,
+    /// Initial oracle price.
+    pub initial_price: f64,
+    /// Sealing interval used to build the chain (seconds).
+    pub block_interval: i64,
+    /// The blocks, by height.
+    pub blocks: Vec<Block>,
+}
+
+/// FNV-1a over the block header and its transactions' record hashes.
+fn block_hash(number: u64, timestamp: i64, parent: u64, txs: &[LedgerRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&number.to_le_bytes());
+    eat(&timestamp.to_le_bytes());
+    eat(&parent.to_le_bytes());
+    for tx in txs {
+        eat(&tx.hash.to_le_bytes());
+    }
+    h
+}
+
+impl Chain {
+    /// Seals a ledger into blocks: a block closes when the next transaction
+    /// would land in a later `block_interval`-second bucket (buckets are
+    /// aligned to the window start). Empty buckets produce no block.
+    pub fn seal(ledger: &Ledger, block_interval: i64) -> Result<Chain, String> {
+        if block_interval <= 0 {
+            return Err("block interval must be positive".into());
+        }
+        ledger.verify_chain().map_err(|i| format!("broken ledger at record {i}"))?;
+        let bucket_of =
+            |t: i64| -> i64 { (t - ledger.start_time).div_euclid(block_interval) };
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut pending: Vec<LedgerRecord> = Vec::new();
+        let mut current_bucket: Option<i64> = None;
+        let mut parent: u64 = 0;
+        let mut seal_pending =
+            |pending: &mut Vec<LedgerRecord>, blocks: &mut Vec<Block>, parent: &mut u64| {
+                if pending.is_empty() {
+                    return;
+                }
+                let number = blocks.len() as u64;
+                let timestamp = pending.last().expect("non-empty").time;
+                let txs = std::mem::take(pending);
+                let hash = block_hash(number, timestamp, *parent, &txs);
+                blocks.push(Block {
+                    number,
+                    timestamp,
+                    parent_hash: *parent,
+                    txs,
+                    hash,
+                });
+                *parent = hash;
+            };
+        for record in &ledger.records {
+            let bucket = bucket_of(record.time);
+            if current_bucket.is_some_and(|b| b != bucket) {
+                seal_pending(&mut pending, &mut blocks, &mut parent);
+            }
+            current_bucket = Some(bucket);
+            pending.push(record.clone());
+        }
+        seal_pending(&mut pending, &mut blocks, &mut parent);
+        Ok(Chain {
+            start_time: ledger.start_time,
+            end_time: ledger.end_time,
+            initial_skew: ledger.initial_skew,
+            initial_price: ledger.initial_price,
+            block_interval,
+            blocks,
+        })
+    }
+
+    /// Verifies block numbering, parent links, hashes, and tx ordering.
+    /// Returns the height of the first bad block.
+    pub fn verify(&self) -> Result<(), u64> {
+        let mut parent = 0u64;
+        let mut last_time = i64::MIN;
+        for (i, block) in self.blocks.iter().enumerate() {
+            let ok = block.number == i as u64
+                && block.parent_hash == parent
+                && !block.txs.is_empty()
+                && block.timestamp == block.txs.last().expect("non-empty").time
+                && block.txs.iter().all(|tx| tx.time > last_time)
+                && block.hash
+                    == block_hash(block.number, block.timestamp, parent, &block.txs);
+            if !ok {
+                return Err(i as u64);
+            }
+            last_time = block.timestamp;
+            parent = block.hash;
+        }
+        Ok(())
+    }
+
+    /// Flattens the chain back into a ledger (lossless inverse of `seal`).
+    pub fn to_ledger(&self) -> Ledger {
+        Ledger {
+            start_time: self.start_time,
+            end_time: self.end_time,
+            initial_skew: self.initial_skew,
+            initial_price: self.initial_price,
+            records: self
+                .blocks
+                .iter()
+                .flat_map(|b| b.txs.iter().cloned())
+                .collect(),
+        }
+    }
+
+    /// Total number of transactions.
+    pub fn tx_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.txs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronolog_perp::{AccountId, Event, Method, Trace};
+
+    fn sample_ledger() -> Ledger {
+        let ev = |t, acc, method| Event {
+            time: t,
+            account: AccountId(acc),
+            method,
+            price: 1300.0,
+        };
+        let trace = Trace {
+            start_time: 0,
+            end_time: 600,
+            initial_skew: 10.0,
+            initial_price: 1300.0,
+            events: vec![
+                ev(5, 1, Method::TransferMargin { amount: 100.0 }),
+                ev(8, 2, Method::TransferMargin { amount: 200.0 }),
+                ev(17, 1, Method::ModifyPosition { size: 0.5 }),
+                ev(31, 2, Method::ModifyPosition { size: -0.25 }),
+                ev(59, 1, Method::ClosePosition),
+                ev(120, 2, Method::ClosePosition),
+            ],
+        };
+        Ledger::from_trace(&trace).unwrap()
+    }
+
+    #[test]
+    fn sealing_groups_by_time_bucket() {
+        let chain = Chain::seal(&sample_ledger(), 12).unwrap();
+        chain.verify().unwrap();
+        // Buckets of 12s: {5,8}, {17}, {31}, {59}, {120} -> 5 blocks.
+        assert_eq!(chain.blocks.len(), 5);
+        assert_eq!(chain.blocks[0].txs.len(), 2);
+        assert_eq!(chain.blocks[0].timestamp, 8);
+        assert_eq!(chain.tx_count(), 6);
+    }
+
+    #[test]
+    fn chain_roundtrips_to_ledger() {
+        let ledger = sample_ledger();
+        let chain = Chain::seal(&ledger, 30).unwrap();
+        assert_eq!(chain.to_ledger(), ledger);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut chain = Chain::seal(&sample_ledger(), 30).unwrap();
+        chain.blocks[1].timestamp += 1;
+        assert_eq!(chain.verify(), Err(1));
+        let mut chain = Chain::seal(&sample_ledger(), 30).unwrap();
+        chain.blocks[0].txs.pop();
+        assert_eq!(chain.verify(), Err(0));
+        // Reordering blocks breaks parent links.
+        let mut chain = Chain::seal(&sample_ledger(), 30).unwrap();
+        chain.blocks.swap(0, 1);
+        assert!(chain.verify().is_err());
+    }
+
+    #[test]
+    fn one_second_blocks_are_one_tx_each() {
+        let chain = Chain::seal(&sample_ledger(), 1).unwrap();
+        chain.verify().unwrap();
+        assert_eq!(chain.blocks.len(), 6);
+        assert!(chain.blocks.iter().all(|b| b.txs.len() == 1));
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        assert!(Chain::seal(&sample_ledger(), 0).is_err());
+        assert!(Chain::seal(&sample_ledger(), -5).is_err());
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let chain = Chain::seal(&sample_ledger(), 30).unwrap();
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: Chain = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chain);
+        back.verify().unwrap();
+    }
+}

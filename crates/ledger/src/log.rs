@@ -1,0 +1,278 @@
+//! The append-only ledger: a totally ordered, hash-chained record of every
+//! interaction with the contract — the role the L2 chain plays for the real
+//! ETH-PERP. Tampering with any past record breaks the chain.
+
+use chronolog_perp::{AccountId, Event, Method, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Serializable method payload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "camelCase")]
+pub enum MethodRecord {
+    /// `tranM(A, M)`.
+    TransferMargin {
+        /// Deposit amount.
+        amount: f64,
+    },
+    /// `withdraw(A)`.
+    Withdraw,
+    /// `modPos(A, S)`.
+    ModifyPosition {
+        /// Size delta.
+        size: f64,
+    },
+    /// `closePos(A)`.
+    ClosePosition,
+}
+
+impl From<Method> for MethodRecord {
+    fn from(m: Method) -> Self {
+        match m {
+            Method::TransferMargin { amount } => MethodRecord::TransferMargin { amount },
+            Method::Withdraw => MethodRecord::Withdraw,
+            Method::ModifyPosition { size } => MethodRecord::ModifyPosition { size },
+            Method::ClosePosition => MethodRecord::ClosePosition,
+        }
+    }
+}
+
+impl From<MethodRecord> for Method {
+    fn from(m: MethodRecord) -> Self {
+        match m {
+            MethodRecord::TransferMargin { amount } => Method::TransferMargin { amount },
+            MethodRecord::Withdraw => Method::Withdraw,
+            MethodRecord::ModifyPosition { size } => Method::ModifyPosition { size },
+            MethodRecord::ClosePosition => Method::ClosePosition,
+        }
+    }
+}
+
+/// One ledger entry: an event plus its position and chain hash.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    /// Sequence number (0-based).
+    pub index: u64,
+    /// Unix timestamp.
+    pub time: i64,
+    /// Account number.
+    pub account: u32,
+    /// The method call.
+    pub method: MethodRecord,
+    /// Oracle price at execution.
+    pub price: f64,
+    /// Hash of the previous record's `hash` (0 for the genesis record).
+    pub prev_hash: u64,
+    /// Chain hash of this record.
+    pub hash: u64,
+}
+
+/// The append-only ledger of one market window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Ledger {
+    /// Window start.
+    pub start_time: i64,
+    /// Window end.
+    pub end_time: i64,
+    /// Initial skew.
+    pub initial_skew: f64,
+    /// Initial oracle price.
+    pub initial_price: f64,
+    /// The records, in chain order.
+    pub records: Vec<LedgerRecord>,
+}
+
+/// FNV-1a over the serialized salient fields — a toy integrity chain (the
+/// point is the *structure*: any rewrite invalidates all later records).
+fn chain_hash(prev: u64, index: u64, time: i64, account: u32, method: &MethodRecord, price: f64) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&prev.to_le_bytes());
+    eat(&index.to_le_bytes());
+    eat(&time.to_le_bytes());
+    eat(&account.to_le_bytes());
+    let (tag, x): (u8, f64) = match method {
+        MethodRecord::TransferMargin { amount } => (0, *amount),
+        MethodRecord::Withdraw => (1, 0.0),
+        MethodRecord::ModifyPosition { size } => (2, *size),
+        MethodRecord::ClosePosition => (3, 0.0),
+    };
+    eat(&[tag]);
+    eat(&x.to_bits().to_le_bytes());
+    eat(&price.to_bits().to_le_bytes());
+    h
+}
+
+impl Ledger {
+    /// Opens an empty ledger for a window.
+    pub fn open(start_time: i64, end_time: i64, initial_skew: f64, initial_price: f64) -> Ledger {
+        Ledger {
+            start_time,
+            end_time,
+            initial_skew,
+            initial_price,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends an event, computing its chain hash. Events must arrive in
+    /// strictly increasing time order.
+    pub fn append(&mut self, event: &Event) -> Result<&LedgerRecord, String> {
+        let last_time = self
+            .records
+            .last()
+            .map(|r| r.time)
+            .unwrap_or(self.start_time);
+        if event.time <= last_time {
+            return Err(format!(
+                "event at {} does not advance the chain (last: {last_time})",
+                event.time
+            ));
+        }
+        let index = self.records.len() as u64;
+        let prev_hash = self.records.last().map(|r| r.hash).unwrap_or(0);
+        let method: MethodRecord = event.method.into();
+        let hash = chain_hash(prev_hash, index, event.time, event.account.0, &method, event.price);
+        self.records.push(LedgerRecord {
+            index,
+            time: event.time,
+            account: event.account.0,
+            method,
+            price: event.price,
+            prev_hash,
+            hash,
+        });
+        Ok(self.records.last().expect("just pushed"))
+    }
+
+    /// Verifies the whole hash chain; returns the first bad index if any.
+    pub fn verify_chain(&self) -> Result<(), u64> {
+        let mut prev = 0u64;
+        for r in &self.records {
+            if r.prev_hash != prev {
+                return Err(r.index);
+            }
+            let expect =
+                chain_hash(r.prev_hash, r.index, r.time, r.account, &r.method, r.price);
+            if r.hash != expect {
+                return Err(r.index);
+            }
+            prev = r.hash;
+        }
+        Ok(())
+    }
+
+    /// Records a whole trace (must be valid and in order).
+    pub fn from_trace(trace: &Trace) -> Result<Ledger, String> {
+        trace.validate()?;
+        let mut ledger = Ledger::open(
+            trace.start_time,
+            trace.end_time,
+            trace.initial_skew,
+            trace.initial_price,
+        );
+        for e in &trace.events {
+            ledger.append(e)?;
+        }
+        Ok(ledger)
+    }
+
+    /// Replays the ledger back into a trace (deterministic round-trip).
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            start_time: self.start_time,
+            end_time: self.end_time,
+            initial_skew: self.initial_skew,
+            initial_price: self.initial_price,
+            events: self
+                .records
+                .iter()
+                .map(|r| Event {
+                    time: r.time,
+                    account: AccountId(r.account),
+                    method: r.method.into(),
+                    price: r.price,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t: i64, acc: u32, method: Method) -> Event {
+        Event {
+            time: t,
+            account: AccountId(acc),
+            method,
+            price: 1300.0,
+        }
+    }
+
+    #[test]
+    fn append_builds_a_valid_chain() {
+        let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
+        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 })).unwrap();
+        l.append(&event(30, 1, Method::ClosePosition)).unwrap();
+        assert_eq!(l.len(), 3);
+        l.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn tampering_breaks_the_chain() {
+        let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
+        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 })).unwrap();
+        l.records[0].price = 9999.0;
+        assert_eq!(l.verify_chain(), Err(0));
+        // Fixing record 0's hash still breaks record 1's prev link.
+        l.records[0].hash = chain_hash(0, 0, 10, 1, &l.records[0].method.clone(), 9999.0);
+        assert_eq!(l.verify_chain(), Err(1));
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
+        assert!(l.append(&event(10, 2, Method::TransferMargin { amount: 1.0 })).is_err());
+        assert!(l.append(&event(5, 2, Method::TransferMargin { amount: 1.0 })).is_err());
+    }
+
+    #[test]
+    fn trace_roundtrip_is_lossless() {
+        let trace = Trace {
+            start_time: 100,
+            end_time: 7300,
+            initial_skew: -12.5,
+            initial_price: 1310.0,
+            events: vec![
+                event(110, 1, Method::TransferMargin { amount: 50.0 }),
+                event(120, 1, Method::ModifyPosition { size: -0.75 }),
+                event(130, 1, Method::ClosePosition),
+                event(140, 1, Method::Withdraw),
+            ],
+        };
+        let ledger = Ledger::from_trace(&trace).unwrap();
+        assert_eq!(ledger.to_trace(), trace);
+        ledger.verify_chain().unwrap();
+    }
+}

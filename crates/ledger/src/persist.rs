@@ -1,0 +1,133 @@
+//! JSON persistence for ledgers: save a window to disk, reload it later,
+//! verify the chain — deterministic replay across processes.
+
+use crate::log::Ledger;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Persistence failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The loaded ledger's hash chain is broken (first bad record index).
+    BrokenChain(u64),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::BrokenChain(i) => write!(f, "broken hash chain at record {i}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Writes a ledger as pretty-printed JSON.
+pub fn save_ledger(ledger: &Ledger, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer_pretty(&mut w, ledger)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a ledger back and verifies its hash chain.
+pub fn load_ledger(path: &Path) -> Result<Ledger, PersistError> {
+    let file = std::fs::File::open(path)?;
+    let ledger: Ledger = serde_json::from_reader(BufReader::new(file))?;
+    ledger.verify_chain().map_err(PersistError::BrokenChain)?;
+    Ok(ledger)
+}
+
+/// Serializes to a JSON string (for embedding or transport).
+pub fn to_json(ledger: &Ledger) -> Result<String, PersistError> {
+    Ok(serde_json::to_string_pretty(ledger)?)
+}
+
+/// Parses from a JSON string and verifies the chain.
+pub fn from_json(json: &str) -> Result<Ledger, PersistError> {
+    let ledger: Ledger = serde_json::from_str(json)?;
+    ledger.verify_chain().map_err(PersistError::BrokenChain)?;
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronolog_perp::{AccountId, Event, Method, Trace};
+
+    fn sample() -> Ledger {
+        let trace = Trace {
+            start_time: 0,
+            end_time: 7200,
+            initial_skew: 1.5,
+            initial_price: 1280.0,
+            events: vec![
+                Event {
+                    time: 10,
+                    account: AccountId(1),
+                    method: Method::TransferMargin { amount: 42.0 },
+                    price: 1280.0,
+                },
+                Event {
+                    time: 30,
+                    account: AccountId(1),
+                    method: Method::ModifyPosition { size: -0.3 },
+                    price: 1281.5,
+                },
+            ],
+        };
+        Ledger::from_trace(&trace).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ledger = sample();
+        let json = to_json(&ledger).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(ledger, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("chronolog-ledger-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("window.json");
+        let ledger = sample();
+        save_ledger(&ledger, &path).unwrap();
+        let back = load_ledger(&path).unwrap();
+        assert_eq!(ledger, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_tampered_json() {
+        let ledger = sample();
+        let json = to_json(&ledger).unwrap();
+        // Flip the first record's amount in the JSON text.
+        let tampered = json.replace("42.0", "43.0");
+        assert!(matches!(
+            from_json(&tampered),
+            Err(PersistError::BrokenChain(0))
+        ));
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! A Subgraph-like query index over a ledger.
+//!
+//! The paper obtains its ground-truth values "by querying the Mainnet
+//! Subgraph, a decentralized protocol for querying blockchain data". This
+//! module plays that role: it replays the ledger through the fixed-point
+//! reference engine (the on-chain arithmetic) and indexes the resulting
+//! settlements and funding-rate sequence for ad-hoc queries.
+
+use crate::log::Ledger;
+use chronolog_perp::{
+    AccountId, Fixed18, MarketParams, MarketRun, ReferenceEngine, TradeSettlement,
+};
+use std::collections::HashMap;
+
+/// The indexed view of one market window.
+pub struct SubgraphIndex {
+    run: MarketRun,
+    by_account: HashMap<AccountId, Vec<usize>>,
+    frs_by_time: HashMap<i64, f64>,
+}
+
+impl SubgraphIndex {
+    /// Replays a ledger with the fixed-point ("on-chain") arithmetic and
+    /// indexes the results.
+    pub fn build(ledger: &Ledger, params: MarketParams) -> SubgraphIndex {
+        let trace = ledger.to_trace();
+        let run = ReferenceEngine::<Fixed18>::run_trace(params, &trace);
+        let mut by_account: HashMap<AccountId, Vec<usize>> = HashMap::new();
+        for (i, t) in run.trades.iter().enumerate() {
+            by_account.entry(t.account).or_default().push(i);
+        }
+        let frs_by_time = run.frs.iter().copied().collect();
+        SubgraphIndex {
+            run,
+            by_account,
+            frs_by_time,
+        }
+    }
+
+    /// The full funding rate sequence `(t, F(t))`.
+    pub fn funding_rate_sequence(&self) -> &[(i64, f64)] {
+        &self.run.frs
+    }
+
+    /// `F(t)` right after the event at `t` (exact timestamps only).
+    pub fn frs_at(&self, time: i64) -> Option<f64> {
+        self.frs_by_time.get(&time).copied()
+    }
+
+    /// All settled trades in close order.
+    pub fn trades(&self) -> &[TradeSettlement] {
+        &self.run.trades
+    }
+
+    /// The trades of one account.
+    pub fn trades_of(&self, account: AccountId) -> Vec<&TradeSettlement> {
+        self.by_account
+            .get(&account)
+            .map(|idx| idx.iter().map(|&i| &self.run.trades[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Aggregate PnL across all trades (the house's mirror image).
+    pub fn total_pnl(&self) -> f64 {
+        self.run.trades.iter().map(|t| t.pnl).sum()
+    }
+
+    /// Total fees collected by the protocol.
+    pub fn total_fees(&self) -> f64 {
+        self.run.trades.iter().map(|t| t.fee).sum()
+    }
+
+    /// Final market skew.
+    pub fn final_skew(&self) -> f64 {
+        self.run.final_skew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronolog_perp::{Event, Method, Trace};
+
+    fn sample_ledger() -> Ledger {
+        let ev = |t, acc, method, price| Event {
+            time: t,
+            account: AccountId(acc),
+            method,
+            price,
+        };
+        let trace = Trace {
+            start_time: 0,
+            end_time: 7200,
+            initial_skew: 500.0,
+            initial_price: 1300.0,
+            events: vec![
+                ev(10, 1, Method::TransferMargin { amount: 10_000.0 }, 1300.0),
+                ev(20, 1, Method::ModifyPosition { size: 2.0 }, 1301.0),
+                ev(50, 2, Method::TransferMargin { amount: 20_000.0 }, 1302.0),
+                ev(80, 2, Method::ModifyPosition { size: -1.5 }, 1299.0),
+                ev(200, 1, Method::ClosePosition, 1305.0),
+                ev(300, 2, Method::ClosePosition, 1298.0),
+            ],
+        };
+        Ledger::from_trace(&trace).unwrap()
+    }
+
+    #[test]
+    fn indexes_trades_per_account() {
+        let idx = SubgraphIndex::build(&sample_ledger(), MarketParams::default());
+        assert_eq!(idx.trades().len(), 2);
+        assert_eq!(idx.trades_of(AccountId(1)).len(), 1);
+        assert_eq!(idx.trades_of(AccountId(2)).len(), 1);
+        assert!(idx.trades_of(AccountId(9)).is_empty());
+        // Long closed above entry: positive PnL; short closed below: positive.
+        assert!(idx.trades_of(AccountId(1))[0].pnl > 0.0);
+    }
+
+    #[test]
+    fn frs_lookup_by_event_time() {
+        let idx = SubgraphIndex::build(&sample_ledger(), MarketParams::default());
+        assert_eq!(idx.funding_rate_sequence().len(), 6);
+        assert!(idx.frs_at(20).is_some());
+        assert!(idx.frs_at(21).is_none());
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let idx = SubgraphIndex::build(&sample_ledger(), MarketParams::default());
+        let s: f64 = idx.trades().iter().map(|t| t.pnl).sum();
+        assert_eq!(idx.total_pnl(), s);
+        assert!(idx.total_fees() > 0.0);
+        // skew = 500 + 2 - 1.5 - 2 + 1.5 = 500 after both closes.
+        assert!((idx.final_skew() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! The external price oracle: a geometric-Brownian-motion ETH price path
+//! sampled at event times, standing in for the Chainlink-style feed the
+//! real contract reads (§3.1: "the price of the ETH-PERP is obtained from
+//! an external oracle").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A geometric Brownian motion price process, advanced at irregular
+/// timestamps (funding math only reads the price at interaction times).
+pub struct GbmPrice {
+    price: f64,
+    last_time: i64,
+    /// Annualized drift.
+    pub drift: f64,
+    /// Annualized volatility (crypto-typical default: 0.9).
+    pub volatility: f64,
+}
+
+const SECONDS_PER_YEAR: f64 = 365.0 * 86_400.0;
+
+impl GbmPrice {
+    /// Starts the process at `price` and time `t0`.
+    pub fn new(price: f64, t0: i64, drift: f64, volatility: f64) -> GbmPrice {
+        assert!(price > 0.0, "GBM needs a positive start price");
+        GbmPrice {
+            price,
+            last_time: t0,
+            drift,
+            volatility,
+        }
+    }
+
+    /// Current price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// Advances to `t` (seconds), sampling one GBM step, and returns the
+    /// new price. Steps of zero or negative duration leave it unchanged.
+    pub fn advance(&mut self, t: i64, rng: &mut StdRng) -> f64 {
+        let dt_secs = t - self.last_time;
+        if dt_secs > 0 {
+            let dt = dt_secs as f64 / SECONDS_PER_YEAR;
+            let z = gaussian(rng);
+            let step = (self.drift - 0.5 * self.volatility * self.volatility) * dt
+                + self.volatility * dt.sqrt() * z;
+            self.price *= step.exp();
+            self.last_time = t;
+        }
+        self.price
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_positive_and_moves() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = GbmPrice::new(1300.0, 0, 0.0, 0.9);
+        let mut moved = false;
+        let mut t = 0;
+        for _ in 0..500 {
+            t += 13;
+            let v = p.advance(t, &mut rng);
+            assert!(v > 0.0);
+            moved |= (v - 1300.0).abs() > 1e-9;
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = GbmPrice::new(1300.0, 100, 0.0, 0.9);
+        assert_eq!(p.advance(100, &mut rng), 1300.0);
+        assert_eq!(p.advance(50, &mut rng), 1300.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = GbmPrice::new(1300.0, 0, 0.05, 0.9);
+            (1..50).map(|i| p.advance(i * 60, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn volatility_scales_dispersion() {
+        let spread = |vol: f64| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut p = GbmPrice::new(1000.0, 0, 0.0, vol);
+            let mut min = f64::MAX;
+            let mut max = f64::MIN;
+            for i in 1..2000 {
+                let v = p.advance(i * 60, &mut rng);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            max - min
+        };
+        assert!(spread(2.0) > spread(0.1));
+    }
+}

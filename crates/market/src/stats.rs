@@ -1,0 +1,91 @@
+//! Aggregate statistics of a trace — the columns of Figure 3 plus volume
+//! and account counts for reporting.
+
+use chronolog_perp::{Method, Trace};
+
+/// Summary statistics of one market window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Total interactions.
+    pub events: usize,
+    /// Completed trades (`closePos`).
+    pub trades: usize,
+    /// Distinct accounts.
+    pub accounts: usize,
+    /// Skew at window start.
+    pub initial_skew: f64,
+    /// Σ |size × price| over orders (dollar volume).
+    pub volume: f64,
+    /// Deposits count.
+    pub deposits: usize,
+    /// Withdrawals count.
+    pub withdrawals: usize,
+    /// Position modifications (including opens).
+    pub orders: usize,
+    /// Window length in seconds.
+    pub span_secs: i64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut volume = 0.0;
+        let mut deposits = 0;
+        let mut withdrawals = 0;
+        let mut orders = 0;
+        for e in &trace.events {
+            match e.method {
+                Method::TransferMargin { .. } => deposits += 1,
+                Method::Withdraw => withdrawals += 1,
+                Method::ModifyPosition { size } => {
+                    orders += 1;
+                    volume += (size * e.price).abs();
+                }
+                Method::ClosePosition => {}
+            }
+        }
+        TraceStats {
+            events: trace.event_count(),
+            trades: trace.trade_count(),
+            accounts: trace.accounts().len(),
+            initial_skew: trace.initial_skew,
+            volume,
+            deposits,
+            withdrawals,
+            orders,
+            span_secs: trace.span_secs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate, paper_intervals};
+
+    #[test]
+    fn stats_partition_the_events() {
+        for config in paper_intervals() {
+            let trace = generate(&config);
+            let s = TraceStats::of(&trace);
+            assert_eq!(s.deposits + s.withdrawals + s.orders + s.trades, s.events);
+            assert!(s.volume > 0.0);
+            assert!(s.accounts > 0);
+        }
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let trace = Trace {
+            start_time: 0,
+            end_time: 7200,
+            initial_skew: 5.0,
+            initial_price: 1000.0,
+            events: vec![],
+        };
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.volume, 0.0);
+        assert_eq!(s.initial_skew, 5.0);
+    }
+}

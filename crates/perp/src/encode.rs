@@ -1,0 +1,157 @@
+//! Encoding a market [`Trace`] as the temporal database `D` the DatalogMTL
+//! program runs over (§3.1: "the user inserts the input facts to call the
+//! methods").
+
+use crate::program::TimelineMode;
+use crate::types::{Event, Method, Trace};
+use chronolog_core::{Database, Value};
+
+/// A trace encoded on a program timeline.
+pub struct EncodedTrace {
+    /// The input database: method calls, prices, and initial conditions.
+    pub database: Database,
+    /// Reasoning horizon on the program timeline.
+    pub horizon: (i64, i64),
+    /// Timeline coordinate of each event (index-aligned with
+    /// `trace.events`): the Unix second in dense mode, the epoch in epoch
+    /// mode.
+    pub event_coords: Vec<i64>,
+    /// The encoding mode.
+    pub mode: TimelineMode,
+}
+
+/// The account symbol used in facts for an account id.
+pub fn account_value(account: crate::types::AccountId) -> Value {
+    Value::sym(&account.to_string())
+}
+
+/// Encodes a (validated) trace.
+pub fn encode_trace(trace: &Trace, mode: TimelineMode) -> EncodedTrace {
+    let mut db = Database::new();
+    let start_coord = match mode {
+        TimelineMode::DenseSeconds => trace.start_time,
+        TimelineMode::EventEpochs => 0,
+    };
+    let coord_of = |i: usize, e: &Event| match mode {
+        TimelineMode::DenseSeconds => e.time,
+        TimelineMode::EventEpochs => (i + 1) as i64,
+    };
+
+    // Initial conditions at the window start.
+    db.assert_at("start", &[], start_coord);
+    db.assert_at("startSkew", &[Value::num(trace.initial_skew)], start_coord);
+    db.assert_at("startFrs", &[Value::num(0.0)], start_coord);
+    if mode == TimelineMode::EventEpochs {
+        db.assert_at("ts", &[Value::Int(trace.start_time)], 0);
+    }
+
+    let mut coords = Vec::with_capacity(trace.events.len());
+    for (i, event) in trace.events.iter().enumerate() {
+        let c = coord_of(i, event);
+        coords.push(c);
+        let acc = account_value(event.account);
+        match event.method {
+            Method::TransferMargin { amount } => {
+                db.assert_at("tranM", &[acc, Value::num(amount)], c);
+            }
+            Method::Withdraw => {
+                db.assert_at("withdraw", &[acc], c);
+            }
+            Method::ModifyPosition { size } => {
+                db.assert_at("modPos", &[acc, Value::num(size)], c);
+            }
+            Method::ClosePosition => {
+                db.assert_at("closePos", &[acc], c);
+            }
+        }
+        // The oracle price is observed at every interaction.
+        db.assert_at("price", &[Value::num(event.price)], c);
+        if mode == TimelineMode::EventEpochs {
+            db.assert_at("ts", &[Value::Int(event.time)], c);
+        }
+    }
+
+    let horizon = match mode {
+        TimelineMode::DenseSeconds => (trace.start_time, trace.end_time),
+        TimelineMode::EventEpochs => (0, trace.events.len() as i64),
+    };
+    EncodedTrace {
+        database: db,
+        horizon,
+        event_coords: coords,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccountId;
+
+    fn trace() -> Trace {
+        Trace {
+            start_time: 1_000,
+            end_time: 8_200,
+            initial_skew: -2445.98,
+            initial_price: 1362.5,
+            events: vec![
+                Event {
+                    time: 1_010,
+                    account: AccountId(1),
+                    method: Method::TransferMargin { amount: 100.0 },
+                    price: 1362.5,
+                },
+                Event {
+                    time: 1_025,
+                    account: AccountId(1),
+                    method: Method::ModifyPosition { size: 0.5 },
+                    price: 1363.0,
+                },
+                Event {
+                    time: 1_100,
+                    account: AccountId(1),
+                    method: Method::ClosePosition,
+                    price: 1361.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dense_mode_uses_unix_seconds() {
+        let e = encode_trace(&trace(), TimelineMode::DenseSeconds);
+        assert_eq!(e.horizon, (1_000, 8_200));
+        assert_eq!(e.event_coords, vec![1_010, 1_025, 1_100]);
+        assert!(e.database.holds_at("start", &[], 1_000));
+        assert!(e
+            .database
+            .holds_at("tranM", &[Value::sym("acc0001"), Value::num(100.0)], 1_010));
+        assert!(e.database.holds_at("price", &[Value::num(1363.0)], 1_025));
+        assert!(e.database.holds_at("closePos", &[Value::sym("acc0001")], 1_100));
+        // No ts facts in dense mode.
+        assert_eq!(e.database.intervals(chronolog_core::Symbol::new("ts"), &[Value::Int(1_000)]).components().len(), 0);
+    }
+
+    #[test]
+    fn epoch_mode_compresses_the_timeline() {
+        let e = encode_trace(&trace(), TimelineMode::EventEpochs);
+        assert_eq!(e.horizon, (0, 3));
+        assert_eq!(e.event_coords, vec![1, 2, 3]);
+        assert!(e.database.holds_at("start", &[], 0));
+        assert!(e.database.holds_at("ts", &[Value::Int(1_000)], 0));
+        assert!(e.database.holds_at("ts", &[Value::Int(1_025)], 2));
+        assert!(e
+            .database
+            .holds_at("modPos", &[Value::sym("acc0001"), Value::num(0.5)], 2));
+    }
+
+    #[test]
+    fn initial_conditions_present_in_both_modes() {
+        for mode in [TimelineMode::DenseSeconds, TimelineMode::EventEpochs] {
+            let e = encode_trace(&trace(), mode);
+            let t0 = e.horizon.0;
+            assert!(e.database.holds_at("startSkew", &[Value::num(-2445.98)], t0));
+            assert!(e.database.holds_at("startFrs", &[Value::num(0.0)], t0));
+        }
+    }
+}

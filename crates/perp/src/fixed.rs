@@ -1,0 +1,266 @@
+//! 18-decimal fixed-point arithmetic — the arithmetic of the on-chain world.
+//!
+//! The real ETH-PERP runs in Solidity, where every amount is an integer
+//! scaled by 10^18 and multiplication/division truncate. The paper's
+//! validation compares Vadalog's floating-point results against the
+//! Subgraph's fixed-point values and reports differences of order 1e-12
+//! (Figures 4 and 5). To reproduce that *shape*, our reference engine can
+//! run on this [`Fixed18`] backend: an `i128` of 18-decimal units with
+//! truncating 256-bit intermediate products, exactly like the EVM's
+//! `mulDiv` idiom.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// One unit = 10^-18. `Fixed18(10^18)` is 1.0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed18(i128);
+
+/// 10^18 as `i128`.
+pub const SCALE: i128 = 1_000_000_000_000_000_000;
+
+#[allow(clippy::should_implement_trait)] // truncating semantics deserve named methods
+impl Fixed18 {
+    /// Zero.
+    pub const ZERO: Fixed18 = Fixed18(0);
+    /// One.
+    pub const ONE: Fixed18 = Fixed18(SCALE);
+
+    /// From raw 18-decimal units.
+    pub const fn from_raw(raw: i128) -> Fixed18 {
+        Fixed18(raw)
+    }
+
+    /// The raw 18-decimal units.
+    pub const fn raw(self) -> i128 {
+        self.0
+    }
+
+    /// From an integer.
+    pub const fn from_int(n: i64) -> Fixed18 {
+        Fixed18(n as i128 * SCALE)
+    }
+
+    /// From a float (the oracle feeds prices as decimals; this mirrors the
+    /// scaling a node performs when submitting on-chain).
+    pub fn from_f64(v: f64) -> Fixed18 {
+        // Round to nearest unit, like a well-behaved oracle adapter.
+        Fixed18((v * SCALE as f64).round() as i128)
+    }
+
+    /// To a float (what the Subgraph exposes to analytics consumers).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE as f64
+    }
+
+    /// Truncating fixed-point multiply: `(a * b) / 10^18` with a 256-bit
+    /// intermediate (the EVM `mulDiv` idiom).
+    pub fn mul(self, other: Fixed18) -> Fixed18 {
+        Fixed18(mul_div(self.0, other.0, SCALE))
+    }
+
+    /// Truncating fixed-point divide: `(a * 10^18) / b`.
+    pub fn div(self, other: Fixed18) -> Fixed18 {
+        assert!(other.0 != 0, "Fixed18 division by zero");
+        Fixed18(mul_div(self.0, SCALE, other.0))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Fixed18 {
+        Fixed18(self.0.abs())
+    }
+
+    /// Clamps into `[lo, hi]` (the `clamp` of Figure 2).
+    pub fn clamp(self, lo: Fixed18, hi: Fixed18) -> Fixed18 {
+        Fixed18(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Sign: -1, 0 or 1.
+    pub fn signum(self) -> i32 {
+        match self.0.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        }
+    }
+
+    /// `true` iff exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// `(a * b) / d` with truncation toward zero and a 256-bit intermediate.
+fn mul_div(a: i128, b: i128, d: i128) -> i128 {
+    debug_assert!(d != 0);
+    let negative = (a < 0) != (b < 0);
+    let negative = negative != (d < 0);
+    let (hi, lo) = mul_u128(a.unsigned_abs(), b.unsigned_abs());
+    let q = div_u256_u128((hi, lo), d.unsigned_abs());
+    let q = i128::try_from(q).expect("Fixed18 overflow in mul_div");
+    if negative {
+        -q
+    } else {
+        q
+    }
+}
+
+/// Full 128x128 -> 256-bit unsigned multiply via 64-bit limbs.
+fn mul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = u64::MAX as u128;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// 256-bit / 128-bit unsigned division (truncating), by binary long
+/// division. Panics if the quotient does not fit in 128 bits.
+fn div_u256_u128((mut rem_hi, mut rem_lo): (u128, u128), d: u128) -> u128 {
+    assert!(d != 0);
+    if rem_hi == 0 {
+        return rem_lo / d;
+    }
+    assert!(rem_hi < d, "quotient overflow in 256/128 division");
+    let mut q: u128 = 0;
+    for _ in 0..128 {
+        // (rem_hi, rem_lo) <<= 1
+        let carry = rem_lo >> 127;
+        rem_lo <<= 1;
+        rem_hi = (rem_hi << 1) | carry;
+        q <<= 1;
+        if rem_hi >= d {
+            rem_hi -= d;
+            q |= 1;
+        }
+    }
+    q
+}
+
+impl Add for Fixed18 {
+    type Output = Fixed18;
+    fn add(self, rhs: Fixed18) -> Fixed18 {
+        Fixed18(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Fixed18 {
+    type Output = Fixed18;
+    fn sub(self, rhs: Fixed18) -> Fixed18 {
+        Fixed18(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Fixed18 {
+    type Output = Fixed18;
+    fn neg(self) -> Fixed18 {
+        Fixed18(-self.0)
+    }
+}
+
+impl fmt::Debug for Fixed18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl fmt::Display for Fixed18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let two = Fixed18::from_int(2);
+        let three = Fixed18::from_int(3);
+        assert_eq!(two.mul(three), Fixed18::from_int(6));
+        assert_eq!(Fixed18::from_int(7).div(two).to_f64(), 3.5);
+        assert_eq!((two + three).to_f64(), 5.0);
+        assert_eq!((two - three).to_f64(), -1.0);
+        assert_eq!((-two).to_f64(), -2.0);
+    }
+
+    #[test]
+    fn mul_handles_large_market_magnitudes() {
+        // skew 2500 * price 1500 = 3.75e6: intermediates exceed i128 in raw
+        // units (2.5e21 * 1.5e21 = 3.75e42).
+        let skew = Fixed18::from_f64(2502.85);
+        let price = Fixed18::from_f64(1500.0);
+        let v = skew.mul(price);
+        assert!((v.to_f64() - 2502.85 * 1500.0).abs() < 1e-9);
+        // Even the skew-scale constant (3e8) products work.
+        let scale = Fixed18::from_f64(300_000_000.0);
+        let r = skew.mul(price).div(scale);
+        assert!((r.to_f64() - (2502.85 * 1500.0 / 3e8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_matches_evm_semantics() {
+        // 1 / 3 truncates at the 18th decimal.
+        let third = Fixed18::ONE.div(Fixed18::from_int(3));
+        assert_eq!(third.raw(), 333_333_333_333_333_333);
+        // (1/3) * 3 = 0.999999999999999999, not 1.
+        assert_eq!(third.mul(Fixed18::from_int(3)).raw(), 999_999_999_999_999_999);
+        // Negative truncation is toward zero (Solidity sdiv).
+        let neg_third = (-Fixed18::ONE).div(Fixed18::from_int(3));
+        assert_eq!(neg_third.raw(), -333_333_333_333_333_333);
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        let v = Fixed18::from_f64(2.5);
+        assert_eq!(v.clamp(-Fixed18::ONE, Fixed18::ONE), Fixed18::ONE);
+        assert_eq!((-v).clamp(-Fixed18::ONE, Fixed18::ONE), -Fixed18::ONE);
+        assert_eq!((-v).abs(), v);
+        assert_eq!(Fixed18::from_f64(0.5).clamp(-Fixed18::ONE, Fixed18::ONE).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_close() {
+        for v in [0.0, 1.0, -2.5, 1362.125, -2445.98, 3.4e9] {
+            let f = Fixed18::from_f64(v);
+            assert!((f.to_f64() - v).abs() <= v.abs() * 1e-15 + 1e-15, "{v}");
+        }
+    }
+
+    #[test]
+    fn mul_u128_limbs() {
+        // (2^64)^2 = 2^128: hi = 1, lo = 0.
+        let (hi, lo) = mul_u128(1u128 << 64, 1u128 << 64);
+        assert_eq!((hi, lo), (1, 0));
+        let (hi, lo) = mul_u128(u128::MAX, 1);
+        assert_eq!((hi, lo), (0, u128::MAX));
+        // (2^127)(2) = 2^128.
+        let (hi, lo) = mul_u128(1u128 << 127, 2);
+        assert_eq!((hi, lo), (1, 0));
+    }
+
+    #[test]
+    fn div_u256() {
+        assert_eq!(div_u256_u128((0, 100), 7), 14);
+        // 2^128 / 2 = 2^127.
+        assert_eq!(div_u256_u128((1, 0), 2), 1u128 << 127);
+        // (2^128 + 5) / 4 = 2^126 + 1 (remainder 1).
+        assert_eq!(div_u256_u128((1, 5), 4), (1u128 << 126) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Fixed18::ONE.div(Fixed18::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! Market parameters of the ETH-PERP contract (Figure 2 of the paper plus
+//! the exchange-fee rates of §3.7).
+
+/// Parameters shared by the DatalogMTL program and the reference engine.
+///
+/// Defaults follow the paper: `i_max = 0.1`, `W_max = 300,000,000 / p_t`,
+/// 86400 funding epochs per day. Fee rates follow the fee *table* of §3.7
+/// (skew-increasing orders pay the taker rate; see DESIGN.md erratum #2):
+/// the 0.0035 rate of Example 3.6 is the skew-increasing rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MarketParams {
+    /// Maximum funding rate per day (`i_max`).
+    pub max_funding_rate: f64,
+    /// The notional constant of `W_max = skew_scale_notional / p_t`.
+    pub skew_scale_notional: f64,
+    /// Fee rate charged to skew-increasing orders (`φ_t`).
+    pub taker_fee: f64,
+    /// Fee rate charged to skew-reducing orders (`φ_m`).
+    pub maker_fee: f64,
+    /// Seconds per funding period (86400 = 1 day).
+    pub funding_period_secs: f64,
+}
+
+impl Default for MarketParams {
+    fn default() -> Self {
+        MarketParams {
+            max_funding_rate: 0.1,
+            skew_scale_notional: 300_000_000.0,
+            taker_fee: 0.0035,
+            maker_fee: 0.0020,
+            funding_period_secs: 86_400.0,
+        }
+    }
+}
+
+impl MarketParams {
+    /// `W_max` at a given price (Figure 2).
+    pub fn max_proportional_skew(&self, price: f64) -> f64 {
+        self.skew_scale_notional / price
+    }
+
+    /// The instantaneous funding rate `i_t` of Figure 2 given the previous
+    /// skew and current price: `clamp(-K/W_max, -1, 1) * i_max / 86400`.
+    pub fn instantaneous_funding_rate(&self, prev_skew: f64, price: f64) -> f64 {
+        let raw = -prev_skew / self.max_proportional_skew(price);
+        raw.clamp(-1.0, 1.0) * self.max_funding_rate / self.funding_period_secs
+    }
+
+    /// The fee rate for an order of (signed) size delta `dq` given the
+    /// market skew: increasing |skew| pays taker, reducing pays maker.
+    /// `K = 0` is treated as the non-negative branch.
+    pub fn fee_rate(&self, skew: f64, dq: f64) -> f64 {
+        let increases = (skew >= 0.0) == (dq > 0.0);
+        if increases {
+            self.taker_fee
+        } else {
+            self.maker_fee
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_metric_formulas() {
+        let p = MarketParams::default();
+        assert_eq!(p.max_proportional_skew(1500.0), 200_000.0);
+        // Small skew: unclamped.
+        let i = p.instantaneous_funding_rate(2000.0, 1500.0);
+        let expected = -(2000.0 / 200_000.0) * 0.1 / 86_400.0;
+        assert_eq!(i, expected);
+        // Huge skew: clamped to ±1.
+        let i = p.instantaneous_funding_rate(1e9, 1500.0);
+        assert_eq!(i, -0.1 / 86_400.0);
+        let i = p.instantaneous_funding_rate(-1e9, 1500.0);
+        assert_eq!(i, 0.1 / 86_400.0);
+    }
+
+    #[test]
+    fn funding_sign_convention() {
+        let p = MarketParams::default();
+        // Positive skew (longs heavier) -> negative rate -> longs pay shorts.
+        assert!(p.instantaneous_funding_rate(1000.0, 1500.0) < 0.0);
+        assert!(p.instantaneous_funding_rate(-1000.0, 1500.0) > 0.0);
+        assert_eq!(p.instantaneous_funding_rate(0.0, 1500.0), 0.0);
+    }
+
+    #[test]
+    fn fee_table_of_section_3_7() {
+        let p = MarketParams::default();
+        // K>0, dq>0: increases skew -> taker.
+        assert_eq!(p.fee_rate(100.0, 1.0), p.taker_fee);
+        // K<0, dq>0: reduces -> maker.
+        assert_eq!(p.fee_rate(-100.0, 1.0), p.maker_fee);
+        // K>0, dq<0: reduces -> maker.
+        assert_eq!(p.fee_rate(100.0, -1.0), p.maker_fee);
+        // K<0, dq<0: increases -> taker.
+        assert_eq!(p.fee_rate(-100.0, -1.0), p.taker_fee);
+        // K=0 treated as non-negative branch.
+        assert_eq!(p.fee_rate(0.0, 1.0), p.taker_fee);
+        assert_eq!(p.fee_rate(0.0, -1.0), p.maker_fee);
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace types: the method calls of §3.2 with their timestamps and the
+//! price stream from the external oracle.
+
+use std::fmt;
+
+/// A trader account identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AccountId(pub u32);
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acc{:04}", self.0)
+    }
+}
+
+/// A method call of the ETH-PERP smart contract (§3.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Method {
+    /// `tranM(A, M)` — deposit `M` dollars of margin.
+    TransferMargin {
+        /// Deposit amount in dollars (positive).
+        amount: f64,
+    },
+    /// `withdraw(A)` — close the margin account and withdraw everything.
+    Withdraw,
+    /// `modPos(A, S)` — open/modify a position by `S` units (sign = side).
+    ModifyPosition {
+        /// Size delta in base-asset units.
+        size: f64,
+    },
+    /// `closePos(A)` — close the position and settle returns/fees/funding.
+    ClosePosition,
+}
+
+impl Method {
+    /// The skew impact of this interaction: `modPos` moves the skew by its
+    /// size, margin operations by 0, `closePos` by minus the open size
+    /// (derived at execution time — rule 20).
+    pub fn is_order(&self) -> bool {
+        matches!(self, Method::ModifyPosition { .. } | Method::ClosePosition)
+    }
+}
+
+/// One interaction with the contract: an account calls a method at a Unix
+/// timestamp while the oracle reports `price`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Event {
+    /// Unix timestamp (seconds).
+    pub time: i64,
+    /// Calling account.
+    pub account: AccountId,
+    /// The method.
+    pub method: Method,
+    /// Oracle price of the underlying at `time`.
+    pub price: f64,
+}
+
+/// A full replayable window of market activity: the paper's "2-hours
+/// interval having different initial conditions".
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Window start (Unix seconds); the `start` fact of rule 23.
+    pub start_time: i64,
+    /// Window end (Unix seconds).
+    pub end_time: i64,
+    /// Skew at the window start (the *Skew* column of Figure 3), carried by
+    /// out-of-window positions.
+    pub initial_skew: f64,
+    /// Oracle price at the window start.
+    pub initial_price: f64,
+    /// Events ordered by time (strictly increasing timestamps — the chain
+    /// totally orders transactions).
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Number of interactions (the *# events* column of Figure 3).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of completed trades (*# trades* column): closePos calls.
+    pub fn trade_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.method, Method::ClosePosition))
+            .count()
+    }
+
+    /// Window length in seconds.
+    pub fn span_secs(&self) -> i64 {
+        self.end_time - self.start_time
+    }
+
+    /// All distinct accounts appearing in the trace.
+    pub fn accounts(&self) -> Vec<AccountId> {
+        let mut v: Vec<AccountId> = self.events.iter().map(|e| e.account).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Validates the trace invariants the encodings rely on:
+    /// strictly increasing timestamps within the window, positive prices,
+    /// and per-account lifecycle sanity (deposit before trading, close
+    /// before withdrawing, no double-open).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_t = self.start_time;
+        if self.initial_price <= 0.0 {
+            return Err("initial price must be positive".into());
+        }
+        let mut margin_open: std::collections::HashSet<AccountId> = Default::default();
+        let mut pos_open: std::collections::HashSet<AccountId> = Default::default();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.time <= last_t {
+                return Err(format!("event {i} at {} does not advance time", e.time));
+            }
+            if e.time >= self.end_time {
+                return Err(format!("event {i} at {} beyond window end", e.time));
+            }
+            last_t = e.time;
+            if e.price <= 0.0 {
+                return Err(format!("event {i} has non-positive price"));
+            }
+            match e.method {
+                Method::TransferMargin { amount } => {
+                    if amount <= 0.0 {
+                        return Err(format!("event {i}: non-positive deposit"));
+                    }
+                    margin_open.insert(e.account);
+                }
+                Method::ModifyPosition { size } => {
+                    if !margin_open.contains(&e.account) {
+                        return Err(format!("event {i}: modPos before margin deposit"));
+                    }
+                    if size == 0.0 {
+                        return Err(format!("event {i}: zero-size order"));
+                    }
+                    pos_open.insert(e.account);
+                }
+                Method::ClosePosition => {
+                    if !pos_open.remove(&e.account) {
+                        return Err(format!("event {i}: closePos without open position"));
+                    }
+                }
+                Method::Withdraw => {
+                    if pos_open.contains(&e.account) {
+                        return Err(format!("event {i}: withdraw with open position"));
+                    }
+                    if !margin_open.remove(&e.account) {
+                        return Err(format!("event {i}: withdraw without margin"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The settlement of one completed trade — what the paper validates against
+/// the Subgraph (Figure 5: Returns / Fee / Funding).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TradeSettlement {
+    /// The trader.
+    pub account: AccountId,
+    /// Close timestamp.
+    pub time: i64,
+    /// Profit and loss (rule 16).
+    pub pnl: f64,
+    /// Total exchange fees of the trade (rules 44–47).
+    pub fee: f64,
+    /// Individual funding accrued (rule 37).
+    pub funding: f64,
+}
+
+/// The observable outputs of one engine run over a trace: the funding rate
+/// sequence (Figure 4) and every trade settlement (Figure 5).
+#[derive(Clone, Debug, Default)]
+pub struct MarketRun {
+    /// `(event time, F(t))` — the funding rate sequence after each event.
+    pub frs: Vec<(i64, f64)>,
+    /// Settlements of completed trades, in close order.
+    pub trades: Vec<TradeSettlement>,
+    /// Final skew at the last event.
+    pub final_skew: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: i64, acc: u32, m: Method) -> Event {
+        Event {
+            time: t,
+            account: AccountId(acc),
+            method: m,
+            price: 1500.0,
+        }
+    }
+
+    fn base_trace(events: Vec<Event>) -> Trace {
+        Trace {
+            start_time: 0,
+            end_time: 7200,
+            initial_skew: 0.0,
+            initial_price: 1500.0,
+            events,
+        }
+    }
+
+    #[test]
+    fn valid_lifecycle_passes() {
+        let t = base_trace(vec![
+            ev(10, 1, Method::TransferMargin { amount: 100.0 }),
+            ev(20, 1, Method::ModifyPosition { size: 0.5 }),
+            ev(30, 1, Method::ClosePosition),
+            ev(40, 1, Method::Withdraw),
+        ]);
+        t.validate().unwrap();
+        assert_eq!(t.event_count(), 4);
+        assert_eq!(t.trade_count(), 1);
+        assert_eq!(t.accounts(), vec![AccountId(1)]);
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let t = base_trace(vec![
+            ev(10, 1, Method::TransferMargin { amount: 100.0 }),
+            ev(10, 2, Method::TransferMargin { amount: 100.0 }),
+        ]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_trade_without_margin() {
+        let t = base_trace(vec![ev(10, 1, Method::ModifyPosition { size: 1.0 })]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_withdraw_with_open_position() {
+        let t = base_trace(vec![
+            ev(10, 1, Method::TransferMargin { amount: 100.0 }),
+            ev(20, 1, Method::ModifyPosition { size: 0.5 }),
+            ev(30, 1, Method::Withdraw),
+        ]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_close_without_position() {
+        let t = base_trace(vec![
+            ev(10, 1, Method::TransferMargin { amount: 100.0 }),
+            ev(20, 1, Method::ClosePosition),
+        ]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_event_beyond_window() {
+        let t = base_trace(vec![ev(8000, 1, Method::TransferMargin { amount: 1.0 })]);
+        assert!(t.validate().is_err());
+    }
+}

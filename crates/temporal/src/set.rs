@@ -1,0 +1,627 @@
+//! Coalesced sets of intervals: the temporal annotation of a DatalogMTL fact.
+//!
+//! Every ground atom in an interpretation maps to an [`IntervalSet`] — the set
+//! of time points at which the atom holds, represented as a sorted vector of
+//! disjoint, *non-connected* intervals (overlapping or merely touching
+//! intervals are merged eagerly). Full coalescing is not just a space
+//! optimization: erosion (the `⊟ρ` operator) distributes over components only
+//! when no two components can be bridged by an obligation window, which the
+//! no-touching invariant guarantees.
+
+use crate::{Interval, MetricInterval, Rational, TimeBound};
+use std::fmt;
+
+/// A set of rational time points stored as maximal disjoint intervals.
+///
+/// ```
+/// use mtl_temporal::{Interval, IntervalSet, Rational};
+/// let mut s = IntervalSet::new();
+/// s.insert(Interval::closed_int(0, 2));
+/// s.insert(Interval::closed_int(5, 9));
+/// s.insert(Interval::closed_int(3, 3));
+/// assert_eq!(s.components().len(), 3);
+/// s.insert(Interval::open(Rational::integer(2), Rational::integer(3)));
+/// // (2,3) glues [0,2] and [3,3] together
+/// assert_eq!(s.components().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    /// Sorted by position, pairwise non-connected.
+    items: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet { items: Vec::new() }
+    }
+
+    /// A set holding a single interval.
+    pub fn from_interval(i: Interval) -> IntervalSet {
+        IntervalSet { items: vec![i] }
+    }
+
+    /// Builds a set from arbitrary (unsorted, overlapping) intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> IntervalSet {
+        let mut s = IntervalSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The maximal disjoint intervals, in increasing order.
+    pub fn components(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval> {
+        self.items.iter()
+    }
+
+    /// Membership test for a time point.
+    pub fn contains(&self, t: Rational) -> bool {
+        // Binary search on component ordering.
+        let idx = self.items.partition_point(|i| match i.hi() {
+            TimeBound::Finite(h) => h < t,
+            TimeBound::NegInf => true,
+            TimeBound::PosInf => false,
+        });
+        self.items
+            .get(idx)
+            .map(|i| i.contains(t))
+            .unwrap_or(false)
+            || idx
+                .checked_sub(1)
+                .and_then(|j| self.items.get(j))
+                .map(|i| i.contains(t))
+                .unwrap_or(false)
+    }
+
+    /// Index of the first component that is not entirely before `interval`
+    /// (the first candidate for overlap/adjacency).
+    fn first_candidate(&self, interval: &Interval) -> usize {
+        self.items.partition_point(|i| i.entirely_before(interval))
+    }
+
+    /// `true` iff `interval` is entirely contained in the set.
+    pub fn contains_interval(&self, interval: &Interval) -> bool {
+        // Only one component can contain it: the first not entirely before.
+        self.items
+            .get(self.first_candidate(interval))
+            .is_some_and(|i| i.contains_interval(interval))
+    }
+
+    /// Inserts an interval, merging as needed. Returns `true` iff the set of
+    /// time points actually grew (used for fixpoint-change detection).
+    ///
+    /// The dominant reasoning pattern — facts growing monotonically towards
+    /// the future — hits O(log n) paths; the general case splices in place.
+    pub fn insert(&mut self, interval: Interval) -> bool {
+        // Fast path: appending past the end (possibly extending the last
+        // component).
+        match self.items.last_mut() {
+            None => {
+                self.items.push(interval);
+                return true;
+            }
+            Some(last) if last.entirely_before(&interval) => {
+                if let Some(u) = last.union_if_connected(&interval) {
+                    if u == *last {
+                        return false;
+                    }
+                    *last = u;
+                } else {
+                    self.items.push(interval);
+                }
+                return true;
+            }
+            _ => {}
+        }
+        // General case: find the run of components connected to `interval`.
+        let start = self.first_candidate(&interval);
+        if let Some(i) = self.items.get(start) {
+            if i.contains_interval(&interval) {
+                return false;
+            }
+        }
+        // Components before `start` are entirely before and (by invariant)
+        // not connected... except possibly items[start - 1] touching by
+        // adjacency; `entirely_before` allows touching at an open/closed
+        // boundary pair, so check one to the left.
+        let mut lo = start;
+        if lo > 0 && self.items[lo - 1].connected(&interval) {
+            lo -= 1;
+        }
+        let mut merged = interval;
+        let mut hi = lo;
+        while hi < self.items.len() {
+            match merged.union_if_connected(&self.items[hi]) {
+                Some(u) => {
+                    merged = u;
+                    hi += 1;
+                }
+                None => break,
+            }
+        }
+        self.items.splice(lo..hi, std::iter::once(merged));
+        true
+    }
+
+    /// In-place union; returns `true` iff the set grew.
+    pub fn union_with(&mut self, other: &IntervalSet) -> bool {
+        let mut grew = false;
+        for &i in &other.items {
+            grew |= self.insert(i);
+        }
+        grew
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Set intersection (linear merge over both component lists).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.items.len() && j < other.items.len() {
+            let a = &self.items[i];
+            let b = &other.items[j];
+            if let Some(x) = a.intersect(b) {
+                out.push(x);
+            }
+            // Advance whichever ends first.
+            if a.hi() < b.hi() || (a.hi() == b.hi() && !a.hi_closed()) {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// Intersection with a single interval (clipping), via binary search:
+    /// O(log n + |output|). This is the engine's masked-read primitive — a
+    /// semi-naive delta join touches only a tiny time window of a relation
+    /// whose interval set may have accumulated thousands of components.
+    pub fn intersect_interval(&self, interval: &Interval) -> IntervalSet {
+        let start = self.first_candidate(interval);
+        let mut items = Vec::new();
+        for i in &self.items[start..] {
+            if interval.entirely_before(i) {
+                break;
+            }
+            if let Some(x) = i.intersect(interval) {
+                items.push(x);
+            }
+        }
+        IntervalSet { items }
+    }
+
+    /// The convex hull `[min, max]` of the set, if non-empty.
+    pub fn hull(&self) -> Option<Interval> {
+        let first = self.items.first()?;
+        let last = self.items.last()?;
+        Interval::new(first.lo(), first.lo_closed(), last.hi(), last.hi_closed())
+    }
+
+    /// Set difference `self \ other` — the core of stratified negation and of
+    /// semi-naive delta computation.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out = Vec::new();
+        for &a in &self.items {
+            let mut remaining = vec![a];
+            // Skip cutters entirely before `a` in O(log n).
+            let start = other.items.partition_point(|b| b.entirely_before(&a));
+            for &b in &other.items[start..] {
+                if a.entirely_before(&b) {
+                    break;
+                }
+                let mut next = Vec::new();
+                for piece in remaining {
+                    subtract_into(&piece, &b, &mut next);
+                }
+                remaining = next;
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            out.extend(remaining);
+        }
+        // Pieces from a single component stay sorted and non-connected
+        // (subtracting re-opens gaps), and components were non-connected
+        // already, so `out` satisfies the invariant directly.
+        IntervalSet { items: out }
+    }
+
+    /// Complement relative to a horizon interval: `horizon \ self`.
+    pub fn complement_within(&self, horizon: &Interval) -> IntervalSet {
+        IntervalSet::from_interval(*horizon).difference(self)
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn subset_of(&self, other: &IntervalSet) -> bool {
+        self.items.iter().all(|i| other.contains_interval(i))
+    }
+
+    // ------------------------------------------------------------------
+    // MTL operator transforms
+    // ------------------------------------------------------------------
+
+    /// `◇⁻ρ`: Minkowski sum of every component with `ρ` (re-coalesced).
+    pub fn diamond_minus(&self, rho: &MetricInterval) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().map(|i| i.diamond_minus(rho)))
+    }
+
+    /// `⊟ρ`: erosion. Exact per component thanks to the full-coalescing
+    /// invariant — an obligation window of positive length cannot straddle a
+    /// gap, and punctual windows reduce to shifts.
+    pub fn box_minus(&self, rho: &MetricInterval) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().filter_map(|i| i.box_minus(rho)))
+    }
+
+    /// `◇⁺ρ`: future diamond (Minkowski sum towards the past).
+    pub fn diamond_plus(&self, rho: &MetricInterval) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().map(|i| i.diamond_plus(rho)))
+    }
+
+    /// `⊞ρ`: future box (erosion towards the past).
+    pub fn box_plus(&self, rho: &MetricInterval) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().filter_map(|i| i.box_plus(rho)))
+    }
+
+    /// `self S_ρ other` (Since): holds at `t` iff there is `s` with
+    /// `t − s ∈ ρ` where `other` holds, and `self` holds throughout the open
+    /// interval `(s, t)`.
+    pub fn since(&self, other: &IntervalSet, rho: &MetricInterval) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        // s = t case: when 0 ∈ ρ the continuity obligation is vacuous.
+        if metric_contains_zero(rho) {
+            out.union_with(other);
+        }
+        for kappa in &self.items {
+            let closure = closure_of(kappa);
+            // t must not exceed kappa.hi (equality always allowed: (s, hi) ⊆ kappa).
+            let upper_cut = Interval::new(TimeBound::NegInf, false, kappa.hi(), true)
+                .expect("upper cut is non-empty");
+            for iota in &other.items {
+                if let Some(s_range) = iota.intersect(&closure) {
+                    let t_range = s_range.diamond_minus(rho);
+                    if let Some(t) = t_range.intersect(&upper_cut) {
+                        out.insert(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self U_ρ other` (Until): mirror of [`IntervalSet::since`] towards the
+    /// future: holds at `t` iff there is `s` with `s − t ∈ ρ` where `other`
+    /// holds and `self` holds throughout `(t, s)`.
+    pub fn until(&self, other: &IntervalSet, rho: &MetricInterval) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        if metric_contains_zero(rho) {
+            out.union_with(other);
+        }
+        for kappa in &self.items {
+            let closure = closure_of(kappa);
+            let lower_cut = Interval::new(kappa.lo(), true, TimeBound::PosInf, false)
+                .expect("lower cut is non-empty");
+            for iota in &other.items {
+                if let Some(s_range) = iota.intersect(&closure) {
+                    let t_range = s_range.diamond_plus(rho);
+                    if let Some(t) = t_range.intersect(&lower_cut) {
+                        out.insert(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The time points of a set whose components are all punctual; `None`
+    /// if any component has positive length or is unbounded. Used by the
+    /// Vadalog-style `@T` time-capture extension.
+    pub fn punctual_points(&self) -> Option<Vec<Rational>> {
+        self.items
+            .iter()
+            .map(|i| i.punctual_value())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// The earliest finite endpoint, if any.
+    pub fn min_point(&self) -> Option<TimeBound> {
+        self.items.first().map(|i| i.lo())
+    }
+
+    /// The latest finite endpoint, if any.
+    pub fn max_point(&self) -> Option<TimeBound> {
+        self.items.last().map(|i| i.hi())
+    }
+
+    /// Debug helper: asserts the internal invariant.
+    #[doc(hidden)]
+    pub fn check_invariant(&self) {
+        for w in self.items.windows(2) {
+            assert!(
+                w[0].entirely_before(&w[1]) && !w[0].connected(&w[1]),
+                "IntervalSet invariant violated: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// `true` iff `0 ∈ ρ` (i.e. its lower bound is a closed 0).
+fn metric_contains_zero(rho: &MetricInterval) -> bool {
+    rho.as_interval().contains(Rational::ZERO)
+}
+
+/// The topological closure of an interval (used when picking the witness `s`
+/// of a Since/Until: `s` may sit on an open endpoint of the continuity
+/// component because the obligation interval `(s, t)` is open).
+fn closure_of(i: &Interval) -> Interval {
+    Interval::new(i.lo(), true, i.hi(), true).expect("closure of non-empty interval")
+}
+
+/// Appends `a \ b` (zero, one, or two pieces) to `out`.
+fn subtract_into(a: &Interval, b: &Interval, out: &mut Vec<Interval>) {
+    match a.intersect(b) {
+        None => out.push(*a),
+        Some(x) => {
+            // Left remainder: ⟨a.lo, x.lo⟩ with right end open iff x.lo closed.
+            if let Some(left) = Interval::new(a.lo(), a.lo_closed(), x.lo(), !x.lo_closed()) {
+                out.push(left);
+            }
+            // Right remainder.
+            if let Some(right) = Interval::new(x.hi(), !x.hi_closed(), a.hi(), a.hi_closed()) {
+                out.push(right);
+            }
+        }
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.items.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (k, i) in self.items.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::integer(n)
+    }
+
+    fn set(v: &[(i64, i64)]) -> IntervalSet {
+        IntervalSet::from_intervals(v.iter().map(|&(a, b)| Interval::closed_int(a, b)))
+    }
+
+    #[test]
+    fn insert_coalesces_overlapping_and_touching() {
+        let mut s = IntervalSet::new();
+        assert!(s.insert(Interval::closed_int(0, 2)));
+        assert!(s.insert(Interval::closed_int(4, 6)));
+        assert!(s.insert(Interval::closed_int(2, 4))); // glue
+        assert_eq!(s.components(), &[Interval::closed_int(0, 6)]);
+        assert!(!s.insert(Interval::closed_int(1, 5))); // no growth
+        s.check_invariant();
+    }
+
+    #[test]
+    fn insert_coalesces_adjacent_half_open() {
+        let mut s = IntervalSet::new();
+        s.insert(Interval::half_open_right(r(0), r(1))); // [0,1)
+        s.insert(Interval::closed(r(1), r(2))); // [1,2]
+        assert_eq!(s.components(), &[Interval::closed(r(0), r(2))]);
+        // but (2,3) with a point gap stays separate from [0,2] minus endpoint
+        s.insert(Interval::open(r(2), r(3)));
+        assert_eq!(s.components(), &[Interval::half_open_right(r(0), r(3))]);
+    }
+
+    #[test]
+    fn point_gap_is_preserved() {
+        let mut s = IntervalSet::new();
+        s.insert(Interval::half_open_right(r(0), r(1))); // [0,1)
+        s.insert(Interval::open(r(1), r(2))); // (1,2): {1} missing
+        assert_eq!(s.components().len(), 2);
+        assert!(!s.contains(r(1)));
+        s.check_invariant();
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let a = set(&[(0, 5), (10, 15)]);
+        let b = set(&[(3, 12)]);
+        assert_eq!(a.intersect(&b), set(&[(3, 5), (10, 12)]));
+        assert!(a.intersect(&IntervalSet::new()).is_empty());
+    }
+
+    #[test]
+    fn difference_reopens_bounds() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(3, 5)]);
+        let d = a.difference(&b);
+        assert_eq!(
+            d.components(),
+            &[
+                Interval::half_open_right(r(0), r(3)),
+                Interval::half_open_left(r(5), r(10)),
+            ]
+        );
+        d.check_invariant();
+        // subtracting a point
+        let e = a.difference(&IntervalSet::from_interval(Interval::at(7)));
+        assert!(!e.contains(r(7)));
+        assert!(e.contains(r(6)));
+        assert!(e.contains(r(8)));
+    }
+
+    #[test]
+    fn difference_multiple_cutters() {
+        let a = set(&[(0, 20)]);
+        let b = set(&[(2, 4), (6, 8), (25, 30)]);
+        let d = a.difference(&b);
+        assert!(d.contains(r(0)));
+        assert!(!d.contains(r(3)));
+        assert!(d.contains(r(5)));
+        assert!(!d.contains(r(7)));
+        assert!(d.contains(r(20)));
+        d.check_invariant();
+    }
+
+    #[test]
+    fn complement_within_horizon() {
+        let s = set(&[(2, 3), (5, 6)]);
+        let c = s.complement_within(&Interval::closed_int(0, 10));
+        assert!(c.contains(r(0)));
+        assert!(!c.contains(r(2)));
+        assert!(c.contains(r(4)));
+        assert!(!c.contains(r(6)));
+        assert!(c.contains(r(10)));
+        // complement of complement is original (within the horizon)
+        let cc = c.complement_within(&Interval::closed_int(0, 10));
+        assert_eq!(cc, s.intersect_interval(&Interval::closed_int(0, 10)));
+    }
+
+    #[test]
+    fn diamond_minus_on_sets() {
+        let s = set(&[(0, 0), (10, 10)]);
+        let out = s.diamond_minus(&MetricInterval::one());
+        assert_eq!(out, set(&[(1, 1), (11, 11)]));
+        // widening rho can merge components
+        let out = s.diamond_minus(&MetricInterval::closed_int(0, 10));
+        assert_eq!(out, set(&[(0, 20)]));
+    }
+
+    #[test]
+    fn box_minus_respects_gaps() {
+        // M on [0,4) ∪ (4,8]: window [t-2,t] cannot cover the missing point 4.
+        let s = IntervalSet::from_intervals([
+            Interval::half_open_right(r(0), r(4)),
+            Interval::half_open_left(r(4), r(8)),
+        ]);
+        let rho = MetricInterval::closed_int(0, 2);
+        let out = s.box_minus(&rho);
+        // per component: [2,4) and (6,8]
+        assert_eq!(
+            out.components(),
+            &[
+                Interval::half_open_right(r(2), r(4)),
+                Interval::half_open_left(r(6), r(8)),
+            ]
+        );
+    }
+
+    #[test]
+    fn since_basic() {
+        // M2 at [0,0]; M1 on [0, 10]; rho = [1,1]:
+        // since holds at t iff exists s=t-1 with M2(s) and M1 on (s,t):
+        // t = 1 works (s=0, (0,1) ⊆ M1).
+        let m1 = set(&[(0, 10)]);
+        let m2 = set(&[(0, 0)]);
+        let s = m1.since(&m2, &MetricInterval::one());
+        assert_eq!(s, set(&[(1, 1)]));
+        // rho = [0,5]: t in [0,5]
+        let s = m1.since(&m2, &MetricInterval::closed_int(0, 5));
+        assert_eq!(s, set(&[(0, 5)]));
+    }
+
+    #[test]
+    fn since_requires_continuity() {
+        // M1 missing (2,3): since over rho [0,5] can't reach past the hole.
+        let m1 = set(&[(0, 2), (3, 10)]);
+        let m2 = set(&[(0, 0)]);
+        let s = m1.since(&m2, &MetricInterval::closed_int(0, 5));
+        // witnesses s=0 require (0,t) ⊆ M1 -> t ≤ 2.
+        assert_eq!(s, set(&[(0, 2)]));
+    }
+
+    #[test]
+    fn since_zero_in_rho_includes_m2() {
+        let m1 = IntervalSet::new();
+        let m2 = set(&[(4, 6)]);
+        let s = m1.since(&m2, &MetricInterval::closed_int(0, 2));
+        assert_eq!(s, set(&[(4, 6)]));
+        // 0 not in rho: no vacuous case, and M1 empty -> empty.
+        let s = m1.since(&m2, &MetricInterval::closed_int(1, 2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn until_mirrors_since() {
+        let m1 = set(&[(0, 10)]);
+        let m2 = set(&[(10, 10)]);
+        let u = m1.until(&m2, &MetricInterval::one());
+        assert_eq!(u, set(&[(9, 9)]));
+        let u = m1.until(&m2, &MetricInterval::closed_int(0, 5));
+        assert_eq!(u, set(&[(5, 10)]));
+    }
+
+    #[test]
+    fn contains_uses_binary_search_correctly() {
+        let s = set(&[(0, 1), (3, 4), (6, 7), (9, 10)]);
+        for t in [0, 1, 3, 4, 6, 7, 9, 10] {
+            assert!(s.contains(r(t)), "should contain {t}");
+        }
+        for t in [-1, 2, 5, 8, 11] {
+            assert!(!s.contains(r(t)), "should not contain {t}");
+        }
+    }
+
+    #[test]
+    fn punctual_points_extraction() {
+        let s = set(&[(1, 1), (5, 5)]);
+        assert_eq!(s.punctual_points(), Some(vec![r(1), r(5)]));
+        assert_eq!(set(&[(1, 2)]).punctual_points(), None);
+        assert_eq!(IntervalSet::new().punctual_points(), Some(vec![]));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = set(&[(1, 2), (5, 6)]);
+        let b = set(&[(0, 10)]);
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        assert!(IntervalSet::new().subset_of(&a));
+    }
+}

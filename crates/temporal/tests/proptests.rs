@@ -1,0 +1,221 @@
+//! Property-based validation of the interval algebra.
+//!
+//! Strategy: generate random interval sets with endpoints on the half-integer
+//! grid (so open/closed distinctions matter at sample points), then check
+//! every operation pointwise against its set-theoretic definition evaluated
+//! by brute force over a grid of sample points.
+
+use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
+use proptest::prelude::*;
+
+fn r(num: i64, den: i64) -> Rational {
+    Rational::new(num, den)
+}
+
+/// Sample points: integers and half-integers in [-2, 42] (in halves).
+fn sample_points() -> Vec<Rational> {
+    (-4..=84).map(|k| r(k, 2)).collect()
+}
+
+/// Random interval with integer endpoints in [0, 40] and random closedness.
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0i64..40, 0i64..6, any::<bool>(), any::<bool>()).prop_filter_map(
+        "non-empty",
+        |(lo, len, lc, hc)| {
+            Interval::new(
+                Rational::integer(lo).into(),
+                lc,
+                Rational::integer(lo + len).into(),
+                hc,
+            )
+        },
+    )
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec(arb_interval(), 0..6).prop_map(IntervalSet::from_intervals)
+}
+
+/// Random metric interval with small non-negative integer bounds.
+fn arb_rho() -> impl Strategy<Value = MetricInterval> {
+    (0i64..4, 0i64..4, any::<bool>(), any::<bool>()).prop_filter_map(
+        "valid rho",
+        |(lo, len, lc, hc)| {
+            let i = Interval::new(
+                Rational::integer(lo).into(),
+                lc,
+                Rational::integer(lo + len).into(),
+                hc,
+            )?;
+            MetricInterval::new(i).ok()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn invariant_holds_after_inserts(set in arb_set()) {
+        set.check_invariant();
+    }
+
+    #[test]
+    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        u.check_invariant();
+        for t in sample_points() {
+            prop_assert_eq!(u.contains(t), a.contains(t) || b.contains(t), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+        let x = a.intersect(&b);
+        x.check_invariant();
+        for t in sample_points() {
+            prop_assert_eq!(x.contains(t), a.contains(t) && b.contains(t), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn difference_is_pointwise_and_not(a in arb_set(), b in arb_set()) {
+        let d = a.difference(&b);
+        d.check_invariant();
+        for t in sample_points() {
+            prop_assert_eq!(d.contains(t), a.contains(t) && !b.contains(t), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn complement_is_pointwise_not(a in arb_set()) {
+        let horizon = Interval::closed_int(-2, 42);
+        let c = a.complement_within(&horizon);
+        c.check_invariant();
+        for t in sample_points() {
+            prop_assert_eq!(c.contains(t), !a.contains(t), "at {}", t);
+        }
+    }
+
+    /// ◇⁻ρ M holds at t iff ∃s: t − s ∈ ρ and M(s). We verify via the grid:
+    /// witnesses, if any exist, exist on the grid closure (endpoints are
+    /// grid-aligned and ρ endpoints are integers), but to be safe we check
+    /// both directions with quarter-step witnesses.
+    #[test]
+    fn diamond_minus_pointwise(a in arb_set(), rho in arb_rho()) {
+        let out = a.diamond_minus(&rho);
+        out.check_invariant();
+        let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
+        for t in sample_points() {
+            let expected = witnesses.iter().any(|&s| {
+                rho.as_interval().contains(t - s) && a.contains(s)
+            });
+            prop_assert_eq!(out.contains(t), expected, "◇⁻{} at {}", rho, t);
+        }
+    }
+
+    /// ⊟ρ M holds at t iff ∀s with t − s ∈ ρ: M(s). Brute-force check over
+    /// quarter-step obligation points (sufficient: all endpoints lie on the
+    /// eighth-grid, so truth is constant between consecutive grid points).
+    #[test]
+    fn box_minus_pointwise(a in arb_set(), rho in arb_rho()) {
+        let out = a.box_minus(&rho);
+        out.check_invariant();
+        let obligations: Vec<Rational> = (-160..=800).map(|k| r(k, 16)).collect();
+        for t in sample_points() {
+            let expected = obligations
+                .iter()
+                .filter(|&&s| rho.as_interval().contains(t - s))
+                .all(|&s| a.contains(s));
+            // Also require at least the endpoints of the obligation window
+            // to be exercised; the window is never empty since rho is non-empty.
+            prop_assert_eq!(out.contains(t), expected, "⊟{} at {}", rho, t);
+        }
+    }
+
+    #[test]
+    fn future_operators_are_time_mirrors(a in arb_set(), rho in arb_rho()) {
+        // Mirror the set around 0, apply the past operator, mirror back:
+        // must equal the future operator.
+        let mirrored = IntervalSet::from_intervals(a.iter().map(mirror_interval));
+        let dm = IntervalSet::from_intervals(
+            mirrored.diamond_minus(&rho).iter().map(mirror_interval),
+        );
+        prop_assert_eq!(dm, a.diamond_plus(&rho));
+        let bm = IntervalSet::from_intervals(
+            mirrored.box_minus(&rho).iter().map(mirror_interval),
+        );
+        prop_assert_eq!(bm, a.box_plus(&rho));
+    }
+
+    /// Since, checked against its definition with grid witnesses and grid
+    /// continuity obligations.
+    #[test]
+    fn since_pointwise(m1 in arb_set(), m2 in arb_set(), rho in arb_rho()) {
+        let out = m1.since(&m2, &rho);
+        out.check_invariant();
+        let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
+        for t in sample_points() {
+            let expected = witnesses.iter().any(|&s| {
+                s <= t
+                    && rho.as_interval().contains(t - s)
+                    && m2.contains(s)
+                    && continuity_holds(&m1, s, t)
+            });
+            prop_assert_eq!(out.contains(t), expected, "S_{} at {}", rho, t);
+        }
+    }
+
+    #[test]
+    fn until_pointwise(m1 in arb_set(), m2 in arb_set(), rho in arb_rho()) {
+        let out = m1.until(&m2, &rho);
+        out.check_invariant();
+        let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
+        for t in sample_points() {
+            let expected = witnesses.iter().any(|&s| {
+                s >= t
+                    && rho.as_interval().contains(s - t)
+                    && m2.contains(s)
+                    && continuity_holds(&m1, t, s)
+            });
+            prop_assert_eq!(out.contains(t), expected, "U_{} at {}", rho, t);
+        }
+    }
+
+    /// Coalescing must never change set membership: building from the raw
+    /// interval list and from pre-unioned pieces agree everywhere.
+    #[test]
+    fn coalescing_preserves_membership(intervals in proptest::collection::vec(arb_interval(), 0..8)) {
+        let set = IntervalSet::from_intervals(intervals.clone());
+        for t in sample_points() {
+            let raw = intervals.iter().any(|i| i.contains(t));
+            prop_assert_eq!(set.contains(t), raw, "at {}", t);
+        }
+    }
+}
+
+/// Does `m1` hold on the whole open interval `(a, b)`? Checked on the
+/// sixteenth-step grid, which refines every endpoint in play.
+fn continuity_holds(m1: &IntervalSet, a: Rational, b: Rational) -> bool {
+    if b <= a {
+        return true; // empty obligation
+    }
+    let step = r(1, 16);
+    let mut t = a + step;
+    while t < b {
+        if !m1.contains(t) {
+            return false;
+        }
+        t = t + step;
+    }
+    true
+}
+
+fn mirror_interval(i: &Interval) -> Interval {
+    use mtl_temporal::TimeBound;
+    let flip = |b: TimeBound| match b {
+        TimeBound::Finite(x) => TimeBound::Finite(-x),
+        TimeBound::NegInf => TimeBound::PosInf,
+        TimeBound::PosInf => TimeBound::NegInf,
+    };
+    Interval::new(flip(i.hi()), i.hi_closed(), flip(i.lo()), i.lo_closed())
+        .expect("mirror of non-empty interval is non-empty")
+}

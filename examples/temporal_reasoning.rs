@@ -1,0 +1,86 @@
+//! A tour of the temporal operator toolbox on a non-financial scenario:
+//! monitoring service SLAs. Shows `⊟` (continuity), `◇⁻` windows,
+//! `since`, future operators in heads, and temporal aggregation.
+//!
+//! ```bash
+//! cargo run --release -p chronolog-bench --example temporal_reasoning
+//! ```
+
+use chronolog_core::{parse_source, Database, Reasoner, ReasonerConfig, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        % A service is 'stable' at t if it has been up continuously for the
+        % last 5 minutes (box minus over a positive-length window).
+        stable(S) :- boxminus[0, 5] up(S).
+
+        % An alert fires if there was any error in the last 3 minutes.
+        alerted(S) :- diamondminus[0, 3] error(S).
+
+        % 'Degraded since restart': error-free operation since the most
+        % recent restart, checked with Since.
+        freshSince(S) :- since[0, 10](up(S), restart(S)).
+
+        % A restart schedules a maintenance window for the NEXT 2 minutes
+        % (future box operator in the head).
+        boxplus[0, 2] maintenance(S) :- restart(S).
+
+        % Fleet health: how many services are up at each time point.
+        fleetUp(count(S)) :- up(S).
+
+        % Incident severity: sum of per-service error weights.
+        severity(sum(W)) :- error(S), weight(S, W).
+
+        % --- timeline (minutes) ---
+        up(api)@[0, 20].
+        up(db)@[0, 8].
+        up(db)@[11, 20].          % db was down 8-11 (exclusive bounds kept)
+        restart(db)@11.
+        error(api)@7.
+        error(db)@9.
+        weight(api, 3.0).
+        weight(db, 5.0).
+    ";
+    let (program, facts) = parse_source(source)?;
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20))?;
+    let out = reasoner.materialize(&db)?;
+    let d = &out.database;
+
+    println!("t   | api stable | db stable | api alert | db fresh | db maint | fleetUp");
+    println!("----|------------|-----------|-----------|----------|----------|--------");
+    for t in 0..=20 {
+        let cell = |b: bool| if b { "  x  " } else { "     " };
+        let fleet = (0..=2i64)
+            .find(|&n| d.holds_at("fleetUp", &[Value::Int(n)], t))
+            .map(|n| n.to_string())
+            .unwrap_or_default();
+        println!(
+            "{t:3} | {} | {} | {} | {} | {} | {}",
+            cell(d.holds_at("stable", &[Value::sym("api")], t)),
+            cell(d.holds_at("stable", &[Value::sym("db")], t)),
+            cell(d.holds_at("alerted", &[Value::sym("api")], t)),
+            cell(d.holds_at("freshSince", &[Value::sym("db")], t)),
+            cell(d.holds_at("maintenance", &[Value::sym("db")], t)),
+            fleet,
+        );
+    }
+
+    // Spot checks of the temporal semantics.
+    assert!(d.holds_at("stable", &[Value::sym("api")], 5));
+    assert!(!d.holds_at("stable", &[Value::sym("api")], 4)); // only 4 min of history
+    assert!(!d.holds_at("stable", &[Value::sym("db")], 12)); // too soon after the outage
+    assert!(d.holds_at("stable", &[Value::sym("db")], 16));
+    assert!(d.holds_at("alerted", &[Value::sym("api")], 10));
+    assert!(!d.holds_at("alerted", &[Value::sym("api")], 11));
+    assert!(d.holds_at("maintenance", &[Value::sym("db")], 13));
+    assert!(!d.holds_at("maintenance", &[Value::sym("db")], 14));
+    assert!(d.holds_at("fleetUp", &[Value::Int(2)], 3));
+    assert!(d.holds_at("fleetUp", &[Value::Int(1)], 9));
+    assert!(d.holds_at("severity", &[Value::num(3.0)], 7));
+    assert!(d.holds_at("severity", &[Value::num(5.0)], 9));
+
+    println!("\nall SLA spot-checks hold.");
+    Ok(())
+}

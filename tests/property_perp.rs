@@ -1,0 +1,169 @@
+//! Property-based cross-validation of the whole stack on random market
+//! scenarios: the declarative contract must equal the procedural reference
+//! bit-for-bit under identical arithmetic, for *any* valid trader behavior.
+
+use chronolog_ledger::{from_json, to_json, Ledger, SubgraphIndex};
+use chronolog_market::{generate, ScenarioConfig};
+use chronolog_perp::harness::run_datalog;
+use chronolog_perp::program::TimelineMode;
+use chronolog_perp::{MarketParams, ReferenceEngine};
+use proptest::prelude::*;
+
+fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        any::<u64>(),            // seed
+        4usize..26,              // events
+        -5_000.0f64..5_000.0,    // initial skew
+        900.0f64..2_200.0,       // initial price
+    )
+        .prop_flat_map(|(seed, events, skew, price)| {
+            let max_trades = (events - 1) / 2;
+            (Just((seed, events, skew, price)), 0..=max_trades)
+        })
+        .prop_map(|((seed, events, skew, price), trades)| {
+            ScenarioConfig::new("prop", seed, 1_000_000, events, trades, skew, price)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline theorem of the reproduction: on any valid trace, the
+    /// DatalogMTL materialization and the imperative engine produce the
+    /// same FRS and the same settlements, to the last bit.
+    #[test]
+    fn declarative_equals_procedural(config in arb_scenario()) {
+        let params = MarketParams::default();
+        let trace = generate(&config);
+        let datalog = run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap();
+        let reference = ReferenceEngine::<f64>::run_trace(params, &trace);
+        prop_assert_eq!(&datalog.run.frs, &reference.frs);
+        prop_assert_eq!(&datalog.run.trades, &reference.trades);
+        prop_assert_eq!(datalog.run.final_skew, reference.final_skew);
+    }
+
+    /// Ledger persistence is lossless and tamper-evident for any trace.
+    #[test]
+    fn ledger_roundtrip_is_lossless(config in arb_scenario()) {
+        let trace = generate(&config);
+        let ledger = Ledger::from_trace(&trace).unwrap();
+        let back = from_json(&to_json(&ledger).unwrap()).unwrap();
+        prop_assert_eq!(&back, &ledger);
+        prop_assert_eq!(back.to_trace(), trace);
+    }
+
+    /// Subgraph index invariants: one settlement per closePos, and the
+    /// final skew equals initial skew plus all net order flow.
+    #[test]
+    fn subgraph_invariants(config in arb_scenario()) {
+        let trace = generate(&config);
+        let ledger = Ledger::from_trace(&trace).unwrap();
+        let index = SubgraphIndex::build(&ledger, MarketParams::default());
+        prop_assert_eq!(index.trades().len(), trace.trade_count());
+        // Every account's trades are a partition of all trades.
+        let per_account: usize = trace
+            .accounts()
+            .iter()
+            .map(|&a| index.trades_of(a).len())
+            .sum();
+        prop_assert_eq!(per_account, index.trades().len());
+        // All positions that opened were closed or still net out in skew:
+        // final skew minus initial equals the sum of surviving positions.
+        let open_sizes: f64 = {
+            let mut engine = ReferenceEngine::<f64>::new(MarketParams::default(), trace.initial_skew, trace.start_time);
+            for e in &trace.events {
+                engine.apply(e);
+            }
+            trace
+                .accounts()
+                .iter()
+                .filter_map(|&a| engine.position(a))
+                .map(|(s, _)| s)
+                .sum()
+        };
+        prop_assert!(
+            (index.final_skew() - trace.initial_skew - open_sizes).abs() < 1e-6,
+            "skew accounting: {} vs {} + {}",
+            index.final_skew(),
+            trace.initial_skew,
+            open_sizes
+        );
+    }
+
+    /// Fees are always non-negative and monotone in trade size.
+    #[test]
+    fn settlement_sanity(config in arb_scenario()) {
+        let trace = generate(&config);
+        let reference = ReferenceEngine::<f64>::run_trace(MarketParams::default(), &trace);
+        for t in &reference.trades {
+            prop_assert!(t.fee >= 0.0, "fee {} negative", t.fee);
+            prop_assert!(t.fee.is_finite() && t.pnl.is_finite() && t.funding.is_finite());
+        }
+    }
+}
+
+/// The §3.1 execution model, live: stream a market window through a
+/// [`chronolog_core::Session`] one event at a time (the "memory-resident"
+/// smart contract) and compare with the one-shot batch materialization.
+#[test]
+fn live_session_equals_batch_on_streamed_markets() {
+    use chronolog_core::{Database, Fact, Reasoner, ReasonerConfig, Value};
+    use chronolog_perp::encode::encode_trace;
+    use chronolog_perp::program::{build_program, TimelineMode};
+    use chronolog_perp::Method;
+
+    let params = MarketParams::default();
+    for seed in [1u64, 2, 3] {
+        let config = ScenarioConfig::new("live", seed, 0, 14, 4, 75.0, 1420.0);
+        let trace = generate(&config);
+        let program = build_program(&params, TimelineMode::EventEpochs).unwrap();
+
+        // Batch run.
+        let encoded = encode_trace(&trace, TimelineMode::EventEpochs);
+        let batch = Reasoner::new(
+            program.clone(),
+            ReasonerConfig::default().with_horizon(encoded.horizon.0, encoded.horizon.1),
+        )
+        .unwrap()
+        .materialize(&encoded.database)
+        .unwrap()
+        .database;
+
+        // Streamed session: genesis facts at epoch 0, then one advance per
+        // event epoch.
+        let mut genesis = Database::new();
+        genesis.assert_at("start", &[], 0);
+        genesis.assert_at("startSkew", &[Value::num(trace.initial_skew)], 0);
+        genesis.assert_at("startFrs", &[Value::num(0.0)], 0);
+        genesis.assert_at("ts", &[Value::Int(trace.start_time)], 0);
+        let mut session = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&genesis, 0)
+            .unwrap();
+        for (i, event) in trace.events.iter().enumerate() {
+            let epoch = i as i64 + 1;
+            let acc = Value::sym(&event.account.to_string());
+            let fact = match event.method {
+                Method::TransferMargin { amount } => {
+                    Fact::at("tranM", vec![acc, Value::num(amount)], epoch)
+                }
+                Method::Withdraw => Fact::at("withdraw", vec![acc], epoch),
+                Method::ModifyPosition { size } => {
+                    Fact::at("modPos", vec![acc, Value::num(size)], epoch)
+                }
+                Method::ClosePosition => Fact::at("closePos", vec![acc], epoch),
+            };
+            session.submit(fact).unwrap();
+            session
+                .submit(Fact::at("price", vec![Value::num(event.price)], epoch))
+                .unwrap();
+            session.submit(Fact::at("ts", vec![Value::Int(event.time)], epoch)).unwrap();
+            session.advance_to(epoch).unwrap();
+        }
+        assert_eq!(
+            session.database().to_facts_text(),
+            batch.to_facts_text(),
+            "seed {seed}: live session diverged from batch materialization"
+        );
+    }
+}
