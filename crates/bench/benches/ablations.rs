@@ -2,6 +2,7 @@
 //! timeline granularity (dense seconds vs event epochs), fixpoint strategy
 //! (semi-naive vs naive), and the engine vs the brute-force oracle.
 
+use chronolog_bench::microbench::Bench;
 use chronolog_core::naive::naive_materialize;
 use chronolog_core::{Reasoner, ReasonerConfig};
 use chronolog_market::{generate, ScenarioConfig};
@@ -9,7 +10,6 @@ use chronolog_perp::encode::encode_trace;
 use chronolog_perp::harness::run_datalog_with;
 use chronolog_perp::program::{build_program, TimelineMode};
 use chronolog_perp::MarketParams;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 /// A small window so the dense-timeline variants stay benchable: 20
 /// minutes, 24 events, 6 trades.
@@ -19,10 +19,10 @@ fn small_trace() -> chronolog_perp::Trace {
     generate(&config)
 }
 
-fn bench_timeline_granularity(c: &mut Criterion) {
+fn bench_timeline_granularity(c: &mut Bench) {
     let params = MarketParams::default();
     let trace = small_trace();
-    let mut group = c.benchmark_group("ablation_timeline");
+    let mut group = c.group("ablation_timeline");
     group.sample_size(10);
     group.bench_function("event_epochs", |b| {
         b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true).unwrap())
@@ -33,10 +33,10 @@ fn bench_timeline_granularity(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fixpoint_strategy(c: &mut Criterion) {
+fn bench_fixpoint_strategy(c: &mut Bench) {
     let params = MarketParams::default();
     let trace = small_trace();
-    let mut group = c.benchmark_group("ablation_seminaive");
+    let mut group = c.group("ablation_seminaive");
     group.sample_size(10);
     group.bench_function("semi_naive", |b| {
         b.iter(|| run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true).unwrap())
@@ -47,13 +47,13 @@ fn bench_fixpoint_strategy(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_engine_vs_oracle(c: &mut Criterion) {
+fn bench_engine_vs_oracle(c: &mut Bench) {
     let params = MarketParams::default();
     let trace = small_trace();
     let program = build_program(&params, TimelineMode::EventEpochs).unwrap();
     let encoded = encode_trace(&trace, TimelineMode::EventEpochs);
     let (lo, hi) = encoded.horizon;
-    let mut group = c.benchmark_group("ablation_engine_vs_oracle");
+    let mut group = c.group("ablation_engine_vs_oracle");
     group.sample_size(10);
     group.bench_function("interval_engine", |b| {
         let reasoner = Reasoner::new(
@@ -69,12 +69,12 @@ fn bench_engine_vs_oracle(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_session_streaming(c: &mut Criterion) {
+fn bench_session_streaming(c: &mut Bench) {
     use chronolog_core::{Database, Fact, Value};
     use chronolog_perp::Method;
     let params = MarketParams::default();
     let trace = small_trace();
-    let mut group = c.benchmark_group("session_streaming");
+    let mut group = c.group("session_streaming");
     group.sample_size(10);
     // Batch: one materialization of the whole window.
     group.bench_function("batch_full_window", |b| {
@@ -121,11 +121,10 @@ fn bench_session_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_timeline_granularity,
-    bench_fixpoint_strategy,
-    bench_engine_vs_oracle,
-    bench_session_streaming
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_timeline_granularity(&mut c);
+    bench_fixpoint_strategy(&mut c);
+    bench_engine_vs_oracle(&mut c);
+    bench_session_streaming(&mut c);
+}

@@ -1,13 +1,12 @@
 //! Microbenchmarks of the engine substrate: interval-set algebra, operator
 //! transforms, parsing, and small materializations.
 
+use chronolog_bench::microbench::{black_box, Bench};
 use chronolog_core::{parse_program, parse_source, Database, Reasoner, ReasonerConfig};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
-use std::hint::black_box;
 
-fn bench_interval_sets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval_set");
+fn bench_interval_sets(c: &mut Bench) {
+    let mut group = c.group("interval_set");
 
     // Insertions that keep coalescing into one component (the propagation
     // pattern of the ETH-PERP recursion).
@@ -67,7 +66,7 @@ fn bench_interval_sets(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser(c: &mut Bench) {
     let perp_source = chronolog_perp::program::program_source(
         &chronolog_perp::MarketParams::default(),
         chronolog_perp::program::TimelineMode::DenseSeconds,
@@ -77,7 +76,7 @@ fn bench_parser(c: &mut Criterion) {
     });
 }
 
-fn bench_small_materialization(c: &mut Criterion) {
+fn bench_small_materialization(c: &mut Bench) {
     // The isOpen/margin recursion over a 1000-step horizon.
     let (program, facts) = parse_source(
         "isOpen(A) :- tranM(A, M).\n\
@@ -102,15 +101,13 @@ fn bench_small_materialization(c: &mut Criterion) {
                 .unwrap()
             },
             |r| r.materialize(&db).unwrap(),
-            BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group!(
-    benches,
-    bench_interval_sets,
-    bench_parser,
-    bench_small_materialization
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_interval_sets(&mut c);
+    bench_parser(&mut c);
+    bench_small_materialization(&mut c);
+}

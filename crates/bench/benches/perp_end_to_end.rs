@@ -3,16 +3,16 @@
 //! (event-epoch timeline; the dense-seconds cost is covered by the
 //! `ablations` bench and `repro --table perf --dense`).
 
+use chronolog_bench::microbench::Bench;
 use chronolog_bench::paper_traces;
 use chronolog_market::{generate, ScenarioConfig};
 use chronolog_perp::harness::run_datalog;
 use chronolog_perp::program::TimelineMode;
 use chronolog_perp::{MarketParams, ReferenceEngine};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-fn bench_paper_intervals(c: &mut Criterion) {
+fn bench_paper_intervals(c: &mut Bench) {
     let params = MarketParams::default();
-    let mut group = c.benchmark_group("perp_end_to_end");
+    let mut group = c.group("perp_end_to_end");
     group.sample_size(10);
     for (config, trace) in paper_traces() {
         group.bench_function(format!("datalog/{}", config.name), |b| {
@@ -28,16 +28,19 @@ fn bench_paper_intervals(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
+fn bench_trace_generation(c: &mut Bench) {
+    let mut group = c.group("trace_generation");
     for (name, events, trades) in [("small-32", 32, 8), ("fig3-interval-1", 267, 59)] {
         let config = ScenarioConfig::new(name, 7, 0, events, trades, -100.0, 1330.0);
-        group.bench_function(name.to_string(), |b| {
-            b.iter_batched(|| config.clone(), |c| generate(&c), BatchSize::SmallInput)
+        group.bench_function(name, |b| {
+            b.iter_batched(|| config.clone(), |c| generate(&c))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_paper_intervals, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_paper_intervals(&mut c);
+    bench_trace_generation(&mut c);
+}

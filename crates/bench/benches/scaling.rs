@@ -2,25 +2,27 @@
 //! events (event-epoch timeline): how the declarative execution cost grows
 //! with the workload.
 
+use chronolog_bench::microbench::Bench;
 use chronolog_market::{generate, ScenarioConfig};
 use chronolog_perp::harness::run_datalog;
 use chronolog_perp::program::TimelineMode;
 use chronolog_perp::MarketParams;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_scaling(c: &mut Criterion) {
+fn bench_scaling(c: &mut Bench) {
     let params = MarketParams::default();
-    let mut group = c.benchmark_group("scaling_events");
+    let mut group = c.group("scaling_events");
     group.sample_size(10);
     for n in [32usize, 64, 128, 256, 512] {
         let config = ScenarioConfig::new("scale", 11, 0, n, n / 3, 100.0, 1400.0);
         let trace = generate(&config);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
-            b.iter(|| run_datalog(trace, &params, TimelineMode::EventEpochs).unwrap())
+        group.bench_function(n.to_string(), |b| {
+            b.iter(|| run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_env();
+    bench_scaling(&mut c);
+}

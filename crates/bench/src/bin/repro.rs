@@ -11,11 +11,18 @@
 //! repro --table all           # everything above (default; perf uses epochs)
 //! repro --table perf --dense  # §4.2 on the dense (unix-seconds) timeline
 //! repro --table export        # write the three interval ledgers to data/
+//! repro --table perf --json out.json   # also write a machine-readable report
 //! ```
+//!
+//! `--json FILE` (with `perf` or `all`) writes the per-interval engine
+//! statistics as JSON, one report per materialization in the same shape as
+//! the CLI's `--stats-json` (see docs/OBSERVABILITY.md).
 
 use chronolog_bench::{paper_traces, render_table, sci};
+use chronolog_cli::run_report;
 use chronolog_core::{DependencyGraph, Reasoner, ReasonerConfig};
 use chronolog_market::TraceStats;
+use chronolog_obs::Json;
 use chronolog_perp::harness::{run_datalog_with, validate, ErrorStats};
 use chronolog_perp::program::{build_program, TimelineMode};
 use chronolog_perp::MarketParams;
@@ -25,6 +32,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut table = "all".to_string();
     let mut dense = false;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,8 +44,15 @@ fn main() {
                 });
             }
             "--dense" => dense = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a file argument");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--table fig1|fig2|fig3|fig4|fig5|perf|ablations|all] [--dense]");
+                println!("usage: repro [--table fig1|fig2|fig3|fig4|fig5|perf|ablations|all] [--dense] [--json FILE]");
                 return;
             }
             other => {
@@ -54,7 +69,7 @@ fn main() {
         "fig3" => fig3(),
         "fig4" => fig4(),
         "fig5" => fig5(),
-        "perf" => perf(dense),
+        "perf" => perf(dense, json_path.as_deref()),
         "ablations" => ablations(),
         "export" => export(),
         "all" => {
@@ -63,7 +78,7 @@ fn main() {
             fig3();
             fig4();
             fig5();
-            perf(dense);
+            perf(dense, json_path.as_deref());
             ablations();
         }
         other => {
@@ -80,8 +95,7 @@ fn export() {
     for (config, trace) in paper_traces() {
         let ledger = chronolog_ledger::Ledger::from_trace(&trace).expect("valid trace");
         let path = format!("data/{}.json", config.name.replace([' ', '.'], "_"));
-        chronolog_ledger::save_ledger(&ledger, std::path::Path::new(&path))
-            .expect("write ledger");
+        chronolog_ledger::save_ledger(&ledger, std::path::Path::new(&path)).expect("write ledger");
         println!("wrote {path} ({} records)", ledger.len());
     }
 }
@@ -110,17 +124,30 @@ fn fig2() {
     let price = 1200.0;
     let skew = 1342.2;
     let rows = vec![
-        vec!["Max Funding Rate i_max".into(), format!("{}", p.max_funding_rate)],
+        vec![
+            "Max Funding Rate i_max".into(),
+            format!("{}", p.max_funding_rate),
+        ],
         vec![
             "Max Proportional Skew W_max".into(),
-            format!("{} / p_t = {}", p.skew_scale_notional, p.max_proportional_skew(price)),
+            format!(
+                "{} / p_t = {}",
+                p.skew_scale_notional,
+                p.max_proportional_skew(price)
+            ),
         ],
         vec![
             "Instantaneous Funding Rate i_t".into(),
             sci(p.instantaneous_funding_rate(skew, price)),
         ],
-        vec!["Taker fee (skew-increasing)".into(), format!("{}", p.taker_fee)],
-        vec!["Maker fee (skew-reducing)".into(), format!("{}", p.maker_fee)],
+        vec![
+            "Taker fee (skew-increasing)".into(),
+            format!("{}", p.taker_fee),
+        ],
+        vec![
+            "Maker fee (skew-reducing)".into(),
+            format!("{}", p.maker_fee),
+        ],
     ];
     println!("{}", render_table(&["Metric", "Value"], &rows));
 }
@@ -145,7 +172,14 @@ fn fig3() {
     println!(
         "{}",
         render_table(
-            &["Date / Interval (GMT)", "# events", "# trades", "Skew", "# accounts", "volume"],
+            &[
+                "Date / Interval (GMT)",
+                "# events",
+                "# trades",
+                "Skew",
+                "# accounts",
+                "volume"
+            ],
             &rows
         )
     );
@@ -157,8 +191,7 @@ fn fig4() {
     println!("== Figure 4: funding rate sequence, Subgraph vs DatalogMTL ==\n");
     let params = MarketParams::default();
     for (config, trace) in paper_traces() {
-        let report = validate(&trace, &params, TimelineMode::EventEpochs)
-            .expect("validation runs");
+        let report = validate(&trace, &params, TimelineMode::EventEpochs).expect("validation runs");
         println!("-- interval {} --", config.name);
         let shown = 8.min(report.frs_rows.len());
         let rows: Vec<Vec<String>> = report.frs_rows[..shown]
@@ -174,7 +207,10 @@ fn fig4() {
             .collect();
         println!(
             "{}",
-            render_table(&["time", "Subgraph FRS", "DatalogMTL FRS", "Difference"], &rows)
+            render_table(
+                &["time", "Subgraph FRS", "DatalogMTL FRS", "Difference"],
+                &rows
+            )
         );
         println!(
             "({} more rows)   max |difference| over {} events: {}\n",
@@ -194,8 +230,7 @@ fn fig5() {
     let mut fees = Vec::new();
     let mut fundings = Vec::new();
     for (_, trace) in paper_traces() {
-        let report = validate(&trace, &params, TimelineMode::EventEpochs)
-            .expect("validation runs");
+        let report = validate(&trace, &params, TimelineMode::EventEpochs).expect("validation runs");
         for (a, b) in report.datalog.trades.iter().zip(&report.subgraph.trades) {
             returns.push(a.pnl - b.pnl);
             fees.push(a.fee - b.fee);
@@ -207,8 +242,18 @@ fn fig5() {
     let d = ErrorStats::of(&fundings);
     let rows = vec![
         vec!["Mean".into(), sci(r.mean), sci(f.mean), sci(d.mean)],
-        vec!["Std. Dev.".into(), sci(r.std_dev), sci(f.std_dev), sci(d.std_dev)],
-        vec!["Max |err|".into(), sci(r.max_abs), sci(f.max_abs), sci(d.max_abs)],
+        vec![
+            "Std. Dev.".into(),
+            sci(r.std_dev),
+            sci(f.std_dev),
+            sci(d.std_dev),
+        ],
+        vec![
+            "Max |err|".into(),
+            sci(r.max_abs),
+            sci(f.max_abs),
+            sci(d.max_abs),
+        ],
         vec![
             "# trades".into(),
             r.count.to_string(),
@@ -216,31 +261,47 @@ fn fig5() {
             d.count.to_string(),
         ],
     ];
-    println!("{}", render_table(&["", "Returns", "Fee", "Funding"], &rows));
+    println!(
+        "{}",
+        render_table(&["", "Returns", "Fee", "Funding"], &rows)
+    );
     println!("(paper: means ~1e-15..1e-17, std devs ~1e-14..1e-16)\n");
 }
 
 /// §4.2 performance: runtime per interval. The dense (unix-seconds)
 /// timeline is the apples-to-apples comparison with the Vadalog numbers;
 /// the event-epoch timeline shows what the compressed encoding buys.
-fn perf(dense_only: bool) {
+/// With `json_path`, also writes a machine-readable report: one entry per
+/// materialization in the CLI's `--stats-json` shape.
+fn perf(dense_only: bool, json_path: Option<&str>) {
     println!("== §4.2 performance: DatalogMTL materialization runtime ==\n");
     let params = MarketParams::default();
     let paper_runtimes = [1140.0, 540.0, 420.0];
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    let mut add_report =
+        |stats: &chronolog_core::RunStats, name: &str, timeline: &str, secs: f64| {
+            let mut rep = run_report(stats, &[name.to_string()], None);
+            rep.set("command", "repro");
+            rep.set("timeline", timeline);
+            rep.set("runtime_secs", secs);
+            reports.push(rep);
+        };
     for ((config, trace), paper_secs) in paper_traces().into_iter().zip(paper_runtimes) {
         let t0 = Instant::now();
-        let dense_run =
-            run_datalog_with(&trace, &params, TimelineMode::DenseSeconds, true)
-                .expect("dense run succeeds");
+        let dense_run = run_datalog_with(&trace, &params, TimelineMode::DenseSeconds, true)
+            .expect("dense run succeeds");
         let dense_t = t0.elapsed().as_secs_f64();
+        add_report(&dense_run.stats, &config.name, "dense_seconds", dense_t);
         let epoch_t = if dense_only {
             None
         } else {
             let t0 = Instant::now();
-            run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true)
+            let epoch_run = run_datalog_with(&trace, &params, TimelineMode::EventEpochs, true)
                 .expect("epoch run succeeds");
-            Some(t0.elapsed().as_secs_f64())
+            let secs = t0.elapsed().as_secs_f64();
+            add_report(&epoch_run.stats, &config.name, "event_epochs", secs);
+            Some(secs)
         };
         rows.push(vec![
             config.name.clone(),
@@ -249,7 +310,12 @@ fn perf(dense_only: bool) {
             epoch_t.map_or("-".to_string(), |t| format!("{t:.2}s")),
             format!("{paper_secs:.0}s"),
             format!("{:.0}s", trace.span_secs()),
-            (if dense_t < trace.span_secs() as f64 { "yes" } else { "NO" }).to_string(),
+            (if dense_t < trace.span_secs() as f64 {
+                "yes"
+            } else {
+                "NO"
+            })
+            .to_string(),
             dense_run.stats.derived_tuples.to_string(),
         ]);
     }
@@ -270,6 +336,15 @@ fn perf(dense_only: bool) {
         )
     );
     println!("(shape check: runtime << 7200s window in all intervals, as in the paper)\n");
+    if let Some(path) = json_path {
+        let mut doc = Json::object();
+        doc.set("schema_version", chronolog_cli::REPORT_SCHEMA_VERSION);
+        doc.set("command", "repro");
+        doc.set("table", "perf");
+        doc.set("runs", Json::Arr(reports));
+        std::fs::write(path, doc.to_pretty()).expect("write --json report");
+        println!("wrote machine-readable perf report to {path}\n");
+    }
 }
 
 /// Ablations: timeline granularity and semi-naive evaluation.
@@ -287,11 +362,19 @@ fn ablations() {
     let epoch_t = t0.elapsed().as_secs_f64();
     assert_eq!(dense.run.frs, epoch.run.frs, "timelines must agree exactly");
     assert_eq!(dense.run.trades, epoch.run.trades);
-    println!("-- A: timeline granularity (interval {}, outputs identical) --", config.name);
+    println!(
+        "-- A: timeline granularity (interval {}, outputs identical) --",
+        config.name
+    );
     println!(
         "{}",
         render_table(
-            &["timeline", "runtime", "derived tuples", "iterations (max stratum)"],
+            &[
+                "timeline",
+                "runtime",
+                "derived tuples",
+                "iterations (max stratum)"
+            ],
             &[
                 vec![
                     "dense seconds".into(),

@@ -2,6 +2,8 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use chronolog_market::{paper_intervals, ScenarioConfig};
 use chronolog_perp::Trace;
 

@@ -1,0 +1,198 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! Covers the small Criterion subset the benches in `benches/` use —
+//! groups, `bench_function`, `iter`, `iter_batched`, per-group sample
+//! sizes — with zero external dependencies. Each benchmark is calibrated
+//! so one sample takes a few milliseconds, then timed over `sample_size`
+//! samples; min/median/mean per iteration are printed as the run goes.
+//!
+//! Wall-clock numbers from this harness are indicative, not
+//! statistically rigorous: there is no outlier rejection and no
+//! regression tracking. They are good enough for the relative
+//! comparisons the repro tables make (semi-naive vs naive, dense vs
+//! epoch timelines, engine vs oracle).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness; hand out groups or run stand-alone benchmarks.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Builds a harness, reading an optional substring filter from the
+    /// command line (`cargo bench --bench engine_micro -- parse` runs only
+    /// benchmarks whose full name contains "parse").
+    pub fn from_env() -> Bench {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench { filter }
+    }
+
+    /// Starts a named group; benchmark names are prefixed `group/name`.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            prefix: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark with the default sample size.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let filter = self.filter.clone();
+        run_one(filter.as_deref(), name, 20, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets how many timed samples each benchmark in this group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        let filter = self.bench.filter.clone();
+        run_one(filter.as_deref(), &full, self.sample_size, f);
+    }
+
+    /// Ends the group. (Groups report as they go; this is a no-op kept for
+    /// call-site symmetry.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only; `setup` runs outside the timed region each
+    /// iteration (for routines that consume their input).
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(filter: Option<&str>, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(filt) = filter {
+        if !name.contains(filt) {
+            return;
+        }
+    }
+    // Warmup doubles as calibration: size each sample to take ~5ms so
+    // Instant resolution noise stays below a percent.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let iters =
+        (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{name:<45} min {:>12}  median {:>12}  mean {:>12}  ({iters} iters x {samples} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_and_runs() {
+        let mut b = Bench { filter: None };
+        let mut group = b.group("t");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 3, "warmup + samples should all run, got {ran}");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = Bench {
+            filter: Some("other".to_string()),
+        };
+        let mut ran = false;
+        b.bench_function("this_one", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -10,7 +10,9 @@
 //!   --query 'p(X, 1)'     print facts matching an atom pattern (repeatable)
 //!   --explain 'p(a)@5'    print the derivation tree of a ground fact
 //!   --facts               dump the full materialization as fact text
-//!   --stats               print run statistics
+//!   --stats               print run statistics (totals + per-rule hot list)
+//!   --stats-json FILE     write a machine-readable run report (JSON)
+//!   --trace FILE          write structured engine events (JSON Lines)
 //! ```
 //!
 //! Files may mix rules and facts; `-` reads standard input.
@@ -19,9 +21,13 @@
 
 use chronolog_core::{
     parse_source, Atom, Database, DependencyGraph, Error, Fact, Literal, MetricAtom, Program,
-    Rational, Reasoner, ReasonerConfig, Stratification, Term, Value,
+    Rational, Reasoner, ReasonerConfig, RunStats, Stratification, Term, Value,
 };
+use chronolog_obs::{Json, Registry, Tracer};
 use std::fmt::Write as _;
+
+/// Schema version of the `--stats-json` report; bump on breaking changes.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -56,7 +62,10 @@ impl From<Error> for CliError {
 
 /// Runs the CLI on the given arguments (without the program name), with
 /// `read_file` abstracted for testing. Returns the text to print.
-pub fn run_cli(args: &[String], read_file: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+pub fn run_cli(
+    args: &[String],
+    read_file: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| CliError::usage(USAGE))?;
     match command.as_str() {
@@ -70,12 +79,15 @@ pub fn run_cli(args: &[String], read_file: impl Fn(&str) -> std::io::Result<Stri
         }
         "run" => cmd_run(&it.cloned().collect::<Vec<_>>(), &read_file),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
-        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     }
 }
 
 const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
-  run options: --horizon LO..HI  --query 'p(X)'  --explain 'p(a)@5'  --facts  --stats";
+  run options: --horizon LO..HI  --query 'p(X)'  --explain 'p(a)@5'  --facts  --stats\n\
+               --stats-json FILE  --trace FILE";
 
 fn load_sources(
     paths: &mut Vec<String>,
@@ -87,8 +99,8 @@ fn load_sources(
     let mut program = Program::new();
     let mut facts = Vec::new();
     for path in paths {
-        let text = read_file(path)
-            .map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?;
+        let text =
+            read_file(path).map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?;
         let (p, f) = parse_source(&text)?;
         program.rules.extend(p.rules);
         facts.extend(f);
@@ -132,18 +144,42 @@ fn cmd_run(
     let mut explains: Vec<String> = Vec::new();
     let mut dump_facts = false;
     let mut stats = false;
+    let mut stats_json: Option<String> = None;
+    let mut trace_file: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats-json" => {
+                i += 1;
+                stats_json = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--stats-json needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--trace" => {
+                i += 1;
+                trace_file = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--trace needs a file path"))?
+                        .clone(),
+                );
+            }
             "--horizon" => {
                 i += 1;
-                let spec = args.get(i).ok_or_else(|| CliError::usage("--horizon needs LO..HI"))?;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--horizon needs LO..HI"))?;
                 let (lo, hi) = spec
                     .split_once("..")
                     .ok_or_else(|| CliError::usage("--horizon format is LO..HI"))?;
-                let lo: i64 = lo.parse().map_err(|_| CliError::usage("bad horizon bound"))?;
-                let hi: i64 = hi.parse().map_err(|_| CliError::usage("bad horizon bound"))?;
+                let lo: i64 = lo
+                    .parse()
+                    .map_err(|_| CliError::usage("bad horizon bound"))?;
+                let hi: i64 = hi
+                    .parse()
+                    .map_err(|_| CliError::usage("bad horizon bound"))?;
                 horizon = Some((lo, hi));
             }
             "--query" => {
@@ -176,8 +212,10 @@ fn cmd_run(
     let mut db = Database::new();
     db.extend_facts(&facts);
 
+    let tracer = trace_file.as_ref().map(|_| Tracer::new());
     let mut config = ReasonerConfig {
         provenance: !explains.is_empty(),
+        tracer: tracer.clone(),
         ..ReasonerConfig::default()
     };
     if let Some((lo, hi)) = horizon {
@@ -185,6 +223,16 @@ fn cmd_run(
     }
     let reasoner = Reasoner::new(program.clone(), config)?;
     let m = reasoner.materialize(&db)?;
+
+    if let (Some(path), Some(tracer)) = (&trace_file, &tracer) {
+        std::fs::write(path, tracer.drain_jsonl())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = &stats_json {
+        let report = run_report(&m.stats, &paths, horizon);
+        std::fs::write(path, report.to_pretty())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    }
 
     let mut out = String::new();
     if dump_facts || (queries.is_empty() && explains.is_empty() && !stats) {
@@ -223,16 +271,99 @@ fn cmd_run(
         }
     }
     if stats {
-        let _ = writeln!(
-            out,
-            "stats: {} derived tuples, {} components, iterations {:?}, {:?}",
-            m.stats.derived_tuples,
-            m.stats.total_components,
-            m.stats.iterations,
-            m.stats.elapsed
-        );
+        render_stats(&mut out, &m.stats);
     }
     Ok(out)
+}
+
+/// Renders the `--stats` report: run totals, per-stratum iteration counts,
+/// and a per-rule hot list ordered by wall time.
+fn render_stats(out: &mut String, stats: &RunStats) {
+    let _ = writeln!(
+        out,
+        "stats: {} derived tuples, {} components, {} rule evaluations, {:?}",
+        stats.derived_tuples, stats.total_components, stats.rule_evaluations, stats.elapsed
+    );
+    let _ = writeln!(
+        out,
+        "strata (iterations per fixpoint): {:?}",
+        stats.iterations
+    );
+    for s in &stats.strata {
+        let _ = writeln!(
+            out,
+            "  stratum {}: {} iterations, {} evals, {} tuples, {} components, {:?}",
+            s.stratum,
+            s.iterations,
+            s.rule_evaluations,
+            s.tuples_derived,
+            s.components_added,
+            s.wall
+        );
+    }
+    let mut hot: Vec<_> = stats
+        .rules
+        .iter()
+        .filter(|r| r.body_evaluations > 0)
+        .collect();
+    hot.sort_by_key(|r| std::cmp::Reverse(r.wall));
+    if !hot.is_empty() {
+        let _ = writeln!(out, "rule hot list (by wall time):");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<12} {:>7} {:>8} {:>8} {:>10} {:>12}",
+            "rule", "head", "stratum", "evals", "tuples", "components", "wall"
+        );
+        for r in hot.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<12} {:>7} {:>8} {:>8} {:>10} {:>12}",
+                r.label,
+                r.head,
+                r.stratum,
+                r.body_evaluations,
+                r.tuples_derived,
+                r.components_added,
+                format!("{:?}", r.wall)
+            );
+        }
+    }
+}
+
+/// Builds the machine-readable run report written by `--stats-json`: run
+/// metadata, the engine's totals/strata/rules sections, and a snapshot of
+/// the global metric registry. The shape is pinned by the schema golden
+/// test; bump [`REPORT_SCHEMA_VERSION`] on breaking changes.
+pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)>) -> Json {
+    let mut report = Json::object();
+    report.set("schema_version", REPORT_SCHEMA_VERSION);
+    report.set("command", "run");
+    report.set(
+        "files",
+        Json::Arr(files.iter().map(|f| Json::from(f.as_str())).collect()),
+    );
+    report.set(
+        "horizon",
+        match horizon {
+            Some((lo, hi)) => Json::from(format!("{lo}..{hi}")),
+            None => Json::Null,
+        },
+    );
+    let stats_json = stats.to_json();
+    report.set(
+        "totals",
+        stats_json.get("totals").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "strata",
+        stats_json.get("strata").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "rules",
+        stats_json.get("rules").cloned().unwrap_or(Json::Null),
+    );
+    report.set("metrics", Registry::global().snapshot());
+    report
 }
 
 /// Parses an atom pattern like `margin(acc1, M)` by disguising it as a
@@ -277,7 +408,11 @@ fn query_database(db: &Database, pattern: &Atom) -> Vec<String> {
 
 /// Quick helper for tests: `t` must be inside the horizon used in `run`.
 pub fn holds(db: &Database, pred: &str, args: &[Value], t: i64) -> bool {
-    db.holds_at_rational(chronolog_core::Symbol::new(pred), args, Rational::integer(t))
+    db.holds_at_rational(
+        chronolog_core::Symbol::new(pred),
+        args,
+        Rational::integer(t),
+    )
 }
 
 #[cfg(test)]
@@ -318,7 +453,14 @@ mod tests {
     fn run_with_query() {
         let fs = fake_fs(&[("demo.dmtl", DEMO)]);
         let out = run_cli(
-            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--query", "isOpen(A)"]),
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--query",
+                "isOpen(A)",
+            ]),
             fs,
         )
         .unwrap();
@@ -331,7 +473,14 @@ mod tests {
     fn run_with_explain() {
         let fs = fake_fs(&[("demo.dmtl", DEMO)]);
         let out = run_cli(
-            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--explain", "isOpen(acc1)@5"]),
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--explain",
+                "isOpen(acc1)@5",
+            ]),
             fs,
         )
         .unwrap();
@@ -340,7 +489,14 @@ mod tests {
         // Negative case.
         let fs = fake_fs(&[("demo.dmtl", DEMO)]);
         let out = run_cli(
-            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--explain", "isOpen(acc1)@9"]),
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--explain",
+                "isOpen(acc1)@9",
+            ]),
             fs,
         )
         .unwrap();
@@ -372,6 +528,112 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("derived tuples"), "{out}");
+        // Per-stratum iteration counts and the per-rule hot list.
+        assert!(out.contains("strata (iterations per fixpoint)"), "{out}");
+        assert!(out.contains("stratum 0:"), "{out}");
+        assert!(out.contains("rule hot list"), "{out}");
+        assert!(out.contains("isOpen"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_writes_a_report() {
+        let dir = std::env::temp_dir().join("chronolog-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--stats-json",
+                path.to_str().unwrap(),
+            ]),
+            fs,
+        )
+        .unwrap();
+        let report = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            report.get("schema_version").and_then(Json::as_u64),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        let totals = report.get("totals").unwrap();
+        let rules = report.get("rules").and_then(Json::as_array).unwrap();
+        let strata = report.get("strata").and_then(Json::as_array).unwrap();
+        // Per-rule and per-stratum counts sum to the run totals.
+        let sum = |items: &[Json], field: &str| -> u64 {
+            items
+                .iter()
+                .map(|r| r.get(field).and_then(Json::as_u64).unwrap())
+                .sum()
+        };
+        assert_eq!(
+            sum(rules, "body_evaluations"),
+            totals
+                .get("rule_evaluations")
+                .and_then(Json::as_u64)
+                .unwrap()
+        );
+        assert_eq!(
+            sum(rules, "tuples_derived"),
+            totals.get("derived_tuples").and_then(Json::as_u64).unwrap()
+        );
+        assert_eq!(
+            sum(strata, "tuples_derived"),
+            totals.get("derived_tuples").and_then(Json::as_u64).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_writes_jsonl_events() {
+        let dir = std::env::temp_dir().join("chronolog-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--trace",
+                path.to_str().unwrap(),
+            ]),
+            fs,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty());
+        let mut names = Vec::new();
+        for line in text.lines() {
+            let ev = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL `{line}`: {e}"));
+            names.push(ev.get("ev").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert!(
+            names.contains(&"materialize_start".to_string()),
+            "{names:?}"
+        );
+        assert!(names.contains(&"stratum".to_string()), "{names:?}");
+        assert!(names.contains(&"materialize_end".to_string()), "{names:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn new_flags_report_usage_errors() {
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let err = run_cli(&args(&["run", "demo.dmtl", "--stats-json"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--stats-json"), "{}", err.message);
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let err = run_cli(&args(&["run", "demo.dmtl", "--trace"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--trace"), "{}", err.message);
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let err = run_cli(&args(&["run", "demo.dmtl", "--trance", "x"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown option"), "{}", err.message);
     }
 
     #[test]
@@ -394,7 +656,15 @@ mod tests {
             ("facts.dmtl", "p(x)@[0, 5].\nq(x)@[3, 9]."),
         ]);
         let out = run_cli(
-            &args(&["run", "rules.dmtl", "facts.dmtl", "--horizon", "0..10", "--query", "h(X)"]),
+            &args(&[
+                "run",
+                "rules.dmtl",
+                "facts.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "h(X)",
+            ]),
             fs,
         )
         .unwrap();
@@ -403,15 +673,8 @@ mod tests {
 
     #[test]
     fn query_with_constants_filters() {
-        let fs = fake_fs(&[(
-            "f.dmtl",
-            "p(x, 1)@0.\np(x, 2)@1.\np(y, 1)@2.",
-        )]);
-        let out = run_cli(
-            &args(&["run", "f.dmtl", "--query", "p(x, N)"]),
-            fs,
-        )
-        .unwrap();
+        let fs = fake_fs(&[("f.dmtl", "p(x, 1)@0.\np(x, 2)@1.\np(y, 1)@2.")]);
+        let out = run_cli(&args(&["run", "f.dmtl", "--query", "p(x, N)"]), fs).unwrap();
         assert!(out.contains("p(x, 1)@[0]"), "{out}");
         assert!(out.contains("p(x, 2)@[1]"), "{out}");
         assert!(!out.contains("p(y, 1)"), "{out}");

@@ -69,8 +69,21 @@ fn fibonacci_corpus_computes_the_sequence() {
         fs,
     )
     .unwrap();
-    for (t, f) in [(2, 2), (3, 3), (4, 5), (5, 8), (6, 13), (7, 21), (8, 34), (9, 55), (10, 89)] {
-        assert!(out.contains(&format!("fib({f})@[{t}]")), "fib({f})@{t} missing:\n{out}");
+    for (t, f) in [
+        (2, 2),
+        (3, 3),
+        (4, 5),
+        (5, 8),
+        (6, 13),
+        (7, 21),
+        (8, 34),
+        (9, 55),
+        (10, 89),
+    ] {
+        assert!(
+            out.contains(&format!("fib({f})@[{t}]")),
+            "fib({f})@{t} missing:\n{out}"
+        );
     }
 }
 
@@ -104,7 +117,10 @@ fn funding_corpus_accrues_funding() {
 fn graph_on_corpus_mentions_all_predicates() {
     let out = run_cli(&args(&["graph", "corpus/funding.dmtl"]), fs).unwrap();
     for pred in ["skew", "frs", "unrFund", "tdiff", "event"] {
-        assert!(out.contains(&format!("\"{pred}\"")), "missing {pred} in DOT");
+        assert!(
+            out.contains(&format!("\"{pred}\"")),
+            "missing {pred} in DOT"
+        );
     }
 }
 

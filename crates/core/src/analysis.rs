@@ -173,11 +173,7 @@ pub fn check_program(program: &Program) -> Result<()> {
 /// bound variables); variables under negation must be bound or local to
 /// their literal.
 fn check_rule_safety(rule: &Rule) -> Result<()> {
-    let rule_name = || {
-        rule.label
-            .clone()
-            .unwrap_or_else(|| rule.to_string())
-    };
+    let rule_name = || rule.label.clone().unwrap_or_else(|| rule.to_string());
     let mut bound: HashSet<Symbol> = HashSet::new();
     for lit in &rule.body {
         if let Literal::Pos(m) = lit {

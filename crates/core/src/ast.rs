@@ -530,11 +530,7 @@ mod tests {
 
     #[test]
     fn atom_display_and_vars() {
-        let a = Atom::with_time(
-            "event",
-            vec![Term::var("S"), Term::Val(Value::Int(3))],
-            "T",
-        );
+        let a = Atom::with_time("event", vec![Term::var("S"), Term::Val(Value::Int(3))], "T");
         assert_eq!(a.to_string(), "event(S, 3)@T");
         let vars = a.variables();
         assert_eq!(vars.len(), 2);
@@ -577,7 +573,10 @@ mod tests {
     fn expr_variables() {
         let e = Expr::Add(
             Box::new(Expr::var("X")),
-            Box::new(Expr::Mul(Box::new(Expr::var("Y")), Box::new(Expr::val(2i64)))),
+            Box::new(Expr::Mul(
+                Box::new(Expr::var("Y")),
+                Box::new(Expr::val(2i64)),
+            )),
         );
         assert_eq!(e.variables().len(), 2);
         assert_eq!(e.to_string(), "(X + (Y * 2))");

@@ -69,7 +69,11 @@ impl Database {
 
     /// Inserts a parsed fact. Returns `true` iff the database grew.
     pub fn insert_fact(&mut self, fact: &Fact) -> bool {
-        self.insert(fact.pred, fact.args.clone().into_boxed_slice(), fact.interval)
+        self.insert(
+            fact.pred,
+            fact.args.clone().into_boxed_slice(),
+            fact.interval,
+        )
     }
 
     /// Inserts facts from an iterator.
@@ -96,7 +100,11 @@ impl Database {
 
     /// Convenience insertion over an interval.
     pub fn assert_over(&mut self, pred: &str, args: &[Value], interval: Interval) -> &mut Self {
-        self.insert(Symbol::new(pred), args.to_vec().into_boxed_slice(), interval);
+        self.insert(
+            Symbol::new(pred),
+            args.to_vec().into_boxed_slice(),
+            interval,
+        );
         self
     }
 

@@ -121,8 +121,8 @@ fn decompose_and_aggregate(
     // boundaries, and unbounded tails where contributions extend to ±inf.
     let mut pieces: Vec<(Interval, Rational)> = Vec::new(); // (piece, representative)
     if let (Some(&first), true) = (points.first(), has_neg_inf) {
-        let piece = Interval::new(TimeBound::NegInf, false, first.into(), false)
-            .expect("non-empty tail");
+        let piece =
+            Interval::new(TimeBound::NegInf, false, first.into(), false).expect("non-empty tail");
         pieces.push((piece, first - Rational::ONE));
     }
     for (i, &p) in points.iter().enumerate() {
@@ -133,8 +133,8 @@ fn decompose_and_aggregate(
         }
     }
     if let (Some(&last), true) = (points.last(), has_pos_inf) {
-        let piece = Interval::new(last.into(), false, TimeBound::PosInf, false)
-            .expect("non-empty tail");
+        let piece =
+            Interval::new(last.into(), false, TimeBound::PosInf, false).expect("non-empty tail");
         pieces.push((piece, last + Rational::ONE));
     }
 
@@ -284,7 +284,10 @@ mod tests {
 
     #[test]
     fn min_max_avg() {
-        let out = run_agg("lo(min(S)) :- p(A, S).", "p(a, 5)@1.\np(b, 2)@1.\np(c, 9)@1.");
+        let out = run_agg(
+            "lo(min(S)) :- p(A, S).",
+            "p(a, 5)@1.\np(b, 2)@1.\np(c, 9)@1.",
+        );
         assert_eq!(out[0].0[0], Value::Int(2));
         let out = run_agg("hi(max(S)) :- p(A, S).", "p(a, 5)@1.\np(b, 2)@1.");
         assert_eq!(out[0].0[0], Value::Int(5));

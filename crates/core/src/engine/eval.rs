@@ -41,9 +41,7 @@ pub(crate) fn delta_eligible(lit: &Literal) -> Option<Symbol> {
     fn chain(m: &MetricAtom) -> Option<Symbol> {
         match m {
             MetricAtom::Rel(a) => Some(a.pred),
-            MetricAtom::DiamondMinus(_, inner) | MetricAtom::DiamondPlus(_, inner) => {
-                chain(inner)
-            }
+            MetricAtom::DiamondMinus(_, inner) | MetricAtom::DiamondPlus(_, inner) => chain(inner),
             MetricAtom::BoxMinus(rho, inner) | MetricAtom::BoxPlus(rho, inner) => {
                 if rho.is_punctual() {
                     chain(inner)
@@ -70,8 +68,7 @@ pub(crate) fn eval_body(
     ctx: &EvalCtx<'_>,
     delta_literal: Option<usize>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
-    let mut acc: Vec<(Bindings, IntervalSet)> =
-        vec![(Bindings::new(), ctx.horizon_set())];
+    let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::new(), ctx.horizon_set())];
 
     let n = rule.body.len();
     let mut done = vec![false; n];
@@ -83,7 +80,9 @@ pub(crate) fn eval_body(
     // makes semi-naive evaluation pay off on rules whose other literals
     // join only through time (e.g. a `price` stream).
     let order: Vec<usize> = match delta_literal {
-        Some(d) => std::iter::once(d).chain((0..n).filter(|&i| i != d)).collect(),
+        Some(d) => std::iter::once(d)
+            .chain((0..n).filter(|&i| i != d))
+            .collect(),
         None => (0..n).collect(),
     };
     for i in order {
@@ -256,9 +255,9 @@ fn compare(l: Value, op: CmpOp, r: Value) -> Result<bool> {
         CmpOp::Eq => Ok(l.semantic_eq(&r)),
         CmpOp::Ne => Ok(!l.semantic_eq(&r)),
         _ => {
-            let ord = l.semantic_cmp(&r).ok_or_else(|| {
-                Error::Eval(format!("cannot compare {l} and {r}"))
-            })?;
+            let ord = l
+                .semantic_cmp(&r)
+                .ok_or_else(|| Error::Eval(format!("cannot compare {l} and {r}")))?;
             Ok(match op {
                 CmpOp::Lt => ord.is_lt(),
                 CmpOp::Le => ord.is_le(),
@@ -287,9 +286,8 @@ pub(crate) fn eval_expr(expr: &Expr, b: &Bindings) -> Result<Value> {
             },
             _ => {
                 let (x, y) = (
-                    a.as_f64().ok_or_else(|| {
-                        Error::Eval(format!("non-numeric operand {a} in {what}"))
-                    })?,
+                    a.as_f64()
+                        .ok_or_else(|| Error::Eval(format!("non-numeric operand {a} in {what}")))?,
                     bb.as_f64().ok_or_else(|| {
                         Error::Eval(format!("non-numeric operand {bb} in {what}"))
                     })?,
@@ -337,7 +335,13 @@ pub(crate) fn eval_expr(expr: &Expr, b: &Bindings) -> Result<Value> {
             num2(
                 xv,
                 yv,
-                |a, c| if c != 0 && a % c == 0 { Some(a / c) } else { None },
+                |a, c| {
+                    if c != 0 && a % c == 0 {
+                        Some(a / c)
+                    } else {
+                        None
+                    }
+                },
                 |a, c| a / c,
                 "/",
             )
@@ -439,32 +443,40 @@ fn eval_matom_masked(
         MetricAtom::Bottom => Ok(vec![]),
         MetricAtom::Rel(atom) => eval_rel(atom, ctx, use_delta, binding, mask),
         MetricAtom::DiamondMinus(rho, inner) => {
-            Ok(eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
-                .into_iter()
-                .map(|(b, ivs)| (b, ivs.diamond_minus(rho)))
-                .filter(|(_, ivs)| !ivs.is_empty())
-                .collect())
+            Ok(
+                eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
+                    .into_iter()
+                    .map(|(b, ivs)| (b, ivs.diamond_minus(rho)))
+                    .filter(|(_, ivs)| !ivs.is_empty())
+                    .collect(),
+            )
         }
         MetricAtom::DiamondPlus(rho, inner) => {
-            Ok(eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
-                .into_iter()
-                .map(|(b, ivs)| (b, ivs.diamond_plus(rho)))
-                .filter(|(_, ivs)| !ivs.is_empty())
-                .collect())
+            Ok(
+                eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
+                    .into_iter()
+                    .map(|(b, ivs)| (b, ivs.diamond_plus(rho)))
+                    .filter(|(_, ivs)| !ivs.is_empty())
+                    .collect(),
+            )
         }
         MetricAtom::BoxMinus(rho, inner) => {
-            Ok(eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
-                .into_iter()
-                .map(|(b, ivs)| (b, ivs.box_minus(rho)))
-                .filter(|(_, ivs)| !ivs.is_empty())
-                .collect())
+            Ok(
+                eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
+                    .into_iter()
+                    .map(|(b, ivs)| (b, ivs.box_minus(rho)))
+                    .filter(|(_, ivs)| !ivs.is_empty())
+                    .collect(),
+            )
         }
         MetricAtom::BoxPlus(rho, inner) => {
-            Ok(eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
-                .into_iter()
-                .map(|(b, ivs)| (b, ivs.box_plus(rho)))
-                .filter(|(_, ivs)| !ivs.is_empty())
-                .collect())
+            Ok(
+                eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
+                    .into_iter()
+                    .map(|(b, ivs)| (b, ivs.box_plus(rho)))
+                    .filter(|(_, ivs)| !ivs.is_empty())
+                    .collect(),
+            )
         }
         MetricAtom::Since(m1, rho, m2) => {
             debug_assert!(!use_delta, "delta never designates multi-atom literals");
@@ -516,7 +528,8 @@ fn eval_rel(
     mask: Option<Interval>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     let db = if use_delta {
-        ctx.delta.expect("delta variant evaluated without a delta database")
+        ctx.delta
+            .expect("delta variant evaluated without a delta database")
     } else {
         ctx.total
     };
@@ -554,10 +567,7 @@ fn eval_rel(
                     }
                     let mut b3 = b2.clone();
                     b3.insert(tv, tval);
-                    out.push((
-                        b3,
-                        IntervalSet::from_interval(Interval::point(p)),
-                    ));
+                    out.push((b3, IntervalSet::from_interval(Interval::point(p))));
                 }
             }
         }
@@ -740,17 +750,22 @@ mod tests {
     #[test]
     fn expr_integer_exactness() {
         let b = Bindings::new();
-        let e = crate::parser::parse_rule("h(X) :- p(Y), X = 6 / 3.")
-            .unwrap();
+        let e = crate::parser::parse_rule("h(X) :- p(Y), X = 6 / 3.").unwrap();
         drop(e);
         assert_eq!(
-            eval_expr(&Expr::Div(Box::new(Expr::val(6i64)), Box::new(Expr::val(3i64))), &b)
-                .unwrap(),
+            eval_expr(
+                &Expr::Div(Box::new(Expr::val(6i64)), Box::new(Expr::val(3i64))),
+                &b
+            )
+            .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
-            eval_expr(&Expr::Div(Box::new(Expr::val(7i64)), Box::new(Expr::val(2i64))), &b)
-                .unwrap(),
+            eval_expr(
+                &Expr::Div(Box::new(Expr::val(7i64)), Box::new(Expr::val(2i64))),
+                &b
+            )
+            .unwrap(),
             Value::num(3.5)
         );
         assert!(eval_expr(
@@ -762,10 +777,7 @@ mod tests {
 
     #[test]
     fn since_in_body() {
-        let out = eval(
-            "h(A) :- since[0, 5](p(A), q(A)).",
-            "p(x)@[0, 10].\nq(x)@0.",
-        );
+        let out = eval("h(A) :- since[0, 5](p(A), q(A)).", "p(x)@[0, 10].\nq(x)@0.");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.components(), &[Interval::closed_int(0, 5)]);
     }

@@ -12,9 +12,9 @@ mod eval;
 mod provenance;
 mod session;
 
+pub(crate) use eval::eval_expr as eval_expr_public;
 pub use provenance::{Explanation, ProvenanceLog};
 pub use session::Session;
-pub(crate) use eval::eval_expr as eval_expr_public;
 
 use crate::analysis::{check_program, Stratification};
 use crate::ast::{HeadOp, Program, Rule, Term};
@@ -22,6 +22,7 @@ use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
+use chronolog_obs::{Json, Tracer};
 use eval::{delta_eligible, eval_body, EvalCtx};
 use mtl_temporal::{Interval, IntervalSet};
 use std::collections::HashSet;
@@ -43,6 +44,9 @@ pub struct ReasonerConfig {
     pub semi_naive: bool,
     /// Record provenance for [`Materialization::explain`].
     pub provenance: bool,
+    /// When set, the engine emits structured events (stratum/iteration
+    /// boundaries, fixpoint deltas) into this bounded buffer.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for ReasonerConfig {
@@ -53,6 +57,7 @@ impl Default for ReasonerConfig {
             max_components: 50_000_000,
             semi_naive: true,
             provenance: false,
+            tracer: None,
         }
     }
 }
@@ -63,6 +68,59 @@ impl ReasonerConfig {
         self.horizon = Interval::closed_int(lo, hi);
         self
     }
+}
+
+/// Per-rule statistics of one run, attributable to a single program rule.
+///
+/// Invariants (checked by the test suite):
+/// * `Σ body_evaluations` over all rules = [`RunStats::rule_evaluations`];
+/// * `Σ tuples_derived` over all rules = [`RunStats::derived_tuples`]
+///   (batch runs);
+/// * `Σ components_added` over all rules =
+///   [`RunStats::derived_components`].
+#[derive(Clone, Debug, Default)]
+pub struct RuleStats {
+    /// Index of the rule in [`Program::rules`](crate::ast::Program).
+    pub rule: usize,
+    /// The rule's label, or `r<index>` when unlabeled.
+    pub label: String,
+    /// Head predicate name.
+    pub head: String,
+    /// Stratum the rule evaluates in.
+    pub stratum: usize,
+    /// Body evaluations (full or semi-naive variants).
+    pub body_evaluations: usize,
+    /// Tuples read from the delta database by semi-naive variants.
+    pub delta_tuples: usize,
+    /// `(binding, intervals)` results produced by body evaluations.
+    pub derivations: usize,
+    /// Head tuples this rule derived that did not previously exist.
+    pub tuples_derived: usize,
+    /// Interval components emitted before merging into the database.
+    pub components_emitted: usize,
+    /// Interval components that survived merge coalescing (net growth).
+    pub components_added: usize,
+    /// Wall-clock time spent evaluating this rule (including merges).
+    pub wall: Duration,
+}
+
+/// Per-stratum statistics of one fixpoint run. A batch materialization has
+/// one entry per stratum; a [`Session`] appends one entry per stratum per
+/// advance.
+#[derive(Clone, Debug, Default)]
+pub struct StratumStats {
+    /// Stratum index.
+    pub stratum: usize,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+    /// Body evaluations within the stratum.
+    pub rule_evaluations: usize,
+    /// New tuples derived by the stratum.
+    pub tuples_derived: usize,
+    /// Net interval components added by the stratum.
+    pub components_added: usize,
+    /// Wall-clock time of the stratum fixpoint.
+    pub wall: Duration,
 }
 
 /// Statistics of one materialization run.
@@ -76,8 +134,69 @@ pub struct RunStats {
     pub derived_tuples: usize,
     /// Interval components in the result.
     pub total_components: usize,
+    /// Net interval components added by rule derivations.
+    pub derived_components: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Per-rule breakdown, indexed by rule position in the program.
+    pub rules: Vec<RuleStats>,
+    /// Per-stratum breakdown (one entry per stratum fixpoint executed).
+    pub strata: Vec<StratumStats>,
+}
+
+impl RunStats {
+    /// The stats as a JSON object with `totals`, `strata`, and `rules`
+    /// sections — the stable payload of `--stats-json` reports (see
+    /// `docs/OBSERVABILITY.md` for the schema).
+    pub fn to_json(&self) -> Json {
+        let totals = Json::from_pairs([
+            ("rule_evaluations", Json::from(self.rule_evaluations)),
+            ("derived_tuples", Json::from(self.derived_tuples)),
+            ("total_components", Json::from(self.total_components)),
+            ("derived_components", Json::from(self.derived_components)),
+            (
+                "iterations",
+                Json::Arr(self.iterations.iter().map(|&i| Json::from(i)).collect()),
+            ),
+            ("elapsed_us", Json::from(self.elapsed.as_micros() as u64)),
+        ]);
+        let strata = Json::Arr(
+            self.strata
+                .iter()
+                .map(|s| {
+                    Json::from_pairs([
+                        ("stratum", Json::from(s.stratum)),
+                        ("iterations", Json::from(s.iterations)),
+                        ("rule_evaluations", Json::from(s.rule_evaluations)),
+                        ("tuples_derived", Json::from(s.tuples_derived)),
+                        ("components_added", Json::from(s.components_added)),
+                        ("wall_us", Json::from(s.wall.as_micros() as u64)),
+                    ])
+                })
+                .collect(),
+        );
+        let rules = Json::Arr(
+            self.rules
+                .iter()
+                .map(|r| {
+                    Json::from_pairs([
+                        ("rule", Json::from(r.rule)),
+                        ("label", Json::from(r.label.as_str())),
+                        ("head", Json::from(r.head.as_str())),
+                        ("stratum", Json::from(r.stratum)),
+                        ("body_evaluations", Json::from(r.body_evaluations)),
+                        ("delta_tuples", Json::from(r.delta_tuples)),
+                        ("derivations", Json::from(r.derivations)),
+                        ("tuples_derived", Json::from(r.tuples_derived)),
+                        ("components_emitted", Json::from(r.components_emitted)),
+                        ("components_added", Json::from(r.components_added)),
+                        ("wall_us", Json::from(r.wall.as_micros() as u64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::from_pairs([("totals", totals), ("strata", strata), ("rules", rules)])
+    }
 }
 
 /// The result of materializing a program over a database.
@@ -147,16 +266,33 @@ impl Reasoner {
         &self.strat
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ReasonerConfig {
+        &self.config
+    }
+
     /// Materializes all consequences of the program over `input`.
     pub fn materialize(&self, input: &Database) -> Result<Materialization> {
         let start = Instant::now();
         let mut total = input.clone();
         let mut provenance = self.config.provenance.then(ProvenanceLog::default);
         let mut stats = RunStats::default();
+        self.init_rule_stats(&mut stats);
         let input_tuples = input.tuple_count();
+        if let Some(tracer) = &self.config.tracer {
+            tracer.emit(
+                "materialize_start",
+                vec![
+                    ("rules", Json::from(self.program.rules.len())),
+                    ("strata", Json::from(self.strat.rules_by_stratum.len())),
+                    ("input_tuples", Json::from(input_tuples)),
+                ],
+            );
+        }
 
-        for rule_indices in &self.strat.rules_by_stratum {
+        for (stratum, rule_indices) in self.strat.rules_by_stratum.iter().enumerate() {
             let iterations = self.run_stratum(
+                stratum,
                 rule_indices,
                 &mut total,
                 &mut provenance,
@@ -171,11 +307,48 @@ impl Reasoner {
         stats.derived_tuples = total.tuple_count().saturating_sub(input_tuples);
         stats.total_components = total.component_count();
         stats.elapsed = start.elapsed();
+        if let Some(tracer) = &self.config.tracer {
+            tracer.emit(
+                "materialize_end",
+                vec![
+                    ("derived_tuples", Json::from(stats.derived_tuples)),
+                    ("total_components", Json::from(stats.total_components)),
+                    ("rule_evaluations", Json::from(stats.rule_evaluations)),
+                    ("elapsed_us", Json::from(stats.elapsed.as_micros() as u64)),
+                ],
+            );
+        }
         Ok(Materialization {
             database: total,
             stats,
             provenance,
         })
+    }
+
+    /// Sizes `stats.rules` to the program, filling the static columns
+    /// (index, label, head predicate, stratum). Idempotent, so a [`Session`]
+    /// can call it once and accumulate across advances.
+    fn init_rule_stats(&self, stats: &mut RunStats) {
+        if !stats.rules.is_empty() {
+            return;
+        }
+        stats.rules = self
+            .program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| RuleStats {
+                rule: i,
+                label: rule.label.clone().unwrap_or_else(|| format!("r{i}")),
+                head: rule.head.atom.pred.as_str(),
+                ..RuleStats::default()
+            })
+            .collect();
+        for (stratum, indices) in self.strat.rules_by_stratum.iter().enumerate() {
+            for &i in indices {
+                stats.rules[i].stratum = stratum;
+            }
+        }
     }
 
     /// Runs one stratum to fixpoint.
@@ -190,6 +363,7 @@ impl Reasoner {
     #[allow(clippy::too_many_arguments)]
     fn run_stratum(
         &self,
+        stratum: usize,
         rule_indices: &[usize],
         total: &mut Database,
         provenance: &mut Option<ProvenanceLog>,
@@ -198,6 +372,10 @@ impl Reasoner {
         seed: Option<&Database>,
         mut collected: Option<&mut Database>,
     ) -> Result<usize> {
+        let stratum_start = Instant::now();
+        let evals_before = stats.rule_evaluations;
+        let mut stratum_tuples = 0usize;
+        let mut stratum_components = 0usize;
         let current_preds: HashSet<Symbol> = rule_indices
             .iter()
             .map(|&i| self.program.rules[i].head.atom.pred)
@@ -209,7 +387,10 @@ impl Reasoner {
         for &i in rule_indices {
             let rule = &self.program.rules[i];
             if rule.head.aggregate.is_some() {
-                match agg_groups.iter_mut().find(|(p, _)| *p == rule.head.atom.pred) {
+                match agg_groups
+                    .iter_mut()
+                    .find(|(p, _)| *p == rule.head.atom.pred)
+                {
                     Some((_, v)) => v.push(i),
                     None => agg_groups.push((rule.head.atom.pred, vec![i])),
                 }
@@ -218,6 +399,7 @@ impl Reasoner {
             }
         }
         for (pred, indices) in &agg_groups {
+            let group_start = Instant::now();
             let rules: Vec<&Rule> = indices.iter().map(|&i| &self.program.rules[i]).collect();
             let ctx = EvalCtx {
                 total,
@@ -226,22 +408,44 @@ impl Reasoner {
             };
             let derived = aggregate::eval_aggregate_rules(&rules, &ctx)?;
             stats.rule_evaluations += indices.len();
+            for &i in indices.iter() {
+                stats.rules[i].body_evaluations += 1;
+            }
+            // Derivations of a merged aggregate group are attributed to its
+            // first rule — the group shares one head predicate.
+            let lead = indices[0];
+            stats.rules[lead].derivations += derived.len();
             for (tuple, interval) in derived {
                 let mut ivs = IntervalSet::from_interval(interval);
                 for op in &rules[0].head.ops {
                     ivs = apply_head_op(op, &ivs);
                 }
                 let ivs = ivs.intersect_interval(&horizon);
+                if ivs.is_empty() {
+                    continue;
+                }
+                stats.rules[lead].components_emitted += ivs.components().len();
+                let is_new = total
+                    .relation(*pred)
+                    .and_then(|r| r.get(&tuple))
+                    .is_none_or(|ivs| ivs.is_empty());
                 let added = total.merge(*pred, tuple.clone(), &ivs);
                 if !added.is_empty() {
+                    if is_new {
+                        stats.rules[lead].tuples_derived += 1;
+                        stratum_tuples += 1;
+                    }
+                    stats.rules[lead].components_added += added.components().len();
+                    stratum_components += added.components().len();
                     if let Some(acc) = collected.as_deref_mut() {
                         acc.merge(*pred, tuple.clone(), &added);
                     }
                     if let Some(log) = provenance {
-                        log.record(indices[0], *pred, tuple, added, Vec::new());
+                        log.record(lead, *pred, tuple, added, Vec::new());
                     }
                 }
             }
+            stats.rules[lead].wall += group_start.elapsed();
         }
 
         // --- Plans for the normal rules. ---
@@ -291,7 +495,8 @@ impl Reasoner {
                 )));
             }
             // component_count walks the whole database; sample it.
-            if iteration.is_multiple_of(64) && total.component_count() > self.config.max_components {
+            if iteration.is_multiple_of(64) && total.component_count() > self.config.max_components
+            {
                 return Err(Error::BudgetExceeded(format!(
                     "materialization exceeded {} interval components",
                     self.config.max_components
@@ -302,6 +507,7 @@ impl Reasoner {
 
             for (rule_idx, plan) in &plans {
                 let rule = &self.program.rules[*rule_idx];
+                let rule_start = Instant::now();
                 // Which evaluations to run this iteration.
                 let modes: Vec<Option<usize>> = match (plan, iteration, seed) {
                     // Incremental iteration 0: semi-naive against the seed
@@ -314,10 +520,7 @@ impl Reasoner {
                             .filter(|(_, l)| matches!(l, crate::ast::Literal::Pos(_)))
                             .map(|(i, _)| i)
                             .collect();
-                        if pos
-                            .iter()
-                            .all(|&i| delta_eligible(&rule.body[i]).is_some())
-                        {
+                        if pos.iter().all(|&i| delta_eligible(&rule.body[i]).is_some()) {
                             pos.into_iter().map(Some).collect()
                         } else {
                             vec![None]
@@ -327,23 +530,28 @@ impl Reasoner {
                     (RulePlan::Once, _, _) => continue,
                     (RulePlan::Full, _, _) => vec![None],
                     (RulePlan::SemiNaive(_), 0, None) => vec![None],
-                    (RulePlan::SemiNaive(lits), _, _) => {
-                        lits.iter().map(|&l| Some(l)).collect()
-                    }
+                    (RulePlan::SemiNaive(lits), _, _) => lits.iter().map(|&l| Some(l)).collect(),
                 };
                 let iter0_delta = if iteration == 0 { seed } else { None };
                 for delta_literal in modes {
+                    let delta_db = if delta_literal.is_some() {
+                        Some(iter0_delta.unwrap_or(&prev_delta))
+                    } else {
+                        None
+                    };
                     let ctx = EvalCtx {
                         total,
-                        delta: if delta_literal.is_some() {
-                            Some(iter0_delta.unwrap_or(&prev_delta))
-                        } else {
-                            None
-                        },
+                        delta: delta_db,
                         horizon,
                     };
                     let results = eval_body(rule, &ctx, delta_literal)?;
                     stats.rule_evaluations += 1;
+                    let rstats = &mut stats.rules[*rule_idx];
+                    rstats.body_evaluations += 1;
+                    if let Some(delta) = delta_db {
+                        rstats.delta_tuples += delta.tuple_count();
+                    }
+                    rstats.derivations += results.len();
                     for (binding, ivs) in results {
                         let tuple = ground_head(rule, &binding)?;
                         let mut out = ivs;
@@ -354,9 +562,21 @@ impl Reasoner {
                         if out.is_empty() {
                             continue;
                         }
+                        stats.rules[*rule_idx].components_emitted += out.components().len();
+                        let is_new = total
+                            .relation(rule.head.atom.pred)
+                            .and_then(|r| r.get(&tuple))
+                            .is_none_or(|ivs| ivs.is_empty());
                         let added = total.merge(rule.head.atom.pred, tuple.clone(), &out);
                         if !added.is_empty() {
                             grew = true;
+                            let rstats = &mut stats.rules[*rule_idx];
+                            if is_new {
+                                rstats.tuples_derived += 1;
+                                stratum_tuples += 1;
+                            }
+                            rstats.components_added += added.components().len();
+                            stratum_components += added.components().len();
                             next_delta.merge(rule.head.atom.pred, tuple.clone(), &added);
                             if let Some(acc) = collected.as_deref_mut() {
                                 acc.merge(rule.head.atom.pred, tuple.clone(), &added);
@@ -369,13 +589,48 @@ impl Reasoner {
                         }
                     }
                 }
+                stats.rules[*rule_idx].wall += rule_start.elapsed();
             }
 
+            if let Some(tracer) = &self.config.tracer {
+                tracer.emit(
+                    "iteration",
+                    vec![
+                        ("stratum", Json::from(stratum)),
+                        ("iteration", Json::from(iteration)),
+                        ("delta_tuples", Json::from(next_delta.tuple_count())),
+                        ("grew", Json::from(grew)),
+                    ],
+                );
+            }
             if !grew {
                 break;
             }
             prev_delta = next_delta;
             iteration += 1;
+        }
+
+        let wall = stratum_start.elapsed();
+        stats.strata.push(StratumStats {
+            stratum,
+            iterations: iteration + 1,
+            rule_evaluations: stats.rule_evaluations - evals_before,
+            tuples_derived: stratum_tuples,
+            components_added: stratum_components,
+            wall,
+        });
+        stats.derived_components += stratum_components;
+        if let Some(tracer) = &self.config.tracer {
+            tracer.emit(
+                "stratum",
+                vec![
+                    ("stratum", Json::from(stratum)),
+                    ("iterations", Json::from(iteration + 1)),
+                    ("tuples_derived", Json::from(stratum_tuples)),
+                    ("components_added", Json::from(stratum_components)),
+                    ("wall_us", Json::from(wall.as_micros() as u64)),
+                ],
+            );
         }
         Ok(iteration + 1)
     }
@@ -428,7 +683,11 @@ mod tests {
 
     #[test]
     fn non_recursive_derivation() {
-        let db = run("h(A) :- p(A), q(A).", "p(x)@[0, 5].\nq(x)@[3, 9].", (0, 100));
+        let db = run(
+            "h(A) :- p(A), q(A).",
+            "p(x)@[0, 5].\nq(x)@[3, 9].",
+            (0, 100),
+        );
         assert!(db.holds_at("h", &[Value::sym("x")], 4));
         assert!(!db.holds_at("h", &[Value::sym("x")], 2));
     }
@@ -474,12 +733,20 @@ mod tests {
 
     #[test]
     fn head_box_operators_spread_validity() {
-        let db = run("boxplus[0, 3] alert(X) :- spike(X).", "spike(s)@10.", (0, 100));
+        let db = run(
+            "boxplus[0, 3] alert(X) :- spike(X).",
+            "spike(s)@10.",
+            (0, 100),
+        );
         for t in 10..=13 {
             assert!(db.holds_at("alert", &[Value::sym("s")], t), "t={t}");
         }
         assert!(!db.holds_at("alert", &[Value::sym("s")], 14));
-        let db = run("boxminus[1, 2] pre(X) :- spike(X).", "spike(s)@10.", (0, 100));
+        let db = run(
+            "boxminus[1, 2] pre(X) :- spike(X).",
+            "spike(s)@10.",
+            (0, 100),
+        );
         assert!(db.holds_at("pre", &[Value::sym("s")], 8));
         assert!(db.holds_at("pre", &[Value::sym("s")], 9));
         assert!(!db.holds_at("pre", &[Value::sym("s")], 10));

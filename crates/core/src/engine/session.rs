@@ -129,11 +129,7 @@ impl Session {
             .pending
             .iter()
             .find(|f| matches!(f.interval.hi(), TimeBound::Finite(hi) if hi > t))
-            .or_else(|| {
-                self.pending
-                    .iter()
-                    .find(|f| !f.interval.hi().is_finite())
-            })
+            .or_else(|| self.pending.iter().find(|f| !f.interval.hi().is_finite()))
         {
             return Err(Error::Eval(format!(
                 "pending fact {f} extends beyond the advance target {t}"
@@ -145,6 +141,10 @@ impl Session {
 
     fn run_advance(&mut self, t: Rational) -> Result<()> {
         let started = std::time::Instant::now();
+        self.reasoner.init_rule_stats(&mut self.stats);
+        let from = self.now;
+        let pending_count = self.pending.len();
+        let tuples_before = self.total.tuple_count();
         // Seed: boundary slice of the existing materialization plus the
         // pending submissions, clipped to the derivation window.
         let window = Interval::new(
@@ -169,6 +169,7 @@ impl Session {
                 fact.interval,
             );
         }
+        let seed_tuples = seed.tuple_count();
 
         let horizon = Interval::new(
             TimeBound::Finite(self.start),
@@ -180,14 +181,11 @@ impl Session {
 
         // Each stratum's new facts also become seeds for the next stratum.
         let mut provenance: Option<ProvenanceLog> = None;
-        let strata: Vec<Vec<usize>> = self
-            .reasoner
-            .stratification()
-            .rules_by_stratum
-            .clone();
-        for rule_indices in &strata {
+        let strata: Vec<Vec<usize>> = self.reasoner.stratification().rules_by_stratum.clone();
+        for (stratum, rule_indices) in strata.iter().enumerate() {
             let mut collected = Database::new();
             let iterations = self.reasoner.run_stratum(
+                stratum,
                 rule_indices,
                 &mut self.total,
                 &mut provenance,
@@ -202,8 +200,43 @@ impl Session {
             }
         }
         self.now = t;
-        self.stats.elapsed += started.elapsed();
+        let latency = started.elapsed();
+        self.stats.derived_tuples += self
+            .total
+            .tuple_count()
+            .saturating_sub(tuples_before + pending_count);
+        self.stats.elapsed += latency;
         self.stats.total_components = self.total.component_count();
+
+        // Tick-latency histogram and watermark-lag gauge: always cheap
+        // enough to record (atomics), named under `session.*` in the global
+        // registry.
+        let registry = chronolog_obs::Registry::global();
+        registry
+            .histogram("session.advance_latency_us")
+            .record(latency.as_micros() as u64);
+        registry.counter("session.advances").inc();
+        registry
+            .counter("session.facts_submitted")
+            .add(pending_count as u64);
+        registry
+            .gauge("session.watermark_advance")
+            .set((t.to_f64() - from.to_f64()) as i64);
+        if let Some(tracer) = &self.reasoner.config().tracer {
+            tracer.emit(
+                "advance",
+                vec![
+                    ("from", chronolog_obs::Json::from(format!("{from}"))),
+                    ("to", chronolog_obs::Json::from(format!("{t}"))),
+                    ("pending", chronolog_obs::Json::from(pending_count)),
+                    ("seed_tuples", chronolog_obs::Json::from(seed_tuples)),
+                    (
+                        "latency_us",
+                        chronolog_obs::Json::from(latency.as_micros() as u64),
+                    ),
+                ],
+            );
+        }
         Ok(())
     }
 }
@@ -290,11 +323,19 @@ mod tests {
     fn streaming_matches_batch() {
         // Stream the quickstart scenario event by event...
         let mut s = session();
-        s.submit(Fact::at("tranM", vec![Value::sym("acc"), Value::num(97.0)], 9))
-            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            9,
+        ))
+        .unwrap();
         s.advance_to(9).unwrap();
-        s.submit(Fact::at("tranM", vec![Value::sym("acc"), Value::num(3.0)], 10))
-            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(3.0)],
+            10,
+        ))
+        .unwrap();
         s.advance_to(12).unwrap();
         s.submit(Fact::at("withdraw", vec![Value::sym("acc")], 15))
             .unwrap();
@@ -304,10 +345,7 @@ mod tests {
         let program = parse_program(MARGIN_RULES).unwrap();
         let mut db = Database::new();
         db.extend_facts(
-            &parse_facts(
-                "tranM(acc, 97.0)@9.\ntranM(acc, 3.0)@10.\nwithdraw(acc)@15.",
-            )
-            .unwrap(),
+            &parse_facts("tranM(acc, 97.0)@9.\ntranM(acc, 3.0)@10.\nwithdraw(acc)@15.").unwrap(),
         );
         let batch = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20))
             .unwrap()
@@ -320,8 +358,12 @@ mod tests {
     #[test]
     fn derivations_below_watermark_are_final() {
         let mut s = session();
-        s.submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(50.0)], 5))
-            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("a"), Value::num(50.0)],
+            5,
+        ))
+        .unwrap();
         s.advance_to(8).unwrap();
         let before = s.database().to_facts_text();
         // Advancing with no new facts only extends, never rewrites.
@@ -340,13 +382,21 @@ mod tests {
         let mut s = session();
         s.advance_to(10).unwrap();
         assert!(s
-            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 10))
+            .submit(Fact::at(
+                "tranM",
+                vec![Value::sym("a"), Value::num(1.0)],
+                10
+            ))
             .is_err());
         assert!(s
             .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 3))
             .is_err());
         assert!(s
-            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 11))
+            .submit(Fact::at(
+                "tranM",
+                vec![Value::sym("a"), Value::num(1.0)],
+                11
+            ))
             .is_ok());
     }
 
@@ -355,8 +405,12 @@ mod tests {
         let mut s = session();
         s.advance_to(10).unwrap();
         assert!(s.advance_to(5).is_err());
-        s.submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 20))
-            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("a"), Value::num(1.0)],
+            20,
+        ))
+        .unwrap();
         // The pending fact lies beyond the advance target.
         assert!(s.advance_to(15).is_err());
         assert!(s.advance_to(25).is_ok());

@@ -249,7 +249,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i = j;
             }
             other => {
-                return Err(Error::parse(line, col, format!("unexpected character '{other}'")));
+                return Err(Error::parse(
+                    line,
+                    col,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -323,7 +327,10 @@ mod tests {
     #[test]
     fn position_tracking() {
         let toks = tokenize("p(X).\nq(Y).").unwrap();
-        let q = toks.iter().find(|t| t.kind == TokenKind::LowerIdent("q".into())).unwrap();
+        let q = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LowerIdent("q".into()))
+            .unwrap();
         assert_eq!(q.line, 2);
         assert_eq!(q.col, 1);
     }

@@ -57,7 +57,10 @@ pub use ast::{
     AggFn, Atom, CmpOp, Expr, Fact, Head, HeadOp, Literal, MetricAtom, Program, Rule, Term,
 };
 pub use database::{Database, Relation};
-pub use engine::{Explanation, Materialization, ProvenanceLog, Reasoner, ReasonerConfig, RunStats, Session};
+pub use engine::{
+    Explanation, Materialization, ProvenanceLog, Reasoner, ReasonerConfig, RuleStats, RunStats,
+    Session, StratumStats,
+};
 pub use error::{Error, Result};
 pub use parser::{parse_facts, parse_program, parse_rule, parse_source};
 pub use symbol::Symbol;

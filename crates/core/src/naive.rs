@@ -100,9 +100,9 @@ pub fn naive_materialize(
 
     // Load punctual EDB facts.
     for (pred, tuple, ivs) in input.iter() {
-        let points = ivs.punctual_points().ok_or_else(|| {
-            Error::Eval("naive oracle requires punctual facts".to_string())
-        })?;
+        let points = ivs
+            .punctual_points()
+            .ok_or_else(|| Error::Eval("naive oracle requires punctual facts".to_string()))?;
         for p in points {
             let t = p
                 .as_integer()
@@ -152,7 +152,15 @@ pub fn naive_materialize(
                             tuple.push(it.next().expect("key arity"));
                         }
                     }
-                    insert_head(&mut interp, pred, tuple.into_boxed_slice(), t, &rules[0].head.ops, t_min, t_max)?;
+                    insert_head(
+                        &mut interp,
+                        pred,
+                        tuple.into_boxed_slice(),
+                        t,
+                        &rules[0].head.ops,
+                        t_min,
+                        t_max,
+                    )?;
                 }
             }
         }

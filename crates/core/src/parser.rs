@@ -38,7 +38,9 @@ pub fn parse_source(src: &str) -> Result<(Program, Vec<Fact>)> {
 pub fn parse_program(src: &str) -> Result<Program> {
     let (p, facts) = parse_source(src)?;
     if let Some(f) = facts.first() {
-        return Err(Error::Eval(format!("unexpected fact in program source: {f}")));
+        return Err(Error::Eval(format!(
+            "unexpected fact in program source: {f}"
+        )));
     }
     Ok(p)
 }
@@ -283,11 +285,7 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            other => {
-                return Err(self.err(format!(
-                    "expected comparison operator, found {other:?}"
-                )))
-            }
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
         };
         let rhs = self.expr()?;
         Ok(Literal::Constraint(lhs, op, rhs))
@@ -299,7 +297,12 @@ impl Parser {
         match self.peek() {
             TokenKind::LowerIdent(s) => {
                 let s = s.as_str();
-                if UNARY_OPS.contains(&s) || s == "since" || s == "until" || s == "top" || s == "bottom" {
+                if UNARY_OPS.contains(&s)
+                    || s == "since"
+                    || s == "until"
+                    || s == "top"
+                    || s == "bottom"
+                {
                     return true;
                 }
                 if EXPR_FUNCS.contains(&s) {
@@ -432,10 +435,8 @@ impl Parser {
             if matches!(self.peek_at(k), TokenKind::Plus | TokenKind::Minus) {
                 k += 1;
             }
-            let num = matches!(
-                self.peek_at(k),
-                TokenKind::Int(_) | TokenKind::Decimal(_)
-            ) || matches!(self.peek_at(k), TokenKind::LowerIdent(s) if s == "inf");
+            let num = matches!(self.peek_at(k), TokenKind::Int(_) | TokenKind::Decimal(_))
+                || matches!(self.peek_at(k), TokenKind::LowerIdent(s) if s == "inf");
             num && *self.peek_at(k + 1) == TokenKind::Comma
         };
         if *self.peek() == TokenKind::LBracket || open_paren_is_rho {
@@ -482,16 +483,22 @@ impl Parser {
             self.bump();
         }
         match self.bump() {
-            TokenKind::Int(i) => Ok(TimeBound::Finite(Rational::integer(if neg { -i } else { i }))),
+            TokenKind::Int(i) => Ok(TimeBound::Finite(Rational::integer(if neg {
+                -i
+            } else {
+                i
+            }))),
             TokenKind::Decimal(d) => {
                 let r: Rational = d
                     .parse()
                     .map_err(|_| self.err("interval bounds must be exact rationals"))?;
                 Ok(TimeBound::Finite(if neg { -r } else { r }))
             }
-            TokenKind::LowerIdent(s) if s == "inf" => {
-                Ok(if neg { TimeBound::NegInf } else { TimeBound::PosInf })
-            }
+            TokenKind::LowerIdent(s) if s == "inf" => Ok(if neg {
+                TimeBound::NegInf
+            } else {
+                TimeBound::PosInf
+            }),
             other => Err(self.err(format!("expected interval bound, found {other:?}"))),
         }
     }
@@ -660,9 +667,15 @@ mod tests {
     #[test]
     fn parses_since_until() {
         let r = parse_rule("p(X) :- since[1, 2](q(X), r(X)).").unwrap();
-        assert!(matches!(&r.body[0], Literal::Pos(MetricAtom::Since(_, _, _))));
+        assert!(matches!(
+            &r.body[0],
+            Literal::Pos(MetricAtom::Since(_, _, _))
+        ));
         let r = parse_rule("p(X) :- until(q(X), r(X)).").unwrap();
-        assert!(matches!(&r.body[0], Literal::Pos(MetricAtom::Until(_, _, _))));
+        assert!(matches!(
+            &r.body[0],
+            Literal::Pos(MetricAtom::Until(_, _, _))
+        ));
     }
 
     #[test]

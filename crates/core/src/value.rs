@@ -40,7 +40,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN excluded by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN excluded by construction")
     }
 }
 
@@ -231,7 +233,10 @@ mod tests {
 
     #[test]
     fn from_time_keeps_integers_exact() {
-        assert_eq!(Value::from_time(Rational::integer(1664274600)), Value::Int(1664274600));
+        assert_eq!(
+            Value::from_time(Rational::integer(1664274600)),
+            Value::Int(1664274600)
+        );
         assert_eq!(Value::from_time(Rational::new(1, 2)), Value::num(0.5));
     }
 

@@ -11,11 +11,14 @@ fn run(rules: &str, facts: &str, horizon: (i64, i64)) -> Database {
     let program = parse_program(rules).unwrap();
     let mut db = Database::new();
     db.extend_facts(&parse_facts(facts).unwrap());
-    Reasoner::new(program, ReasonerConfig::default().with_horizon(horizon.0, horizon.1))
-        .unwrap()
-        .materialize(&db)
-        .unwrap()
-        .database
+    Reasoner::new(
+        program,
+        ReasonerConfig::default().with_horizon(horizon.0, horizon.1),
+    )
+    .unwrap()
+    .materialize(&db)
+    .unwrap()
+    .database
 }
 
 fn holds(db: &Database, pred: &str, args: &[Value], num: i64, den: i64) -> bool {
@@ -109,11 +112,7 @@ fn materialization_is_idempotent() {
     let program = parse_program(rules).unwrap();
     let mut db = Database::new();
     db.extend_facts(&parse_facts("tranM(x, 1)@0.\ntranM(y, 2)@3.").unwrap());
-    let reasoner = Reasoner::new(
-        program,
-        ReasonerConfig::default().with_horizon(0, 10),
-    )
-    .unwrap();
+    let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 10)).unwrap();
     let once = reasoner.materialize(&db).unwrap().database;
     let twice = reasoner.materialize(&once).unwrap();
     assert_eq!(once.to_facts_text(), twice.database.to_facts_text());
@@ -123,11 +122,7 @@ fn materialization_is_idempotent() {
 #[test]
 fn horizon_clips_propagation_but_reads_outside_edb() {
     // EDB fact before the horizon still triggers diamond inferences inside.
-    let db = run(
-        "h(X) :- diamondminus[0, 100] p(X).",
-        "p(a)@-50.",
-        (0, 10),
-    );
+    let db = run("h(X) :- diamondminus[0, 100] p(X).", "p(a)@-50.", (0, 10));
     assert!(db.holds_at("h", &[Value::sym("a")], 0));
     assert!(db.holds_at("h", &[Value::sym("a")], 10));
     // Nothing is materialized beyond the horizon even though the diamond
@@ -214,9 +209,6 @@ fn facts_over_open_intervals_negate_precisely() {
     assert!(ivs.contains(Rational::integer(4)));
     assert_eq!(
         ivs.components(),
-        &[
-            Interval::closed_int(0, 2),
-            Interval::closed_int(4, 10),
-        ]
+        &[Interval::closed_int(0, 2), Interval::closed_int(4, 10),]
     );
 }

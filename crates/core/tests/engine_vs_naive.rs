@@ -3,10 +3,8 @@
 //! family of structurally diverse programs stimulated with random facts.
 
 use chronolog_core::naive::naive_materialize;
-use chronolog_core::{
-    parse_program, Database, Rational, Reasoner, ReasonerConfig, Symbol, Value,
-};
-use proptest::prelude::*;
+use chronolog_core::{parse_program, Database, Rational, Reasoner, ReasonerConfig, Symbol, Value};
+use chronolog_obs::SmallRng;
 
 const T_MIN: i64 = 0;
 const T_MAX: i64 = 24;
@@ -58,25 +56,48 @@ const PROGRAMS: &[&str] = &[
 
 #[derive(Debug, Clone)]
 struct RandomTrace {
-    tran: Vec<(u8, i64, i64)>,     // (account, amount, time)
-    withdraw: Vec<(u8, i64)>,      // (account, time)
-    modpos: Vec<(u8, i64, i64)>,   // (account, size, time)
-    start: Vec<(i64, i64)>,        // (value, time)
+    tran: Vec<(u8, i64, i64)>,   // (account, amount, time)
+    withdraw: Vec<(u8, i64)>,    // (account, time)
+    modpos: Vec<(u8, i64, i64)>, // (account, size, time)
+    start: Vec<(i64, i64)>,      // (value, time)
 }
 
-fn arb_trace() -> impl Strategy<Value = RandomTrace> {
-    (
-        proptest::collection::vec((0u8..3, 1i64..50, T_MIN..T_MAX), 0..6),
-        proptest::collection::vec((0u8..3, T_MIN..T_MAX), 0..3),
-        proptest::collection::vec((0u8..3, -5i64..6, T_MIN..T_MAX), 0..6),
-        proptest::collection::vec((-3i64..4, T_MIN..2), 0..2),
-    )
-        .prop_map(|(tran, withdraw, modpos, start)| RandomTrace {
-            tran,
-            withdraw,
-            modpos,
-            start,
+fn gen_trace(rng: &mut SmallRng) -> RandomTrace {
+    let tran = (0..rng.gen_range_usize(0, 6))
+        .map(|_| {
+            (
+                rng.gen_range_i64(0, 3) as u8,
+                rng.gen_range_i64(1, 50),
+                rng.gen_range_i64(T_MIN, T_MAX),
+            )
         })
+        .collect();
+    let withdraw = (0..rng.gen_range_usize(0, 3))
+        .map(|_| {
+            (
+                rng.gen_range_i64(0, 3) as u8,
+                rng.gen_range_i64(T_MIN, T_MAX),
+            )
+        })
+        .collect();
+    let modpos = (0..rng.gen_range_usize(0, 6))
+        .map(|_| {
+            (
+                rng.gen_range_i64(0, 3) as u8,
+                rng.gen_range_i64(-5, 6),
+                rng.gen_range_i64(T_MIN, T_MAX),
+            )
+        })
+        .collect();
+    let start = (0..rng.gen_range_usize(0, 2))
+        .map(|_| (rng.gen_range_i64(-3, 4), rng.gen_range_i64(T_MIN, 2)))
+        .collect();
+    RandomTrace {
+        tran,
+        withdraw,
+        modpos,
+        start,
+    }
 }
 
 fn account(id: u8) -> Value {
@@ -138,22 +159,22 @@ fn check_program_on_trace(src: &str, trace: &RandomTrace) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn engine_matches_oracle_on_random_traces(
-        trace in arb_trace(),
-        program_idx in 0usize..PROGRAMS.len(),
-    ) {
+#[test]
+fn engine_matches_oracle_on_random_traces() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x0DDBA11 ^ case);
+        let trace = gen_trace(&mut rng);
+        let program_idx = rng.gen_range_usize(0, PROGRAMS.len());
         check_program_on_trace(PROGRAMS[program_idx], &trace);
     }
+}
 
-    #[test]
-    fn seminaive_matches_naive_mode_on_random_traces(
-        trace in arb_trace(),
-        program_idx in 0usize..PROGRAMS.len(),
-    ) {
+#[test]
+fn seminaive_matches_naive_mode_on_random_traces() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xAB1E ^ (case << 3));
+        let trace = gen_trace(&mut rng);
+        let program_idx = rng.gen_range_usize(0, PROGRAMS.len());
         let program = parse_program(PROGRAMS[program_idx]).unwrap();
         let db = build_db(&trace);
         let mk = |semi: bool| {
@@ -169,7 +190,11 @@ proptest! {
             .unwrap()
             .database
         };
-        prop_assert_eq!(mk(true).to_facts_text(), mk(false).to_facts_text());
+        assert_eq!(
+            mk(true).to_facts_text(),
+            mk(false).to_facts_text(),
+            "case {case}: program {program_idx}"
+        );
     }
 }
 
@@ -177,8 +202,11 @@ proptest! {
 fn every_template_program_compiles_and_stratifies() {
     for (i, src) in PROGRAMS.iter().enumerate() {
         let program = parse_program(src).unwrap_or_else(|e| panic!("program {i}: {e}"));
-        Reasoner::new(program, ReasonerConfig::default().with_horizon(T_MIN, T_MAX))
-            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+        Reasoner::new(
+            program,
+            ReasonerConfig::default().with_horizon(T_MIN, T_MAX),
+        )
+        .unwrap_or_else(|e| panic!("program {i}: {e}"));
     }
 }
 

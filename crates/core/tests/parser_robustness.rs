@@ -1,58 +1,82 @@
 //! The parser must never panic: arbitrary byte soup, token soup, and
 //! mutations of valid programs all either parse or return `Error::Parse`.
+//!
+//! Fuzz inputs are drawn from the deterministic in-repo `SmallRng`, one
+//! seed per case, so failures reproduce from the printed seed.
 
 use chronolog_core::parse_source;
-use proptest::prelude::*;
+use chronolog_obs::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn arbitrary_strings_never_panic(s in "\\PC*") {
+#[test]
+fn arbitrary_strings_never_panic() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED ^ case);
+        let len = rng.gen_range_usize(0, 64);
+        let s: String = (0..len)
+            .map(|_| {
+                // Mix of printable ASCII, multi-byte UTF-8, and controls.
+                match rng.gen_range_usize(0, 10) {
+                    0 => '\u{00e9}',
+                    1 => '\u{2208}',
+                    2 => '\n',
+                    3 => '\t',
+                    _ => (rng.gen_range_usize(0x20, 0x7f) as u8) as char,
+                }
+            })
+            .collect();
         let _ = parse_source(&s);
     }
+}
 
-    #[test]
-    fn token_soup_never_panics(tokens in proptest::collection::vec(
-        prop_oneof![
-            Just("p".to_string()),
-            Just("X".to_string()),
-            Just("(".to_string()),
-            Just(")".to_string()),
-            Just("[".to_string()),
-            Just("]".to_string()),
-            Just(",".to_string()),
-            Just(".".to_string()),
-            Just(":-".to_string()),
-            Just("@".to_string()),
-            Just("not".to_string()),
-            Just("boxminus".to_string()),
-            Just("diamondminus".to_string()),
-            Just("since".to_string()),
-            Just("sum".to_string()),
-            Just("=".to_string()),
-            Just("+".to_string()),
-            Just("-".to_string()),
-            Just("1".to_string()),
-            Just("2.5".to_string()),
-            Just("inf".to_string()),
-            Just("_".to_string()),
-        ],
-        0..24,
-    )) {
-        let src = tokens.join(" ");
+#[test]
+fn token_soup_never_panics() {
+    const TOKENS: [&str; 22] = [
+        "p",
+        "X",
+        "(",
+        ")",
+        "[",
+        "]",
+        ",",
+        ".",
+        ":-",
+        "@",
+        "not",
+        "boxminus",
+        "diamondminus",
+        "since",
+        "sum",
+        "=",
+        "+",
+        "-",
+        "1",
+        "2.5",
+        "inf",
+        "_",
+    ];
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7053E7 ^ (case << 4));
+        let n = rng.gen_range_usize(0, 24);
+        let src = (0..n)
+            .map(|_| *rng.choose(&TOKENS).unwrap())
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = parse_source(&src);
     }
+}
 
-    /// Deleting a random chunk from a valid program must not panic.
-    #[test]
-    fn truncated_valid_programs_never_panic(start in 0usize..300, len in 0usize..80) {
-        let valid = "margin(A, M) :- diamondminus margin(A, X), tranM(A, Y), M = X + Y.\n\
-                     event(sum(S)) :- modPos(A, S).\n\
-                     h(T) :- p(A)@T, since[0, 5](q(A), r(A)).\n\
-                     price(1362.5)@[100, 200].";
-        let bytes = valid.as_bytes();
-        let start = start.min(bytes.len());
+/// Deleting a random chunk from a valid program must not panic.
+#[test]
+fn truncated_valid_programs_never_panic() {
+    let valid = "margin(A, M) :- diamondminus margin(A, X), tranM(A, Y), M = X + Y.\n\
+                 event(sum(S)) :- modPos(A, S).\n\
+                 h(T) :- p(A)@T, since[0, 5](q(A), r(A)).\n\
+                 price(1362.5)@[100, 200].";
+    let bytes = valid.as_bytes();
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7121C ^ (case << 2));
+        let start = rng.gen_range_usize(0, 300).min(bytes.len());
+        let len = rng.gen_range_usize(0, 80);
         let end = (start + len).min(bytes.len());
         let mut mutated = Vec::new();
         mutated.extend_from_slice(&bytes[..start]);

@@ -3,10 +3,13 @@
 //! explores rule shapes the templates don't: random operator chains,
 //! random join structure, recursion through shifted heads, and negation
 //! at random strata.
+//!
+//! Generation is driven by the deterministic in-repo `SmallRng` (one seed
+//! per case), so every failure is reproducible from the printed seed.
 
 use chronolog_core::naive::naive_materialize;
 use chronolog_core::{Database, Rational, Reasoner, ReasonerConfig, Value};
-use proptest::prelude::*;
+use chronolog_obs::SmallRng;
 
 const T_MIN: i64 = 0;
 const T_MAX: i64 = 18;
@@ -19,11 +22,11 @@ const EDB: [(&str, usize); 2] = [("e1", 1), ("e2", 2)];
 
 #[derive(Debug, Clone)]
 struct RuleSpec {
-    head: usize,                 // IDB index
-    body: Vec<(usize, u8)>,      // (atom source, operator code)
-    negated: Option<usize>,      // atom source for a trailing negation
-    window: (i64, i64),          // diamond window
-    shift: i64,                  // punctual box shift
+    head: usize,            // IDB index
+    body: Vec<(usize, u8)>, // (atom source, operator code)
+    negated: Option<usize>, // atom source for a trailing negation
+    window: (i64, i64),     // diamond window
+    shift: i64,             // punctual box shift
 }
 
 /// Atom sources 0..6: e1, e2, p0, p1, p2, p3.
@@ -34,21 +37,33 @@ fn source_pred(src: usize) -> (&'static str, usize) {
     }
 }
 
-fn arb_rule() -> impl Strategy<Value = RuleSpec> {
-    (
-        0usize..IDB.len(),
-        proptest::collection::vec((0usize..6, 0u8..5), 1..4),
-        proptest::option::of(0usize..6),
-        (0i64..3, 0i64..3),
-        1i64..3,
-    )
-        .prop_map(|(head, body, negated, (wlo, wlen), shift)| RuleSpec {
-            head,
-            body,
-            negated,
-            window: (wlo, wlo + wlen),
-            shift,
+/// Draws one rule spec; `max_op` bounds the operator codes (5 = full
+/// operator set, 3 = past-only, for the forward-propagating fragment).
+fn gen_rule(rng: &mut SmallRng, max_op: u8) -> RuleSpec {
+    let head = rng.gen_range_usize(0, IDB.len());
+    let body_len = rng.gen_range_usize(1, 4);
+    let body = (0..body_len)
+        .map(|_| {
+            (
+                rng.gen_range_usize(0, 6),
+                rng.gen_range_i64(0, max_op as i64) as u8,
+            )
         })
+        .collect();
+    let negated = if rng.gen_bool(0.5) {
+        Some(rng.gen_range_usize(0, 6))
+    } else {
+        None
+    };
+    let wlo = rng.gen_range_i64(0, 3);
+    let wlen = rng.gen_range_i64(0, 3);
+    RuleSpec {
+        head,
+        body,
+        negated,
+        window: (wlo, wlo + wlen),
+        shift: rng.gen_range_i64(1, 3),
+    }
 }
 
 /// Renders a rule spec into concrete syntax, enforcing safety (head
@@ -104,19 +119,27 @@ fn render_rule(spec: &RuleSpec) -> Option<String> {
     Some(format!("{head_name}({head_args}) :- {}.", body.join(", ")))
 }
 
-fn arb_program() -> impl Strategy<Value = String> {
-    proptest::collection::vec(arb_rule(), 1..6).prop_map(|specs| {
-        specs
-            .iter()
-            .filter_map(render_rule)
-            .collect::<Vec<_>>()
-            .join("\n")
-    })
+fn gen_program(rng: &mut SmallRng, max_op: u8) -> String {
+    let n = rng.gen_range_usize(1, 6);
+    (0..n)
+        .map(|_| gen_rule(rng, max_op))
+        .filter_map(|spec| render_rule(&spec))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
-fn arb_facts() -> impl Strategy<Value = Vec<(usize, i64, i64, i64)>> {
-    // (edb index, x, y, t)
-    proptest::collection::vec((0usize..2, 0i64..3, 0i64..3, T_MIN..=T_MAX), 0..10)
+fn gen_facts(rng: &mut SmallRng) -> Vec<(usize, i64, i64, i64)> {
+    let n = rng.gen_range_usize(0, 10);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range_usize(0, 2),
+                rng.gen_range_i64(0, 3),
+                rng.gen_range_i64(0, 3),
+                rng.gen_range_i64(T_MIN, T_MAX + 1),
+            )
+        })
+        .collect()
 }
 
 fn build_db(facts: &[(usize, i64, i64, i64)]) -> Database {
@@ -151,16 +174,14 @@ fn engine_text(db: &Database) -> String {
     lines.join("\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn random_programs_agree_with_oracle(
-        src in arb_program(),
-        facts in arb_facts(),
-    ) {
+#[test]
+fn random_programs_agree_with_oracle() {
+    for case in 0..96u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ case);
+        let src = gen_program(&mut rng, 5);
+        let facts = gen_facts(&mut rng);
         if src.is_empty() {
-            return Ok(());
+            continue;
         }
         let program = chronolog_core::parse_program(&src)
             .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
@@ -173,57 +194,25 @@ proptest! {
         let db = build_db(&facts);
         let naive = naive_materialize(&program, &db, T_MIN, T_MAX).unwrap();
         let engine = reasoner.materialize(&db).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             engine_text(&engine.database),
             naive.to_text(),
-            "program:\n{}\nfacts: {:?}",
-            src,
-            facts
+            "case {case}: program:\n{src}\nfacts: {facts:?}"
         );
     }
 }
 
-/// Forward-propagating variant of the rule generator: operators restricted
-/// to `◇⁻`/`⊟` so the program is eligible for session (incremental) mode.
-fn arb_fp_program() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        (
-            0usize..IDB.len(),
-            proptest::collection::vec((0usize..6, 0u8..3), 1..4), // ops 0..3: none/◇⁻/⊟
-            proptest::option::of(0usize..6),
-            (0i64..3, 0i64..3),
-            1i64..3,
-        )
-            .prop_map(|(head, body, negated, (wlo, wlen), shift)| RuleSpec {
-                head,
-                body,
-                negated,
-                window: (wlo, wlo + wlen),
-                shift,
-            }),
-        1..6,
-    )
-    .prop_map(|specs| {
-        specs
-            .iter()
-            .filter_map(render_rule)
-            .collect::<Vec<_>>()
-            .join("\n")
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Streaming facts in time order through a Session equals the batch
-    /// materialization — the incremental engine misses and invents nothing.
-    #[test]
-    fn session_streaming_equals_batch(
-        src in arb_fp_program(),
-        facts in arb_facts(),
-    ) {
+/// Streaming facts in time order through a Session equals the batch
+/// materialization — the incremental engine misses and invents nothing.
+/// Operators restricted to `◇⁻`/`⊟` so programs are session-eligible.
+#[test]
+fn session_streaming_equals_batch() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xFACADE ^ (case << 8));
+        let src = gen_program(&mut rng, 3);
+        let facts = gen_facts(&mut rng);
         if src.is_empty() {
-            return Ok(());
+            continue;
         }
         let program = chronolog_core::parse_program(&src).unwrap();
         let batch_db = build_db(&facts);
@@ -240,14 +229,14 @@ proptest! {
         // together, and the watermark advances after each group.
         let mk_fact = |&(e, x, y, t): &(usize, i64, i64, i64)| {
             let (name, arity) = EDB[e];
-            let args: Vec<chronolog_core::Value> = if arity == 1 {
-                vec![chronolog_core::Value::Int(x)]
+            let args: Vec<Value> = if arity == 1 {
+                vec![Value::Int(x)]
             } else {
-                vec![chronolog_core::Value::Int(x), chronolog_core::Value::Int(y)]
+                vec![Value::Int(x), Value::Int(y)]
             };
             chronolog_core::Fact::at(name, args, t)
         };
-        let mut genesis = chronolog_core::Database::new();
+        let mut genesis = Database::new();
         for f in facts.iter().filter(|&&(_, _, _, t)| t == T_MIN) {
             genesis.insert_fact(&mk_fact(f));
         }
@@ -268,12 +257,10 @@ proptest! {
             session.advance_to(t).unwrap();
         }
         session.advance_to(T_MAX).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             engine_text(session.database()),
             engine_text(&batch.database),
-            "program:\n{}\nfacts: {:?}",
-            src,
-            facts
+            "case {case}: program:\n{src}\nfacts: {facts:?}"
         );
     }
 }

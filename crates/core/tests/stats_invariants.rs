@@ -1,0 +1,180 @@
+//! Accounting invariants of the engine's observability layer.
+//!
+//! The per-rule and per-stratum breakdowns in [`RunStats`] are not
+//! best-effort samples: for a batch materialization they must tie out
+//! exactly against the run totals, and the totals themselves must not
+//! depend on the fixpoint strategy. These tests pin both properties over
+//! the corpus programs and the random-program generator's fact shapes.
+
+use chronolog_core::{parse_source, Database, Reasoner, ReasonerConfig, RunStats};
+
+/// Every checked-in corpus program, with a horizon wide enough to cover
+/// its inline facts.
+fn corpus() -> Vec<(&'static str, String, i64, i64)> {
+    ["fibonacci", "funding", "margin", "sla"]
+        .into_iter()
+        .map(|name| {
+            let path = format!("{}/../../corpus/{name}.dmtl", env!("CARGO_MANIFEST_DIR"));
+            let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            (name, src, 0, 40)
+        })
+        .collect()
+}
+
+fn materialize(src: &str, lo: i64, hi: i64, semi_naive: bool) -> (RunStats, String) {
+    let (program, facts) = parse_source(src).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    let m = Reasoner::new(
+        program,
+        ReasonerConfig {
+            semi_naive,
+            ..ReasonerConfig::default().with_horizon(lo, hi)
+        },
+    )
+    .unwrap()
+    .materialize(&db)
+    .unwrap();
+    let text = m.database.to_facts_text();
+    (m.stats, text)
+}
+
+/// Per-rule and per-stratum sections must sum exactly to the run totals.
+fn check_breakdown_ties_out(name: &str, stats: &RunStats) {
+    let rule_body_evals: usize = stats.rules.iter().map(|r| r.body_evaluations).sum();
+    assert_eq!(
+        rule_body_evals, stats.rule_evaluations,
+        "{name}: per-rule body_evaluations must sum to rule_evaluations"
+    );
+    let rule_tuples: usize = stats.rules.iter().map(|r| r.tuples_derived).sum();
+    assert_eq!(
+        rule_tuples, stats.derived_tuples,
+        "{name}: per-rule tuples_derived must sum to derived_tuples"
+    );
+    let rule_components: usize = stats.rules.iter().map(|r| r.components_added).sum();
+    assert_eq!(
+        rule_components, stats.derived_components,
+        "{name}: per-rule components_added must sum to derived_components"
+    );
+
+    let stratum_evals: usize = stats.strata.iter().map(|s| s.rule_evaluations).sum();
+    assert_eq!(
+        stratum_evals, stats.rule_evaluations,
+        "{name}: strata evals"
+    );
+    let stratum_tuples: usize = stats.strata.iter().map(|s| s.tuples_derived).sum();
+    assert_eq!(
+        stratum_tuples, stats.derived_tuples,
+        "{name}: strata tuples"
+    );
+    let stratum_components: usize = stats.strata.iter().map(|s| s.components_added).sum();
+    assert_eq!(
+        stratum_components, stats.derived_components,
+        "{name}: strata components"
+    );
+    assert_eq!(
+        stats.strata.len(),
+        stats.iterations.len(),
+        "{name}: one StratumStats per executed stratum"
+    );
+    for s in &stats.strata {
+        assert_eq!(
+            s.iterations, stats.iterations[s.stratum],
+            "{name}: stratum {} iteration count mismatch",
+            s.stratum
+        );
+    }
+    // Derivation flow is monotone per rule: a rule cannot add more tuples
+    // than it produced derivations, nor more components than it emitted.
+    for r in &stats.rules {
+        assert!(
+            r.tuples_derived <= r.derivations,
+            "{name}: rule {} derived {} tuples from {} derivations",
+            r.rule,
+            r.tuples_derived,
+            r.derivations
+        );
+        assert!(
+            r.components_added <= r.components_emitted,
+            "{name}: rule {} added {} components but emitted {}",
+            r.rule,
+            r.components_added,
+            r.components_emitted
+        );
+    }
+}
+
+#[test]
+fn per_rule_sums_equal_run_totals_on_corpus() {
+    for (name, src, lo, hi) in corpus() {
+        let (stats, _) = materialize(&src, lo, hi, true);
+        check_breakdown_ties_out(name, &stats);
+    }
+}
+
+#[test]
+fn naive_mode_breakdown_also_ties_out() {
+    for (name, src, lo, hi) in corpus() {
+        let (stats, _) = materialize(&src, lo, hi, false);
+        check_breakdown_ties_out(name, &stats);
+    }
+}
+
+/// The outcome-side stats (what was derived) are strategy-independent:
+/// semi-naive and naive fixpoints must report identical derived tuples and
+/// components, even though their effort-side stats (rule evaluations)
+/// legitimately differ.
+#[test]
+fn derivation_totals_are_strategy_independent() {
+    for (name, src, lo, hi) in corpus() {
+        let (semi, semi_text) = materialize(&src, lo, hi, true);
+        let (naive, naive_text) = materialize(&src, lo, hi, false);
+        assert_eq!(semi_text, naive_text, "{name}: databases diverge");
+        assert_eq!(
+            semi.derived_tuples, naive.derived_tuples,
+            "{name}: derived_tuples depends on fixpoint strategy"
+        );
+        assert_eq!(
+            semi.total_components, naive.total_components,
+            "{name}: total_components depends on fixpoint strategy"
+        );
+        // Effort-side stats (rule_evaluations) are NOT compared: on tiny
+        // programs semi-naive's per-delta bookkeeping can cost an extra
+        // evaluation, and that is fine — only outcomes must agree.
+    }
+}
+
+/// Rules that never fire still appear in the breakdown (with zero
+/// evaluations), so dashboards can distinguish "dead rule" from "missing
+/// data"; rule indices are the program order.
+#[test]
+fn every_rule_is_accounted_for() {
+    for (name, src, lo, hi) in corpus() {
+        let (program, _) = parse_source(&src).unwrap();
+        let n_rules = program.rules.len();
+        let (stats, _) = materialize(&src, lo, hi, true);
+        assert_eq!(stats.rules.len(), n_rules, "{name}: one RuleStats per rule");
+        for (i, r) in stats.rules.iter().enumerate() {
+            assert_eq!(r.rule, i, "{name}: rule index order");
+            assert!(
+                !r.head.is_empty(),
+                "{name}: rule {i} missing head predicate"
+            );
+            assert!(!r.label.is_empty(), "{name}: rule {i} missing label");
+        }
+    }
+}
+
+/// An empty database still produces a well-formed (all-zero) breakdown.
+#[test]
+fn stats_on_empty_input_are_well_formed() {
+    let (program, _) =
+        parse_source("p(X) :- q(X).\nr(X) :- boxminus r(X).\nr(X) :- p(X).").unwrap();
+    let m = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 10))
+        .unwrap()
+        .materialize(&Database::new())
+        .unwrap();
+    check_breakdown_ties_out("empty", &m.stats);
+    assert_eq!(m.stats.derived_tuples, 0);
+    assert!(m.stats.rules.iter().all(|r| r.tuples_derived == 0));
+}

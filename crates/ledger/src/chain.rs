@@ -10,10 +10,10 @@
 //! policy, hash-chained blocks, and verified replay.
 
 use crate::log::{Ledger, LedgerRecord};
-use serde::{Deserialize, Serialize};
+use chronolog_obs::Json;
 
 /// A sealed block of consecutive ledger records.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Block {
     /// Height (0-based).
     pub number: u64,
@@ -51,7 +51,7 @@ pub struct Block {
 /// assert_eq!(chain.blocks.len(), 2);
 /// assert_eq!(chain.to_ledger(), ledger);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Chain {
     /// Window start.
     pub start_time: i64,
@@ -95,14 +95,15 @@ impl Chain {
         if block_interval <= 0 {
             return Err("block interval must be positive".into());
         }
-        ledger.verify_chain().map_err(|i| format!("broken ledger at record {i}"))?;
-        let bucket_of =
-            |t: i64| -> i64 { (t - ledger.start_time).div_euclid(block_interval) };
+        ledger
+            .verify_chain()
+            .map_err(|i| format!("broken ledger at record {i}"))?;
+        let bucket_of = |t: i64| -> i64 { (t - ledger.start_time).div_euclid(block_interval) };
         let mut blocks: Vec<Block> = Vec::new();
         let mut pending: Vec<LedgerRecord> = Vec::new();
         let mut current_bucket: Option<i64> = None;
         let mut parent: u64 = 0;
-        let mut seal_pending =
+        let seal_pending =
             |pending: &mut Vec<LedgerRecord>, blocks: &mut Vec<Block>, parent: &mut u64| {
                 if pending.is_empty() {
                     return;
@@ -150,8 +151,7 @@ impl Chain {
                 && !block.txs.is_empty()
                 && block.timestamp == block.txs.last().expect("non-empty").time
                 && block.txs.iter().all(|tx| tx.time > last_time)
-                && block.hash
-                    == block_hash(block.number, block.timestamp, parent, &block.txs);
+                && block.hash == block_hash(block.number, block.timestamp, parent, &block.txs);
             if !ok {
                 return Err(i as u64);
             }
@@ -179,6 +179,86 @@ impl Chain {
     /// Total number of transactions.
     pub fn tx_count(&self) -> usize {
         self.blocks.iter().map(|b| b.txs.len()).sum()
+    }
+
+    /// The chain as a JSON object (same conventions as the ledger format:
+    /// hashes as exact u64 integers).
+    pub fn to_json_value(&self) -> Json {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                Json::from_pairs([
+                    ("number", Json::from(b.number)),
+                    ("timestamp", Json::from(b.timestamp)),
+                    ("parent_hash", Json::from(b.parent_hash)),
+                    (
+                        "txs",
+                        Json::Arr(b.txs.iter().map(LedgerRecord::to_json).collect()),
+                    ),
+                    ("hash", Json::from(b.hash)),
+                ])
+            })
+            .collect();
+        Json::from_pairs([
+            ("start_time", Json::from(self.start_time)),
+            ("end_time", Json::from(self.end_time)),
+            ("initial_skew", Json::from(self.initial_skew)),
+            ("initial_price", Json::from(self.initial_price)),
+            ("block_interval", Json::from(self.block_interval)),
+            ("blocks", Json::Arr(blocks)),
+        ])
+    }
+
+    /// Inverse of [`Chain::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<Chain, String> {
+        let i = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("chain needs an integer `{field}`"))
+        };
+        let f = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("chain needs a number `{field}`"))
+        };
+        let blocks = v
+            .get("blocks")
+            .and_then(Json::as_array)
+            .ok_or("chain needs a `blocks` array")?
+            .iter()
+            .map(|b| {
+                let u = |field: &str| {
+                    b.get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("block needs an unsigned `{field}`"))
+                };
+                Ok(Block {
+                    number: u("number")?,
+                    timestamp: b
+                        .get("timestamp")
+                        .and_then(Json::as_i64)
+                        .ok_or("block needs an integer `timestamp`")?,
+                    parent_hash: u("parent_hash")?,
+                    txs: b
+                        .get("txs")
+                        .and_then(Json::as_array)
+                        .ok_or("block needs a `txs` array")?
+                        .iter()
+                        .map(LedgerRecord::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    hash: u("hash")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Chain {
+            start_time: i("start_time")?,
+            end_time: i("end_time")?,
+            initial_skew: f("initial_skew")?,
+            initial_price: f("initial_price")?,
+            block_interval: i("block_interval")?,
+            blocks,
+        })
     }
 }
 
@@ -260,8 +340,8 @@ mod tests {
     #[test]
     fn chain_serializes() {
         let chain = Chain::seal(&sample_ledger(), 30).unwrap();
-        let json = serde_json::to_string(&chain).unwrap();
-        let back: Chain = serde_json::from_str(&json).unwrap();
+        let json = chain.to_json_value().to_compact();
+        let back = Chain::from_json_value(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, chain);
         back.verify().unwrap();
     }

@@ -2,12 +2,11 @@
 //! interaction with the contract — the role the L2 chain plays for the real
 //! ETH-PERP. Tampering with any past record breaks the chain.
 
+use chronolog_obs::Json;
 use chronolog_perp::{AccountId, Event, Method, Trace};
-use serde::{Deserialize, Serialize};
 
 /// Serializable method payload.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "camelCase")]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MethodRecord {
     /// `tranM(A, M)`.
     TransferMargin {
@@ -48,7 +47,7 @@ impl From<MethodRecord> for Method {
 }
 
 /// One ledger entry: an event plus its position and chain hash.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LedgerRecord {
     /// Sequence number (0-based).
     pub index: u64,
@@ -67,7 +66,7 @@ pub struct LedgerRecord {
 }
 
 /// The append-only ledger of one market window.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct Ledger {
     /// Window start.
     pub start_time: i64,
@@ -83,7 +82,14 @@ pub struct Ledger {
 
 /// FNV-1a over the serialized salient fields — a toy integrity chain (the
 /// point is the *structure*: any rewrite invalidates all later records).
-fn chain_hash(prev: u64, index: u64, time: i64, account: u32, method: &MethodRecord, price: f64) -> u64 {
+fn chain_hash(
+    prev: u64,
+    index: u64,
+    time: i64,
+    account: u32,
+    method: &MethodRecord,
+    price: f64,
+) -> u64 {
     const OFFSET: u64 = 0xcbf29ce484222325;
     const PRIME: u64 = 0x100000001b3;
     let mut h = OFFSET;
@@ -138,7 +144,14 @@ impl Ledger {
         let index = self.records.len() as u64;
         let prev_hash = self.records.last().map(|r| r.hash).unwrap_or(0);
         let method: MethodRecord = event.method.into();
-        let hash = chain_hash(prev_hash, index, event.time, event.account.0, &method, event.price);
+        let hash = chain_hash(
+            prev_hash,
+            index,
+            event.time,
+            event.account.0,
+            &method,
+            event.price,
+        );
         self.records.push(LedgerRecord {
             index,
             time: event.time,
@@ -158,8 +171,7 @@ impl Ledger {
             if r.prev_hash != prev {
                 return Err(r.index);
             }
-            let expect =
-                chain_hash(r.prev_hash, r.index, r.time, r.account, &r.method, r.price);
+            let expect = chain_hash(r.prev_hash, r.index, r.time, r.account, &r.method, r.price);
             if r.hash != expect {
                 return Err(r.index);
             }
@@ -214,6 +226,138 @@ impl Ledger {
     }
 }
 
+// --- JSON wire format: internally tagged methods (`kind`), camelCase
+// tags, hashes as exact u64 integers. Stable across releases — saved
+// ledgers must keep loading. ---
+
+impl MethodRecord {
+    /// `{"kind": "transferMargin", "amount": 42.0}` etc.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MethodRecord::TransferMargin { amount } => Json::from_pairs([
+                ("kind", Json::from("transferMargin")),
+                ("amount", Json::from(*amount)),
+            ]),
+            MethodRecord::Withdraw => Json::from_pairs([("kind", Json::from("withdraw"))]),
+            MethodRecord::ModifyPosition { size } => Json::from_pairs([
+                ("kind", Json::from("modifyPosition")),
+                ("size", Json::from(*size)),
+            ]),
+            MethodRecord::ClosePosition => {
+                Json::from_pairs([("kind", Json::from("closePosition"))])
+            }
+        }
+    }
+
+    /// Inverse of [`MethodRecord::to_json`].
+    pub fn from_json(v: &Json) -> Result<MethodRecord, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("method record needs a string `kind`")?;
+        let num = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("method record `{kind}` needs a number `{field}`"))
+        };
+        match kind {
+            "transferMargin" => Ok(MethodRecord::TransferMargin {
+                amount: num("amount")?,
+            }),
+            "withdraw" => Ok(MethodRecord::Withdraw),
+            "modifyPosition" => Ok(MethodRecord::ModifyPosition { size: num("size")? }),
+            "closePosition" => Ok(MethodRecord::ClosePosition),
+            other => Err(format!("unknown method kind `{other}`")),
+        }
+    }
+}
+
+impl LedgerRecord {
+    /// The record as a JSON object (hashes as exact u64 integers).
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            ("index", Json::from(self.index)),
+            ("time", Json::from(self.time)),
+            ("account", Json::from(self.account)),
+            ("method", self.method.to_json()),
+            ("price", Json::from(self.price)),
+            ("prev_hash", Json::from(self.prev_hash)),
+            ("hash", Json::from(self.hash)),
+        ])
+    }
+
+    /// Inverse of [`LedgerRecord::to_json`].
+    pub fn from_json(v: &Json) -> Result<LedgerRecord, String> {
+        let u = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("ledger record needs an unsigned `{field}`"))
+        };
+        Ok(LedgerRecord {
+            index: u("index")?,
+            time: v
+                .get("time")
+                .and_then(Json::as_i64)
+                .ok_or("ledger record needs an integer `time`")?,
+            account: u("account")? as u32,
+            method: MethodRecord::from_json(
+                v.get("method").ok_or("ledger record needs a `method`")?,
+            )?,
+            price: v
+                .get("price")
+                .and_then(Json::as_f64)
+                .ok_or("ledger record needs a number `price`")?,
+            prev_hash: u("prev_hash")?,
+            hash: u("hash")?,
+        })
+    }
+}
+
+impl Ledger {
+    /// The ledger as a JSON object.
+    pub fn to_json_value(&self) -> Json {
+        Json::from_pairs([
+            ("start_time", Json::from(self.start_time)),
+            ("end_time", Json::from(self.end_time)),
+            ("initial_skew", Json::from(self.initial_skew)),
+            ("initial_price", Json::from(self.initial_price)),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(LedgerRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Ledger::to_json_value`]. Does *not* verify the chain —
+    /// callers decide (see `persist::from_json`).
+    pub fn from_json_value(v: &Json) -> Result<Ledger, String> {
+        let i = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("ledger needs an integer `{field}`"))
+        };
+        let f = |field: &str| {
+            v.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("ledger needs a number `{field}`"))
+        };
+        let records = v
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or("ledger needs a `records` array")?
+            .iter()
+            .map(LedgerRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Ledger {
+            start_time: i("start_time")?,
+            end_time: i("end_time")?,
+            initial_skew: f("initial_skew")?,
+            initial_price: f("initial_price")?,
+            records,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,8 +374,10 @@ mod tests {
     #[test]
     fn append_builds_a_valid_chain() {
         let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
-        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
-        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 })).unwrap();
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 }))
+            .unwrap();
+        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 }))
+            .unwrap();
         l.append(&event(30, 1, Method::ClosePosition)).unwrap();
         assert_eq!(l.len(), 3);
         l.verify_chain().unwrap();
@@ -240,8 +386,10 @@ mod tests {
     #[test]
     fn tampering_breaks_the_chain() {
         let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
-        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
-        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 })).unwrap();
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 }))
+            .unwrap();
+        l.append(&event(20, 1, Method::ModifyPosition { size: 0.5 }))
+            .unwrap();
         l.records[0].price = 9999.0;
         assert_eq!(l.verify_chain(), Err(0));
         // Fixing record 0's hash still breaks record 1's prev link.
@@ -252,9 +400,14 @@ mod tests {
     #[test]
     fn rejects_out_of_order_events() {
         let mut l = Ledger::open(0, 7200, 0.0, 1300.0);
-        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 })).unwrap();
-        assert!(l.append(&event(10, 2, Method::TransferMargin { amount: 1.0 })).is_err());
-        assert!(l.append(&event(5, 2, Method::TransferMargin { amount: 1.0 })).is_err());
+        l.append(&event(10, 1, Method::TransferMargin { amount: 50.0 }))
+            .unwrap();
+        assert!(l
+            .append(&event(10, 2, Method::TransferMargin { amount: 1.0 }))
+            .is_err());
+        assert!(l
+            .append(&event(5, 2, Method::TransferMargin { amount: 1.0 }))
+            .is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! verify the chain — deterministic replay across processes.
 
 use crate::log::Ledger;
-use std::io::{BufReader, BufWriter, Write};
+use chronolog_obs::Json;
 use std::path::Path;
 
 /// Persistence failure.
@@ -10,8 +10,8 @@ use std::path::Path;
 pub enum PersistError {
     /// Filesystem error.
     Io(std::io::Error),
-    /// Malformed JSON.
-    Json(serde_json::Error),
+    /// Malformed or structurally wrong JSON.
+    Json(String),
     /// The loaded ledger's hash chain is broken (first bad record index).
     BrokenChain(u64),
 }
@@ -34,37 +34,33 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
-        PersistError::Json(e)
+impl From<chronolog_obs::JsonError> for PersistError {
+    fn from(e: chronolog_obs::JsonError) -> Self {
+        PersistError::Json(e.to_string())
     }
 }
 
 /// Writes a ledger as pretty-printed JSON.
 pub fn save_ledger(ledger: &Ledger, path: &Path) -> Result<(), PersistError> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    serde_json::to_writer_pretty(&mut w, ledger)?;
-    w.flush()?;
+    std::fs::write(path, ledger.to_json_value().to_pretty())?;
     Ok(())
 }
 
 /// Reads a ledger back and verifies its hash chain.
 pub fn load_ledger(path: &Path) -> Result<Ledger, PersistError> {
-    let file = std::fs::File::open(path)?;
-    let ledger: Ledger = serde_json::from_reader(BufReader::new(file))?;
-    ledger.verify_chain().map_err(PersistError::BrokenChain)?;
-    Ok(ledger)
+    let text = std::fs::read_to_string(path)?;
+    from_json(&text)
 }
 
 /// Serializes to a JSON string (for embedding or transport).
 pub fn to_json(ledger: &Ledger) -> Result<String, PersistError> {
-    Ok(serde_json::to_string_pretty(ledger)?)
+    Ok(ledger.to_json_value().to_pretty())
 }
 
 /// Parses from a JSON string and verifies the chain.
 pub fn from_json(json: &str) -> Result<Ledger, PersistError> {
-    let ledger: Ledger = serde_json::from_str(json)?;
+    let value = Json::parse(json)?;
+    let ledger = Ledger::from_json_value(&value).map_err(PersistError::Json)?;
     ledger.verify_chain().map_err(PersistError::BrokenChain)?;
     Ok(ledger)
 }

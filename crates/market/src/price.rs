@@ -3,8 +3,7 @@
 //! real contract reads (§3.1: "the price of the ETH-PERP is obtained from
 //! an external oracle").
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use chronolog_obs::SmallRng;
 
 /// A geometric Brownian motion price process, advanced at irregular
 /// timestamps (funding math only reads the price at interaction times).
@@ -38,7 +37,7 @@ impl GbmPrice {
 
     /// Advances to `t` (seconds), sampling one GBM step, and returns the
     /// new price. Steps of zero or negative duration leave it unchanged.
-    pub fn advance(&mut self, t: i64, rng: &mut StdRng) -> f64 {
+    pub fn advance(&mut self, t: i64, rng: &mut SmallRng) -> f64 {
         let dt_secs = t - self.last_time;
         if dt_secs > 0 {
             let dt = dt_secs as f64 / SECONDS_PER_YEAR;
@@ -52,21 +51,20 @@ impl GbmPrice {
     }
 }
 
-/// Standard normal via Box–Muller (avoids a rand_distr dependency).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range_f64(f64::MIN_POSITIVE, 1.0);
+    let u2: f64 = rng.gen_range_f64(0.0, 1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn stays_positive_and_moves() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut p = GbmPrice::new(1300.0, 0, 0.0, 0.9);
         let mut moved = false;
         let mut t = 0;
@@ -81,7 +79,7 @@ mod tests {
 
     #[test]
     fn zero_dt_is_identity() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut p = GbmPrice::new(1300.0, 100, 0.0, 0.9);
         assert_eq!(p.advance(100, &mut rng), 1300.0);
         assert_eq!(p.advance(50, &mut rng), 1300.0);
@@ -90,9 +88,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let run = |seed: u64| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
             let mut p = GbmPrice::new(1300.0, 0, 0.05, 0.9);
-            (1..50).map(|i| p.advance(i * 60, &mut rng)).collect::<Vec<_>>()
+            (1..50)
+                .map(|i| p.advance(i * 60, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn volatility_scales_dispersion() {
         let spread = |vol: f64| {
-            let mut rng = StdRng::seed_from_u64(1);
+            let mut rng = SmallRng::seed_from_u64(1);
             let mut p = GbmPrice::new(1000.0, 0, 0.0, vol);
             let mut min = f64::MAX;
             let mut max = f64::MIN;

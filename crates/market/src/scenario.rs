@@ -8,10 +8,8 @@
 //! timestamps) matching those numbers exactly, with GBM oracle prices.
 
 use crate::price::GbmPrice;
+use chronolog_obs::SmallRng;
 use chronolog_perp::{AccountId, Event, Method, Trace};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of one market window (a row of Figure 3).
 #[derive(Clone, Debug)]
@@ -40,7 +38,15 @@ pub struct ScenarioConfig {
 
 impl ScenarioConfig {
     /// A 2-hour window with crypto-typical volatility.
-    pub fn new(name: &str, seed: u64, start_time: i64, n_events: usize, n_trades: usize, initial_skew: f64, initial_price: f64) -> ScenarioConfig {
+    pub fn new(
+        name: &str,
+        seed: u64,
+        start_time: i64,
+        n_events: usize,
+        n_trades: usize,
+        initial_skew: f64,
+        initial_price: f64,
+    ) -> ScenarioConfig {
         ScenarioConfig {
             name: name.to_string(),
             seed,
@@ -62,11 +68,35 @@ impl ScenarioConfig {
 pub fn paper_intervals() -> Vec<ScenarioConfig> {
     vec![
         // 2022-09-27 10:30–12:30 GMT.
-        ScenarioConfig::new("2022-09-27 10.30-12.30", 20220927, 1_664_274_600, 267, 59, -2445.98, 1330.0),
+        ScenarioConfig::new(
+            "2022-09-27 10.30-12.30",
+            20220927,
+            1_664_274_600,
+            267,
+            59,
+            -2445.98,
+            1330.0,
+        ),
         // 2022-10-07 18:00–20:00 GMT.
-        ScenarioConfig::new("2022-10-07 18.00-20.00", 20221007, 1_665_165_600, 108, 16, 1302.88, 1350.0),
+        ScenarioConfig::new(
+            "2022-10-07 18.00-20.00",
+            20221007,
+            1_665_165_600,
+            108,
+            16,
+            1302.88,
+            1350.0,
+        ),
         // 2022-10-12 14:00–16:00 GMT.
-        ScenarioConfig::new("2022-10-12 14.00-16.00", 20221012, 1_665_583_200, 128, 29, 2502.85, 1290.0),
+        ScenarioConfig::new(
+            "2022-10-12 14.00-16.00",
+            20221012,
+            1_665_583_200,
+            128,
+            29,
+            2502.85,
+            1290.0,
+        ),
     ]
 }
 
@@ -91,7 +121,7 @@ enum PlannedMethod {
 /// Panics when the statistics are infeasible (fewer than `2*n_trades + 1`
 /// events, or zero events with nonzero trades).
 pub fn generate(config: &ScenarioConfig) -> Trace {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     let e = config.n_events;
     let c = config.n_trades;
     assert!(
@@ -101,7 +131,7 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
 
     // --- Event budget: E = deposits + opens + modifies + closes + withdraws.
     let budget = e - c; // non-close events
-    // Every trade needs an open; every account needs a first deposit.
+                        // Every trade needs an open; every account needs a first deposit.
     let n_accounts = if c == 0 {
         budget.clamp(1, 8)
     } else {
@@ -127,14 +157,14 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
         .collect();
     let mut trades_of = vec![0usize; n_accounts];
     for _ in 0..c {
-        trades_of[rng.gen_range(0..n_accounts)] += 1;
+        trades_of[rng.gen_range_usize(0, n_accounts)] += 1;
     }
     let mut modifies_of = vec![0usize; n_accounts.max(1)];
     for _ in 0..n_modifies {
         // Modifications only make sense for accounts that trade.
         let candidates: Vec<usize> = (0..n_accounts).filter(|&i| trades_of[i] > 0).collect();
-        let i = *candidates
-            .choose(&mut rng)
+        let i = *rng
+            .choose(&candidates)
             .expect("n_modifies > 0 implies trading accounts exist");
         modifies_of[i] += 1;
     }
@@ -147,7 +177,7 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
             let take = if sessions_left == 1 {
                 mods_left
             } else {
-                rng.gen_range(0..=mods_left / sessions_left.max(1))
+                rng.gen_range_usize(0, mods_left / sessions_left.max(1) + 1)
             };
             for _ in 0..take {
                 script.methods.push(PlannedMethod::Modify);
@@ -157,14 +187,14 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
         }
     }
     for _ in 0..n_extra_deposits {
-        let i = rng.gen_range(0..n_accounts);
+        let i = rng.gen_range_usize(0, n_accounts);
         // A later deposit can land anywhere after the first one; append and
         // let interleaving randomize relative order with other accounts.
-        let pos = rng.gen_range(1..=scripts[i].methods.len());
+        let pos = rng.gen_range_usize(1, scripts[i].methods.len() + 1);
         scripts[i].methods.insert(pos, PlannedMethod::Deposit);
     }
     let mut withdrawn: Vec<usize> = (0..n_accounts).collect();
-    withdrawn.shuffle(&mut rng);
+    rng.shuffle(&mut withdrawn);
     for &i in withdrawn.iter().take(n_withdraw) {
         scripts[i].methods.push(PlannedMethod::Withdraw);
     }
@@ -176,7 +206,8 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
         "event budget accounting"
     );
     let span = config.duration_secs - 2;
-    let mut times: Vec<i64> = rand::seq::index::sample(&mut rng, span as usize, e)
+    let mut times: Vec<i64> = rng
+        .sample_indices(span as usize, e)
         .into_iter()
         .map(|k| config.start_time + 1 + k as i64)
         .collect();
@@ -184,7 +215,12 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
 
     // --- Interleave account scripts, preserving per-account order. ---
     let mut cursors = vec![0usize; n_accounts];
-    let mut price = GbmPrice::new(config.initial_price, config.start_time, config.drift, config.volatility);
+    let mut price = GbmPrice::new(
+        config.initial_price,
+        config.start_time,
+        config.drift,
+        config.volatility,
+    );
     let mut events: Vec<Event> = Vec::with_capacity(e);
     let mut positions = vec![0.0f64; n_accounts]; // running sizes
     for t in times {
@@ -196,13 +232,13 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
             .iter()
             .max_by_key(|&&i| {
                 let remaining = scripts[i].methods.len() - cursors[i];
-                (remaining, rng.gen_range(0..1_000_000u32))
+                (remaining, rng.gen_range_i64(0, 1_000_000))
             })
             .expect("timestamps equal total events");
         let p = price.advance(t, &mut rng);
         let method = match scripts[i].methods[cursors[i]] {
             PlannedMethod::Deposit => Method::TransferMargin {
-                amount: round2(rng.gen_range(500.0..50_000.0)),
+                amount: round2(rng.gen_range_f64(500.0, 50_000.0)),
             },
             PlannedMethod::Open => {
                 let size = random_size(&mut rng);
@@ -245,12 +281,17 @@ pub fn generate(config: &ScenarioConfig) -> Trace {
     trace
         .validate()
         .unwrap_or_else(|e| panic!("generator produced an invalid trace: {e}"));
+    let registry = chronolog_obs::Registry::global();
+    registry.counter("market.scenarios_generated").inc();
+    registry
+        .counter("market.events_generated")
+        .add(trace.events.len() as u64);
     trace
 }
 
 /// Signed lognormal-ish position size (median ≈ 4.5 ETH, heavy tail).
-fn random_size(rng: &mut StdRng) -> f64 {
-    let magnitude = (rng.gen_range(-0.5f64..2.5)).exp() * 2.5;
+fn random_size(rng: &mut SmallRng) -> f64 {
+    let magnitude = rng.gen_range_f64(-0.5, 2.5).exp() * 2.5;
     let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
     round4(sign * magnitude)
 }

@@ -1,0 +1,27 @@
+//! # chronolog-obs
+//!
+//! The observability substrate of the chronolog workspace: counters,
+//! gauges, and fixed-bucket latency histograms built on atomics; a bounded
+//! structured-event ring buffer for execution traces; a hand-rolled JSON
+//! value type with a writer and parser; and a small deterministic RNG.
+//!
+//! Everything here is dependency-free by design: the workspace builds in
+//! fully offline environments, so this crate supplies the pieces that
+//! would otherwise come from `serde_json`, `rand`, or a metrics crate.
+//!
+//! * [`json`] — [`Json`] value, compact/pretty writers, a strict parser.
+//! * [`metrics`] — [`Counter`], [`Gauge`], [`Histogram`], [`Registry`].
+//! * [`trace`] — [`Tracer`], a bounded ring of [`TraceEvent`]s, JSONL out.
+//! * [`rng`] — [`SmallRng`], a seeded SplitMix64 generator.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod trace;
+
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use rng::SmallRng;
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,277 @@
+//! Process-wide metrics on atomics: monotonic counters, gauges, and
+//! fixed-bucket (power-of-two) latency histograms, grouped in registries.
+//!
+//! The global [`Registry`] is the cheap default for cross-crate counters
+//! (the perp harness and the market generator publish there); components
+//! that need isolation (tests, parallel runs) can carry their own.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length
+/// is `i` (i.e. `v == 0` → bucket 0, otherwise `⌊log2 v⌋ + 1`), capped at
+/// the last bucket. With microsecond samples this spans 1µs .. ~2^62µs.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram over `u64` samples (typically microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-bucket sample counts (bucket `i` covers bit-length-`i` values).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("max", Json::from(self.max)),
+            ("mean", Json::from(self.mean())),
+            ("p50_le", Json::from(self.quantile_bound(0.50))),
+            ("p99_le", Json::from(self.quantile_bound(0.99))),
+        ])
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter with the given name, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge with the given name, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram with the given name, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// All metrics as one JSON object (counters and gauges flat, histogram
+    /// summaries nested), keys sorted.
+    pub fn snapshot(&self) -> Json {
+        let mut out = Json::object();
+        for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
+            out.set(name, c.get());
+        }
+        for (name, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            out.set(name, g.get());
+        }
+        for (name, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            out.set(name, h.snapshot().to_json());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.counter("a.b").add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        r.gauge("g").set(-3);
+        assert_eq!(r.gauge("g").get(), -3);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 5000);
+        assert!(s.quantile_bound(1.0) >= 5000);
+        assert!(s.quantile_bound(0.5) <= 128);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_stable_json() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        r.histogram("lat").record(7);
+        let j = r.snapshot();
+        let keys: Vec<&str> = j
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["a", "z", "lat"]);
+        assert_eq!(
+            j.get("lat").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        Registry::global().counter("test.obs.global").add(2);
+        assert!(Registry::global().counter("test.obs.global").get() >= 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Structured trace events in a bounded ring buffer.
+//!
+//! A [`Tracer`] is a cheap cloneable handle (an `Arc`) that components
+//! thread through their call stacks; emitting when no tracer is installed
+//! costs nothing because callers hold an `Option<Tracer>`. The buffer is
+//! bounded: under sustained load old events are dropped (and counted)
+//! rather than growing without limit — observability must never OOM the
+//! process it observes.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One structured event: a name, a timestamp relative to tracer creation,
+/// and a flat list of fields.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created.
+    pub ts_us: u64,
+    /// Event kind, e.g. `"stratum"`, `"advance"`.
+    pub name: &'static str,
+    /// Event payload.
+    pub fields: Vec<(&'static str, Json)>,
+}
+
+impl TraceEvent {
+    /// The event as a JSON object (`ts_us` and `ev` first).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("ts_us", self.ts_us);
+        o.set("ev", self.name);
+        for (k, v) in &self.fields {
+            o.set(k, v.clone());
+        }
+        o
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    capacity: usize,
+    buf: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+/// A bounded, thread-safe recorder of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Tracer(Arc<Inner>);
+
+impl Tracer {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A tracer holding at most `capacity` events (oldest dropped first).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer(Arc::new(Inner {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }))
+    }
+
+    /// A tracer with the default capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(Tracer::DEFAULT_CAPACITY)
+    }
+
+    /// Records one event.
+    pub fn emit(&self, name: &'static str, fields: Vec<(&'static str, Json)>) {
+        let ts_us = self.0.start.elapsed().as_micros() as u64;
+        let mut buf = self.0.buf.lock().expect("tracer poisoned");
+        if buf.len() == self.0.capacity {
+            buf.pop_front();
+            self.0.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(TraceEvent {
+            ts_us,
+            name,
+            fields,
+        });
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.0.buf.lock().expect("tracer poisoned").len()
+    }
+
+    /// `true` iff no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.0
+            .buf
+            .lock()
+            .expect("tracer poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Drains the buffer into JSONL text (one compact object per line).
+    /// If events were dropped, the first line reports how many.
+    pub fn drain_jsonl(&self) -> String {
+        let mut out = String::new();
+        let dropped = self.dropped();
+        if dropped > 0 {
+            let mut note = Json::object();
+            note.set("ts_us", 0u64);
+            note.set("ev", "dropped_events");
+            note.set("count", dropped);
+            out.push_str(&note.to_compact());
+            out.push('\n');
+        }
+        for ev in self.drain() {
+            out.push_str(&ev.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_in_order() {
+        let t = Tracer::new();
+        t.emit("a", vec![("k", Json::Int(1))]);
+        t.emit("b", vec![]);
+        let evs = t.drain();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[1].name, "b");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let t = Tracer::with_capacity(3);
+        for i in 0..10i64 {
+            t.emit("e", vec![("i", Json::Int(i))]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let jsonl = t.drain_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4); // dropped-note + 3 events
+        assert!(lines[0].contains("dropped_events"));
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let t = Tracer::new();
+        t.emit("x", vec![("s", Json::from("a\"b")), ("f", Json::from(0.5))]);
+        let jsonl = t.drain_jsonl();
+        let v = Json::parse(jsonl.trim()).unwrap();
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b"));
+    }
+}

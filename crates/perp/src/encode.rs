@@ -127,9 +127,17 @@ mod tests {
             .database
             .holds_at("tranM", &[Value::sym("acc0001"), Value::num(100.0)], 1_010));
         assert!(e.database.holds_at("price", &[Value::num(1363.0)], 1_025));
-        assert!(e.database.holds_at("closePos", &[Value::sym("acc0001")], 1_100));
+        assert!(e
+            .database
+            .holds_at("closePos", &[Value::sym("acc0001")], 1_100));
         // No ts facts in dense mode.
-        assert_eq!(e.database.intervals(chronolog_core::Symbol::new("ts"), &[Value::Int(1_000)]).components().len(), 0);
+        assert_eq!(
+            e.database
+                .intervals(chronolog_core::Symbol::new("ts"), &[Value::Int(1_000)])
+                .components()
+                .len(),
+            0
+        );
     }
 
     #[test]
@@ -150,7 +158,9 @@ mod tests {
         for mode in [TimelineMode::DenseSeconds, TimelineMode::EventEpochs] {
             let e = encode_trace(&trace(), mode);
             let t0 = e.horizon.0;
-            assert!(e.database.holds_at("startSkew", &[Value::num(-2445.98)], t0));
+            assert!(e
+                .database
+                .holds_at("startSkew", &[Value::num(-2445.98)], t0));
             assert!(e.database.holds_at("startFrs", &[Value::num(0.0)], t0));
         }
     }

@@ -72,7 +72,10 @@ pub fn extract_run(
         if matches!(event.method, Method::ClosePosition) {
             let acc = account_value(event.account);
             let pnl = as_f64(&lookup_unique(db, "pnl", &[acc], coord)?[0], "pnl")?;
-            let fee = as_f64(&lookup_unique(db, "finalFee", &[acc], coord)?[0], "finalFee")?;
+            let fee = as_f64(
+                &lookup_unique(db, "finalFee", &[acc], coord)?[0],
+                "finalFee",
+            )?;
             let funding = as_f64(&lookup_unique(db, "funding", &[acc], coord)?[0], "funding")?;
             run.trades.push(TradeSettlement {
                 account: event.account,
@@ -93,11 +96,7 @@ pub fn extract_run(
 
 /// Reads the margin of an account at a timeline coordinate (for reporting
 /// and the risk-management example).
-pub fn margin_at(
-    db: &Database,
-    account: crate::types::AccountId,
-    coord: i64,
-) -> Option<f64> {
+pub fn margin_at(db: &Database, account: crate::types::AccountId, coord: i64) -> Option<f64> {
     lookup_unique(db, "margin", &[account_value(account)], coord)
         .ok()
         .and_then(|rest| rest[0].as_f64())

@@ -214,7 +214,10 @@ mod tests {
         let third = Fixed18::ONE.div(Fixed18::from_int(3));
         assert_eq!(third.raw(), 333_333_333_333_333_333);
         // (1/3) * 3 = 0.999999999999999999, not 1.
-        assert_eq!(third.mul(Fixed18::from_int(3)).raw(), 999_999_999_999_999_999);
+        assert_eq!(
+            third.mul(Fixed18::from_int(3)).raw(),
+            999_999_999_999_999_999
+        );
         // Negative truncation is toward zero (Solidity sdiv).
         let neg_third = (-Fixed18::ONE).div(Fixed18::from_int(3));
         assert_eq!(neg_third.raw(), -333_333_333_333_333_333);
@@ -226,7 +229,12 @@ mod tests {
         assert_eq!(v.clamp(-Fixed18::ONE, Fixed18::ONE), Fixed18::ONE);
         assert_eq!((-v).clamp(-Fixed18::ONE, Fixed18::ONE), -Fixed18::ONE);
         assert_eq!((-v).abs(), v);
-        assert_eq!(Fixed18::from_f64(0.5).clamp(-Fixed18::ONE, Fixed18::ONE).to_f64(), 0.5);
+        assert_eq!(
+            Fixed18::from_f64(0.5)
+                .clamp(-Fixed18::ONE, Fixed18::ONE)
+                .to_f64(),
+            0.5
+        );
     }
 
     #[test]

@@ -80,6 +80,15 @@ pub fn run_datalog_with(
     let reasoner = Reasoner::new(program, config)?;
     let m = reasoner.materialize(&encoded.database)?;
     let run = extract_run(&m.database, trace, &encoded)?;
+    let registry = chronolog_obs::Registry::global();
+    registry.counter("perp.runs").inc();
+    registry
+        .counter("perp.events")
+        .add(trace.events.len() as u64);
+    registry.counter("perp.trades").add(run.trades.len() as u64);
+    registry
+        .histogram("perp.run_latency_us")
+        .record(m.stats.elapsed.as_micros() as u64);
     Ok(DatalogRun {
         run,
         stats: m.stats,
@@ -158,9 +167,7 @@ pub struct ValidationReport {
 impl ValidationReport {
     /// Largest absolute FRS difference across all events.
     pub fn max_frs_diff(&self) -> f64 {
-        self.frs_rows
-            .iter()
-            .fold(0.0, |m, r| m.max(r.diff().abs()))
+        self.frs_rows.iter().fold(0.0, |m, r| m.max(r.diff().abs()))
     }
 }
 
@@ -173,7 +180,13 @@ pub fn validate(
 ) -> Result<ValidationReport, HarnessError> {
     let datalog = run_datalog(trace, params, mode)?;
     let subgraph = ReferenceEngine::<Fixed18>::run_trace(*params, trace);
-    Ok(build_report(datalog, subgraph))
+    let report = build_report(datalog, subgraph);
+    let registry = chronolog_obs::Registry::global();
+    registry.counter("perp.validations").inc();
+    registry
+        .counter("perp.settlements")
+        .add(report.datalog.trades.len() as u64);
+    Ok(report)
 }
 
 fn build_report(datalog: DatalogRun, subgraph: MarketRun) -> ValidationReport {
@@ -240,11 +253,36 @@ mod tests {
             initial_skew: -2445.98,
             initial_price: 1362.5,
             events: vec![
-                ev(1_664_000_010, 1, Method::TransferMargin { amount: 5_000.0 }, 1362.5),
-                ev(1_664_000_025, 1, Method::ModifyPosition { size: 1.5 }, 1363.0),
-                ev(1_664_000_080, 2, Method::TransferMargin { amount: 9_000.0 }, 1364.0),
-                ev(1_664_000_120, 2, Method::ModifyPosition { size: -2.25 }, 1361.0),
-                ev(1_664_000_200, 1, Method::ModifyPosition { size: 0.75 }, 1360.0),
+                ev(
+                    1_664_000_010,
+                    1,
+                    Method::TransferMargin { amount: 5_000.0 },
+                    1362.5,
+                ),
+                ev(
+                    1_664_000_025,
+                    1,
+                    Method::ModifyPosition { size: 1.5 },
+                    1363.0,
+                ),
+                ev(
+                    1_664_000_080,
+                    2,
+                    Method::TransferMargin { amount: 9_000.0 },
+                    1364.0,
+                ),
+                ev(
+                    1_664_000_120,
+                    2,
+                    Method::ModifyPosition { size: -2.25 },
+                    1361.0,
+                ),
+                ev(
+                    1_664_000_200,
+                    1,
+                    Method::ModifyPosition { size: 0.75 },
+                    1360.0,
+                ),
                 ev(1_664_000_320, 1, Method::ClosePosition, 1359.5),
                 ev(1_664_000_400, 2, Method::ClosePosition, 1365.25),
                 ev(1_664_000_450, 1, Method::Withdraw, 1365.0),

@@ -61,7 +61,11 @@ pub fn build_monitored_program(
     monitor: &MonitorParams,
     mode: TimelineMode,
 ) -> Result<Program> {
-    let src = format!("{}{}", program_source(params, mode), monitor_source(monitor));
+    let src = format!(
+        "{}{}",
+        program_source(params, mode),
+        monitor_source(monitor)
+    );
     parse_program(&src)
 }
 
@@ -177,8 +181,9 @@ mod tests {
 
     #[test]
     fn monitored_program_still_validates_and_extends_rule_count() {
-        let base = crate::program::build_program(&MarketParams::default(), TimelineMode::EventEpochs)
-            .unwrap();
+        let base =
+            crate::program::build_program(&MarketParams::default(), TimelineMode::EventEpochs)
+                .unwrap();
         let ext = build_monitored_program(
             &MarketParams::default(),
             &MonitorParams::default(),
@@ -189,7 +194,14 @@ mod tests {
         // Contract predicates do not depend on monitor predicates.
         let g = chronolog_core::DependencyGraph::build(&ext);
         for (from, to, _) in &g.edges {
-            let monitor_preds = ["exposure", "leverage", "highLeverage", "underMargin", "openInterest", "reportPosition"];
+            let monitor_preds = [
+                "exposure",
+                "leverage",
+                "highLeverage",
+                "underMargin",
+                "openInterest",
+                "reportPosition",
+            ];
             if monitor_preds.contains(&from.as_str().as_str()) {
                 assert!(
                     monitor_preds.contains(&to.as_str().as_str()),

@@ -15,7 +15,9 @@ use crate::params::MarketParams;
 #[cfg(test)]
 use crate::reference::ReferenceEngine;
 use crate::types::{MarketRun, Method, Trace};
-use chronolog_core::{parse_program, Database, Program, Rational, Reasoner, ReasonerConfig, Result, Symbol, Value};
+use chronolog_core::{
+    parse_program, Database, Program, Rational, Reasoner, ReasonerConfig, Result, Symbol, Value,
+};
 use std::collections::HashMap;
 
 /// A market identifier (e.g. `ethperp`, `btcperp`).
@@ -163,7 +165,11 @@ pub fn encode_markets(markets: &[MarketSpec]) -> MultiEncoded {
     for (mi, market) in markets.iter().enumerate() {
         let mkt = Value::sym(&market.id);
         db.assert_at("start", &[mkt], 0);
-        db.assert_at("startSkew", &[mkt, Value::num(market.trace.initial_skew)], 0);
+        db.assert_at(
+            "startSkew",
+            &[mkt, Value::num(market.trace.initial_skew)],
+            0,
+        );
         db.assert_at("startFrs", &[mkt, Value::num(0.0)], 0);
         let p = market.params;
         db.assert_over(
@@ -258,8 +264,13 @@ pub fn run_multi_market(markets: &[MarketSpec]) -> Result<HashMap<MarketId, Mark
             .find(|&&(mi, _, _)| markets[mi].id == spec.id)
         {
             let run = runs.get_mut(&spec.id).expect("initialized");
-            run.final_skew = lookup(&m.database, Symbol::new("skew"), &[Value::sym(&spec.id)], last)
-                .unwrap_or(spec.trace.initial_skew);
+            run.final_skew = lookup(
+                &m.database,
+                Symbol::new("skew"),
+                &[Value::sym(&spec.id)],
+                last,
+            )
+            .unwrap_or(spec.trace.initial_skew);
         }
     }
     Ok(runs)
@@ -381,10 +392,8 @@ mod tests {
         let markets = eth_and_btc();
         let runs = run_multi_market(&markets).unwrap();
         let btc_trade = runs["btcperp"].trades[0];
-        let eth_params_ref = ReferenceEngine::<f64>::run_trace(
-            MarketParams::default(),
-            &markets[1].trace,
-        );
+        let eth_params_ref =
+            ReferenceEngine::<f64>::run_trace(MarketParams::default(), &markets[1].trace);
         assert_ne!(btc_trade.fee, eth_params_ref.trades[0].fee);
     }
 }

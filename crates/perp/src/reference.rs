@@ -380,22 +380,45 @@ mod tests {
     fn example_3_3_pnl() {
         // position(0.7, 39$), price 47$, close -> PNL = 0.7*47 - 39 = -6.1.
         let mut e = ReferenceEngine::<f64>::new(params(), 0.0, 0);
-        e.apply(&ev(10, 1, Method::TransferMargin { amount: 100.0 }, 55.714285714285715)); // 39/0.7
-        e.apply(&ev(20, 1, Method::ModifyPosition { size: 0.7 }, 55.714285714285715));
+        e.apply(&ev(
+            10,
+            1,
+            Method::TransferMargin { amount: 100.0 },
+            55.714285714285715,
+        )); // 39/0.7
+        e.apply(&ev(
+            20,
+            1,
+            Method::ModifyPosition { size: 0.7 },
+            55.714285714285715,
+        ));
         let s = e
             .apply(&ev(30, 1, Method::ClosePosition, 47.0))
             .expect("settlement");
-        assert!((s.pnl - (0.7 * 47.0 - 39.0)).abs() < 1e-12, "pnl = {}", s.pnl);
+        assert!(
+            (s.pnl - (0.7 * 47.0 - 39.0)).abs() < 1e-12,
+            "pnl = {}",
+            s.pnl
+        );
     }
 
     #[test]
     fn example_3_6_fee_on_long_order_with_positive_skew() {
         // skew 1342.2, price 1200, modPos +0.02: rate 0.0035 -> fee 0.084.
         let mut e = ReferenceEngine::<f64>::new(params(), 1342.2, 0);
-        e.apply(&ev(10, 1, Method::TransferMargin { amount: 1000.0 }, 1200.0));
+        e.apply(&ev(
+            10,
+            1,
+            Method::TransferMargin { amount: 1000.0 },
+            1200.0,
+        ));
         e.apply(&ev(20, 1, Method::ModifyPosition { size: 0.02 }, 1200.0));
         let acc = e.accounts[&AccountId(1)];
-        assert!((acc.fees.to_f64() - 0.084).abs() < 1e-12, "fee = {:?}", acc.fees);
+        assert!(
+            (acc.fees.to_f64() - 0.084).abs() < 1e-12,
+            "fee = {:?}",
+            acc.fees
+        );
     }
 
     #[test]
@@ -421,7 +444,10 @@ mod tests {
         // 10, so F accrues i1*p per second over [200, 300] and [300, 500].
         let expected_f_t4 = i1 * p * (300.0 - 200.0) + i1 * p * (500.0 - 300.0);
         let f_t4 = e.run.frs.last().unwrap().1;
-        assert!((f_t4 - expected_f_t4).abs() < 1e-15, "{f_t4} vs {expected_f_t4}");
+        assert!(
+            (f_t4 - expected_f_t4).abs() < 1e-15,
+            "{f_t4} vs {expected_f_t4}"
+        );
         // Example 3.4: IF_A = q_a (F(t4) - F(t1)); F(t1) = 0 here.
         assert!((s.funding - 10.0 * f_t4).abs() < 1e-12);
     }
@@ -443,7 +469,11 @@ mod tests {
         let f_t3 = f[2].1;
         let f_t4 = f[3].1;
         let expected = 10.0 * (f_t3 - f_t1) + 15.0 * (f_t4 - f_t3);
-        assert!((s.funding - expected).abs() < 1e-12, "{} vs {expected}", s.funding);
+        assert!(
+            (s.funding - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            s.funding
+        );
     }
 
     #[test]
@@ -457,7 +487,11 @@ mod tests {
         let s = e.apply(&ev(30, 1, Method::ClosePosition, 1000.0)).unwrap();
         let open_fee = (2.0f64 * 1000.0 * par.taker_fee).abs(); // increased skew
         let close_fee = (2.0f64 * 1000.0 * par.maker_fee).abs(); // reduced skew
-        assert!((s.fee - (open_fee + close_fee)).abs() < 1e-12, "fee = {}", s.fee);
+        assert!(
+            (s.fee - (open_fee + close_fee)).abs() < 1e-12,
+            "fee = {}",
+            s.fee
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn program_text_roundtrips_through_the_parser() {
 #[test]
 fn program_source_is_commented_per_module() {
     let src = program_source(&MarketParams::default(), TimelineMode::DenseSeconds);
-    for module in ["MARGIN", "POSITION", "RETURNS", "SKEW", "TDIFF", "RATE", "FRS", "INDF", "FEES"] {
+    for module in [
+        "MARGIN", "POSITION", "RETURNS", "SKEW", "TDIFF", "RATE", "FRS", "INDF", "FEES",
+    ] {
         assert!(src.contains(module), "missing module banner {module}");
     }
     // All 48 paper rules present: count rule terminators.

@@ -132,12 +132,7 @@ impl Interval {
     };
 
     /// General constructor; returns `None` if the described set is empty.
-    pub fn new(
-        lo: TimeBound,
-        lo_closed: bool,
-        hi: TimeBound,
-        hi_closed: bool,
-    ) -> Option<Interval> {
+    pub fn new(lo: TimeBound, lo_closed: bool, hi: TimeBound, hi_closed: bool) -> Option<Interval> {
         let lo_closed = lo_closed && lo.is_finite();
         let hi_closed = hi_closed && hi.is_finite();
         match lo.cmp(&hi) {
@@ -420,8 +415,13 @@ impl Interval {
         } else {
             (self.lo.sub(rho.hi), self.lo_closed && rho.hi_closed)
         };
-        Interval::new(lo, lo_closed, self.hi.sub(rho.lo), self.hi_closed && rho.lo_closed)
-            .expect("diamond_plus of non-empty interval is non-empty")
+        Interval::new(
+            lo,
+            lo_closed,
+            self.hi.sub(rho.lo),
+            self.hi_closed && rho.lo_closed,
+        )
+        .expect("diamond_plus of non-empty interval is non-empty")
     }
 
     /// `⊞ρ` (future box): `t` such that `M` holds at *all* `s` with

@@ -343,7 +343,10 @@ mod tests {
     fn ordering_uses_cross_multiplication() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
-        assert_eq!(Rational::new(3, 9).cmp(&Rational::new(1, 3)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(3, 9).cmp(&Rational::new(1, 3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl IntervalSet {
             TimeBound::NegInf => true,
             TimeBound::PosInf => false,
         });
-        self.items
-            .get(idx)
-            .map(|i| i.contains(t))
-            .unwrap_or(false)
+        self.items.get(idx).map(|i| i.contains(t)).unwrap_or(false)
             || idx
                 .checked_sub(1)
                 .and_then(|j| self.items.get(j))

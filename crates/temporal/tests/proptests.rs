@@ -4,9 +4,14 @@
 //! grid (so open/closed distinctions matter at sample points), then check
 //! every operation pointwise against its set-theoretic definition evaluated
 //! by brute force over a grid of sample points.
+//!
+//! Randomness comes from the deterministic in-repo `SmallRng`, one seed per
+//! case, so failures reproduce from the printed case number.
 
+use chronolog_obs::SmallRng;
 use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
-use proptest::prelude::*;
+
+const CASES: u64 = 96;
 
 fn r(num: i64, den: i64) -> Rational {
     Rational::new(num, den)
@@ -18,105 +23,145 @@ fn sample_points() -> Vec<Rational> {
 }
 
 /// Random interval with integer endpoints in [0, 40] and random closedness.
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0i64..40, 0i64..6, any::<bool>(), any::<bool>()).prop_filter_map(
-        "non-empty",
-        |(lo, len, lc, hc)| {
-            Interval::new(
-                Rational::integer(lo).into(),
-                lc,
-                Rational::integer(lo + len).into(),
-                hc,
-            )
-        },
-    )
+fn gen_interval(rng: &mut SmallRng) -> Interval {
+    loop {
+        let lo = rng.gen_range_i64(0, 40);
+        let len = rng.gen_range_i64(0, 6);
+        let lc = rng.gen_bool(0.5);
+        let hc = rng.gen_bool(0.5);
+        if let Some(i) = Interval::new(
+            Rational::integer(lo).into(),
+            lc,
+            Rational::integer(lo + len).into(),
+            hc,
+        ) {
+            return i;
+        }
+    }
 }
 
-fn arb_set() -> impl Strategy<Value = IntervalSet> {
-    proptest::collection::vec(arb_interval(), 0..6).prop_map(IntervalSet::from_intervals)
+fn gen_set(rng: &mut SmallRng) -> IntervalSet {
+    let n = rng.gen_range_usize(0, 6);
+    IntervalSet::from_intervals((0..n).map(|_| gen_interval(rng)))
 }
 
 /// Random metric interval with small non-negative integer bounds.
-fn arb_rho() -> impl Strategy<Value = MetricInterval> {
-    (0i64..4, 0i64..4, any::<bool>(), any::<bool>()).prop_filter_map(
-        "valid rho",
-        |(lo, len, lc, hc)| {
-            let i = Interval::new(
-                Rational::integer(lo).into(),
-                lc,
-                Rational::integer(lo + len).into(),
-                hc,
-            )?;
-            MetricInterval::new(i).ok()
-        },
-    )
+fn gen_rho(rng: &mut SmallRng) -> MetricInterval {
+    loop {
+        let lo = rng.gen_range_i64(0, 4);
+        let len = rng.gen_range_i64(0, 4);
+        let lc = rng.gen_bool(0.5);
+        let hc = rng.gen_bool(0.5);
+        let i = Interval::new(
+            Rational::integer(lo).into(),
+            lc,
+            Rational::integer(lo + len).into(),
+            hc,
+        );
+        if let Some(i) = i {
+            if let Ok(m) = MetricInterval::new(i) {
+                return m;
+            }
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn invariant_holds_after_inserts(set in arb_set()) {
-        set.check_invariant();
+fn for_each_case(test: &str, f: impl Fn(&mut SmallRng)) {
+    for case in 0..CASES {
+        // Distinct streams per test: hash the test name into the seed.
+        let tag = test.bytes().fold(0u64, |h, b| {
+            h.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+        });
+        let mut rng = SmallRng::seed_from_u64(tag ^ (case.wrapping_mul(0x9E3779B9)));
+        f(&mut rng);
     }
+}
 
-    #[test]
-    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+#[test]
+fn invariant_holds_after_inserts() {
+    for_each_case("invariant", |rng| {
+        gen_set(rng).check_invariant();
+    });
+}
+
+#[test]
+fn union_is_pointwise_or() {
+    for_each_case("union", |rng| {
+        let (a, b) = (gen_set(rng), gen_set(rng));
         let u = a.union(&b);
         u.check_invariant();
         for t in sample_points() {
-            prop_assert_eq!(u.contains(t), a.contains(t) || b.contains(t), "at {}", t);
+            assert_eq!(u.contains(t), a.contains(t) || b.contains(t), "at {t}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+#[test]
+fn intersection_is_pointwise_and() {
+    for_each_case("intersection", |rng| {
+        let (a, b) = (gen_set(rng), gen_set(rng));
         let x = a.intersect(&b);
         x.check_invariant();
         for t in sample_points() {
-            prop_assert_eq!(x.contains(t), a.contains(t) && b.contains(t), "at {}", t);
+            assert_eq!(x.contains(t), a.contains(t) && b.contains(t), "at {t}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn difference_is_pointwise_and_not(a in arb_set(), b in arb_set()) {
+#[test]
+fn difference_is_pointwise_and_not() {
+    for_each_case("difference", |rng| {
+        let (a, b) = (gen_set(rng), gen_set(rng));
         let d = a.difference(&b);
         d.check_invariant();
         for t in sample_points() {
-            prop_assert_eq!(d.contains(t), a.contains(t) && !b.contains(t), "at {}", t);
+            assert_eq!(d.contains(t), a.contains(t) && !b.contains(t), "at {t}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn complement_is_pointwise_not(a in arb_set()) {
+#[test]
+fn complement_is_pointwise_not() {
+    for_each_case("complement", |rng| {
+        let a = gen_set(rng);
         let horizon = Interval::closed_int(-2, 42);
         let c = a.complement_within(&horizon);
         c.check_invariant();
         for t in sample_points() {
-            prop_assert_eq!(c.contains(t), !a.contains(t), "at {}", t);
+            assert_eq!(c.contains(t), !a.contains(t), "at {t}");
         }
-    }
+    });
+}
 
-    /// ◇⁻ρ M holds at t iff ∃s: t − s ∈ ρ and M(s). We verify via the grid:
-    /// witnesses, if any exist, exist on the grid closure (endpoints are
-    /// grid-aligned and ρ endpoints are integers), but to be safe we check
-    /// both directions with quarter-step witnesses.
-    #[test]
-    fn diamond_minus_pointwise(a in arb_set(), rho in arb_rho()) {
+/// ◇⁻ρ M holds at t iff ∃s: t − s ∈ ρ and M(s). We verify via the grid:
+/// witnesses, if any exist, exist on the grid closure (endpoints are
+/// grid-aligned and ρ endpoints are integers), but to be safe we check
+/// both directions with quarter-step witnesses.
+#[test]
+fn diamond_minus_pointwise() {
+    for_each_case("diamond_minus", |rng| {
+        let a = gen_set(rng);
+        let rho = gen_rho(rng);
         let out = a.diamond_minus(&rho);
         out.check_invariant();
         let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
         for t in sample_points() {
-            let expected = witnesses.iter().any(|&s| {
-                rho.as_interval().contains(t - s) && a.contains(s)
-            });
-            prop_assert_eq!(out.contains(t), expected, "◇⁻{} at {}", rho, t);
+            let expected = witnesses
+                .iter()
+                .any(|&s| rho.as_interval().contains(t - s) && a.contains(s));
+            assert_eq!(out.contains(t), expected, "◇⁻{rho} at {t}");
         }
-    }
+    });
+}
 
-    /// ⊟ρ M holds at t iff ∀s with t − s ∈ ρ: M(s). Brute-force check over
-    /// quarter-step obligation points (sufficient: all endpoints lie on the
-    /// eighth-grid, so truth is constant between consecutive grid points).
-    #[test]
-    fn box_minus_pointwise(a in arb_set(), rho in arb_rho()) {
+/// ⊟ρ M holds at t iff ∀s with t − s ∈ ρ: M(s). Brute-force check over
+/// sixteenth-step obligation points (sufficient: all endpoints lie on the
+/// eighth-grid, so truth is constant between consecutive grid points).
+#[test]
+fn box_minus_pointwise() {
+    for_each_case("box_minus", |rng| {
+        let a = gen_set(rng);
+        let rho = gen_rho(rng);
         let out = a.box_minus(&rho);
         out.check_invariant();
         let obligations: Vec<Rational> = (-160..=800).map(|k| r(k, 16)).collect();
@@ -125,31 +170,35 @@ proptest! {
                 .iter()
                 .filter(|&&s| rho.as_interval().contains(t - s))
                 .all(|&s| a.contains(s));
-            // Also require at least the endpoints of the obligation window
-            // to be exercised; the window is never empty since rho is non-empty.
-            prop_assert_eq!(out.contains(t), expected, "⊟{} at {}", rho, t);
+            assert_eq!(out.contains(t), expected, "⊟{rho} at {t}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn future_operators_are_time_mirrors(a in arb_set(), rho in arb_rho()) {
+#[test]
+fn future_operators_are_time_mirrors() {
+    for_each_case("mirrors", |rng| {
+        let a = gen_set(rng);
+        let rho = gen_rho(rng);
         // Mirror the set around 0, apply the past operator, mirror back:
         // must equal the future operator.
         let mirrored = IntervalSet::from_intervals(a.iter().map(mirror_interval));
-        let dm = IntervalSet::from_intervals(
-            mirrored.diamond_minus(&rho).iter().map(mirror_interval),
-        );
-        prop_assert_eq!(dm, a.diamond_plus(&rho));
-        let bm = IntervalSet::from_intervals(
-            mirrored.box_minus(&rho).iter().map(mirror_interval),
-        );
-        prop_assert_eq!(bm, a.box_plus(&rho));
-    }
+        let dm =
+            IntervalSet::from_intervals(mirrored.diamond_minus(&rho).iter().map(mirror_interval));
+        assert_eq!(dm, a.diamond_plus(&rho));
+        let bm = IntervalSet::from_intervals(mirrored.box_minus(&rho).iter().map(mirror_interval));
+        assert_eq!(bm, a.box_plus(&rho));
+    });
+}
 
-    /// Since, checked against its definition with grid witnesses and grid
-    /// continuity obligations.
-    #[test]
-    fn since_pointwise(m1 in arb_set(), m2 in arb_set(), rho in arb_rho()) {
+/// Since, checked against its definition with grid witnesses and grid
+/// continuity obligations.
+#[test]
+fn since_pointwise() {
+    for_each_case("since", |rng| {
+        let m1 = gen_set(rng);
+        let m2 = gen_set(rng);
+        let rho = gen_rho(rng);
         let out = m1.since(&m2, &rho);
         out.check_invariant();
         let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
@@ -160,12 +209,17 @@ proptest! {
                     && m2.contains(s)
                     && continuity_holds(&m1, s, t)
             });
-            prop_assert_eq!(out.contains(t), expected, "S_{} at {}", rho, t);
+            assert_eq!(out.contains(t), expected, "S_{rho} at {t}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn until_pointwise(m1 in arb_set(), m2 in arb_set(), rho in arb_rho()) {
+#[test]
+fn until_pointwise() {
+    for_each_case("until", |rng| {
+        let m1 = gen_set(rng);
+        let m2 = gen_set(rng);
+        let rho = gen_rho(rng);
         let out = m1.until(&m2, &rho);
         out.check_invariant();
         let witnesses: Vec<Rational> = (-80..=400).map(|k| r(k, 8)).collect();
@@ -176,20 +230,24 @@ proptest! {
                     && m2.contains(s)
                     && continuity_holds(&m1, t, s)
             });
-            prop_assert_eq!(out.contains(t), expected, "U_{} at {}", rho, t);
+            assert_eq!(out.contains(t), expected, "U_{rho} at {t}");
         }
-    }
+    });
+}
 
-    /// Coalescing must never change set membership: building from the raw
-    /// interval list and from pre-unioned pieces agree everywhere.
-    #[test]
-    fn coalescing_preserves_membership(intervals in proptest::collection::vec(arb_interval(), 0..8)) {
+/// Coalescing must never change set membership: building from the raw
+/// interval list and from pre-unioned pieces agree everywhere.
+#[test]
+fn coalescing_preserves_membership() {
+    for_each_case("coalescing", |rng| {
+        let n = rng.gen_range_usize(0, 8);
+        let intervals: Vec<Interval> = (0..n).map(|_| gen_interval(rng)).collect();
         let set = IntervalSet::from_intervals(intervals.clone());
         for t in sample_points() {
             let raw = intervals.iter().any(|i| i.contains(t));
-            prop_assert_eq!(set.contains(t), raw, "at {}", t);
+            assert_eq!(set.contains(t), raw, "at {t}");
         }
-    }
+    });
 }
 
 /// Does `m1` hold on the whole open interval `(a, b)`? Checked on the

@@ -28,10 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     genesis.assert_at("startSkew", &[Value::num(trace.initial_skew)], 0);
     genesis.assert_at("startFrs", &[Value::num(0.0)], 0);
     genesis.assert_at("ts", &[Value::Int(trace.start_time)], 0);
-    let mut contract = Reasoner::new(program, ReasonerConfig::default())?
-        .into_session(&genesis, 0)?;
+    let mut contract =
+        Reasoner::new(program, ReasonerConfig::default())?.into_session(&genesis, 0)?;
 
-    println!("contract booted at unix {}, skew {:+.2}\n", trace.start_time, trace.initial_skew);
+    println!(
+        "contract booted at unix {}, skew {:+.2}\n",
+        trace.start_time, trace.initial_skew
+    );
 
     // Stream every on-chain interaction into the running contract.
     for (i, event) in trace.events.iter().enumerate() {

@@ -15,15 +15,8 @@ use chronolog_perp::MarketParams;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A half-hour window with 40 interactions and 10 completed trades,
     // starting long-skewed.
-    let mut config = ScenarioConfig::new(
-        "demo session",
-        0xE7E7,
-        1_664_274_600,
-        40,
-        10,
-        850.0,
-        1330.0,
-    );
+    let mut config =
+        ScenarioConfig::new("demo session", 0xE7E7, 1_664_274_600, 40, 10, 850.0, 1330.0);
     config.duration_secs = 1_800;
     let trace = generate(&config);
     let stats = TraceStats::of(&trace);

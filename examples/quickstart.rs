@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in 8..=16 {
         let margin = [97.0, 100.0]
             .iter()
-            .find(|&&m| out.database.holds_at("margin", &[Value::sym("acc123"), Value::num(m)], t))
+            .find(|&&m| {
+                out.database
+                    .holds_at("margin", &[Value::sym("acc123"), Value::num(m)], t)
+            })
             .copied();
         println!("  t={t:2}  margin = {margin:?}");
     }
@@ -57,11 +60,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n-- why does margin(acc123, 100$) hold at t=13? --");
     let explanation = out
-        .explain(&program, "margin", &[Value::sym("acc123"), Value::num(100.0)], 13)
+        .explain(
+            &program,
+            "margin",
+            &[Value::sym("acc123"), Value::num(100.0)],
+            13,
+        )
         .expect("provenance was recorded");
     println!("{explanation}");
 
-    println!("\nstats: {:?} iterations/stratum, {} derived tuples, {:?}",
-        out.stats.iterations, out.stats.derived_tuples, out.stats.elapsed);
+    println!(
+        "\nstats: {:?} iterations/stratum, {} derived tuples, {:?}",
+        out.stats.iterations, out.stats.derived_tuples, out.stats.elapsed
+    );
     Ok(())
 }

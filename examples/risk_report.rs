@@ -18,7 +18,8 @@ use chronolog_perp::{MarketParams, Method};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A market window arrives as a persisted ledger (e.g. from an
     //    archive node). We simulate one and round-trip it through JSON.
-    let mut config = ScenarioConfig::new("audited window", 77, 1_665_165_600, 24, 6, -420.0, 1350.0);
+    let mut config =
+        ScenarioConfig::new("audited window", 77, 1_665_165_600, 24, 6, -420.0, 1350.0);
     config.duration_secs = 1_200;
     let trace = generate(&config);
     let ledger = Ledger::from_trace(&trace)?;
@@ -80,34 +81,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         + 1;
     let account = trace.events[close_epoch as usize - 1].account;
     let pnl = index.trades_of(account)[0].pnl;
-    println!(
-        "\n-- why did {account} settle pnl {pnl:+.4}$ at epoch {close_epoch}? --"
-    );
+    println!("\n-- why did {account} settle pnl {pnl:+.4}$ at epoch {close_epoch}? --");
     // Find the pnl value the DatalogMTL run derived (bit-equal to f64 ref).
     let derived = chronolog_perp::extract::position_at(&out.database, account, close_epoch - 1);
     println!("position before close: {derived:?}");
-    if let Some(explanation) = out
-        .provenance
-        .as_ref()
-        .and_then(|log| {
-            // locate the derived pnl fact's value by scanning the relation
-            let rel = out.database.relation(chronolog_core::Symbol::new("pnl"))?;
-            let acc_val = account_value(account);
-            let (tuple, _) = rel
-                .iter()
-                .find(|(tuple, ivs)| {
-                    tuple[0].semantic_eq(&acc_val)
-                        && ivs.contains(chronolog_core::Rational::integer(close_epoch))
-                })?;
-            log.explain(
-                &program,
-                &out.database,
-                chronolog_core::Symbol::new("pnl"),
-                tuple,
-                close_epoch,
-            )
-        })
-    {
+    if let Some(explanation) = out.provenance.as_ref().and_then(|log| {
+        // locate the derived pnl fact's value by scanning the relation
+        let rel = out.database.relation(chronolog_core::Symbol::new("pnl"))?;
+        let acc_val = account_value(account);
+        let (tuple, _) = rel.iter().find(|(tuple, ivs)| {
+            tuple[0].semantic_eq(&acc_val)
+                && ivs.contains(chronolog_core::Rational::integer(close_epoch))
+        })?;
+        log.explain(
+            &program,
+            &out.database,
+            chronolog_core::Symbol::new("pnl"),
+            tuple,
+            close_epoch,
+        )
+    }) {
         println!("{explanation}");
     }
 

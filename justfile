@@ -1,0 +1,39 @@
+# Developer entry points. Everything here is also what CI runs — keep the
+# two in sync (.github/workflows/ci.yml).
+
+# Run the full gate: format, lints, build, tests.
+check: fmt-check clippy test
+
+# Build the workspace (debug).
+build:
+    cargo build --workspace
+
+# Build optimized binaries (the repro numbers are only meaningful here).
+release:
+    cargo build --release --workspace
+
+# Run every test in the workspace.
+test:
+    cargo test --workspace
+
+# Lints are errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+    cargo fmt
+
+fmt-check:
+    cargo fmt --check
+
+# Regenerate every paper table/figure (slow: includes dense-timeline runs).
+repro:
+    cargo run --release -p chronolog-bench --bin repro -- --table all
+
+# Machine-readable §4.2 perf report.
+repro-json out="perf.json":
+    cargo run --release -p chronolog-bench --bin repro -- --table perf --json {{out}}
+
+# Micro-benchmarks (in-tree harness; pass a substring filter after --).
+bench *ARGS:
+    cargo bench --workspace {{ARGS}}

@@ -21,7 +21,12 @@ fn figure_3_intervals_validate_end_to_end() {
         let report = validate(&trace, &params, TimelineMode::EventEpochs)
             .unwrap_or_else(|e| panic!("{}: {e}", config.name));
         assert_eq!(report.frs_rows.len(), config.n_events, "{}", config.name);
-        assert_eq!(report.datalog.trades.len(), config.n_trades, "{}", config.name);
+        assert_eq!(
+            report.datalog.trades.len(),
+            config.n_trades,
+            "{}",
+            config.name
+        );
 
         // Figure 4 claim: FRS differences are floating-point dust.
         assert!(

@@ -17,8 +17,7 @@ fn monitored_contract_streams_with_live_alerts() {
         max_leverage: 10.0,
         maintenance_ratio: 0.05,
     };
-    let program =
-        build_monitored_program(&params, &monitor, TimelineMode::EventEpochs).unwrap();
+    let program = build_monitored_program(&params, &monitor, TimelineMode::EventEpochs).unwrap();
 
     // Hand-built scenario: a trader levers up past the threshold.
     let events: Vec<(Method, f64)> = vec![
@@ -78,8 +77,7 @@ fn monitored_contract_streams_with_live_alerts() {
 #[test]
 fn multi_market_generated_scenarios_match_references() {
     for seed in [5u64, 6] {
-        let mut eth_config =
-            ScenarioConfig::new("eth", seed, 1_700_000_000, 12, 3, 420.0, 1_350.0);
+        let mut eth_config = ScenarioConfig::new("eth", seed, 1_700_000_000, 12, 3, 420.0, 1_350.0);
         eth_config.duration_secs = 1_800;
         let mut btc_config =
             ScenarioConfig::new("btc", seed + 100, 1_700_000_000, 9, 2, -55.0, 19_200.0);
@@ -105,7 +103,11 @@ fn multi_market_generated_scenarios_match_references() {
             let reference =
                 chronolog_perp::ReferenceEngine::<f64>::run_trace(spec.params, &spec.trace);
             assert_eq!(runs[&spec.id].frs, reference.frs, "{} seed {seed}", spec.id);
-            assert_eq!(runs[&spec.id].trades, reference.trades, "{} seed {seed}", spec.id);
+            assert_eq!(
+                runs[&spec.id].trades, reference.trades,
+                "{} seed {seed}",
+                spec.id
+            );
         }
     }
 }

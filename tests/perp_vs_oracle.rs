@@ -54,29 +54,69 @@ fn check_scenario(config: &ScenarioConfig) {
 
 #[test]
 fn tiny_market_window() {
-    check_scenario(&ScenarioConfig::new("oracle-tiny", 3, 0, 8, 2, 150.0, 1400.0));
+    check_scenario(&ScenarioConfig::new(
+        "oracle-tiny",
+        3,
+        0,
+        8,
+        2,
+        150.0,
+        1400.0,
+    ));
 }
 
 #[test]
 fn small_market_window_with_negative_skew() {
-    check_scenario(&ScenarioConfig::new("oracle-small", 5, 1_000_000, 16, 4, -900.0, 1280.0));
+    check_scenario(&ScenarioConfig::new(
+        "oracle-small",
+        5,
+        1_000_000,
+        16,
+        4,
+        -900.0,
+        1280.0,
+    ));
 }
 
 #[test]
 fn medium_market_window() {
-    check_scenario(&ScenarioConfig::new("oracle-medium", 9, 500, 28, 8, 42.0, 1510.0));
+    check_scenario(&ScenarioConfig::new(
+        "oracle-medium",
+        9,
+        500,
+        28,
+        8,
+        42.0,
+        1510.0,
+    ));
 }
 
 #[test]
 fn window_with_no_trades() {
     // Only deposits and withdrawals: funding accrues on the initial skew
     // but no settlements happen.
-    check_scenario(&ScenarioConfig::new("oracle-no-trades", 13, 0, 5, 0, 2502.85, 1290.0));
+    check_scenario(&ScenarioConfig::new(
+        "oracle-no-trades",
+        13,
+        0,
+        5,
+        0,
+        2502.85,
+        1290.0,
+    ));
 }
 
 #[test]
 fn several_seeds_agree() {
     for seed in [21, 22, 23, 24] {
-        check_scenario(&ScenarioConfig::new("oracle-seeded", seed, 0, 12, 3, -50.0, 1333.0));
+        check_scenario(&ScenarioConfig::new(
+            "oracle-seeded",
+            seed,
+            0,
+            12,
+            3,
+            -50.0,
+            1333.0,
+        ));
     }
 }

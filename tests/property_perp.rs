@@ -1,76 +1,101 @@
 //! Property-based cross-validation of the whole stack on random market
 //! scenarios: the declarative contract must equal the procedural reference
 //! bit-for-bit under identical arithmetic, for *any* valid trader behavior.
+//!
+//! Randomness comes from the deterministic in-repo `SmallRng`, one seed per
+//! case, so failures reproduce from the printed case number.
 
 use chronolog_ledger::{from_json, to_json, Ledger, SubgraphIndex};
 use chronolog_market::{generate, ScenarioConfig};
+use chronolog_obs::SmallRng;
 use chronolog_perp::harness::run_datalog;
 use chronolog_perp::program::TimelineMode;
 use chronolog_perp::{MarketParams, ReferenceEngine};
-use proptest::prelude::*;
 
-fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
-    (
-        any::<u64>(),            // seed
-        4usize..26,              // events
-        -5_000.0f64..5_000.0,    // initial skew
-        900.0f64..2_200.0,       // initial price
-    )
-        .prop_flat_map(|(seed, events, skew, price)| {
-            let max_trades = (events - 1) / 2;
-            (Just((seed, events, skew, price)), 0..=max_trades)
-        })
-        .prop_map(|((seed, events, skew, price), trades)| {
-            ScenarioConfig::new("prop", seed, 1_000_000, events, trades, skew, price)
-        })
+const CASES: u64 = 24;
+
+fn gen_scenario(rng: &mut SmallRng) -> ScenarioConfig {
+    let seed = rng.next_u64();
+    let events = rng.gen_range_usize(4, 26);
+    let skew = rng.gen_range_f64(-5_000.0, 5_000.0);
+    let price = rng.gen_range_f64(900.0, 2_200.0);
+    let max_trades = (events - 1) / 2;
+    let trades = rng.gen_range_usize(0, max_trades + 1);
+    ScenarioConfig::new("prop", seed, 1_000_000, events, trades, skew, price)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn for_each_case(test: &str, f: impl Fn(&mut SmallRng)) {
+    for case in 0..CASES {
+        let tag = test.bytes().fold(0u64, |h, b| {
+            h.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+        });
+        let mut rng = SmallRng::seed_from_u64(tag ^ case.wrapping_mul(0x9E3779B9));
+        f(&mut rng);
+    }
+}
 
-    /// The headline theorem of the reproduction: on any valid trace, the
-    /// DatalogMTL materialization and the imperative engine produce the
-    /// same FRS and the same settlements, to the last bit.
-    #[test]
-    fn declarative_equals_procedural(config in arb_scenario()) {
+/// The headline theorem of the reproduction: on any valid trace, the
+/// DatalogMTL materialization and the imperative engine produce the
+/// same FRS and the same settlements, to the last bit.
+#[test]
+fn declarative_equals_procedural() {
+    for_each_case("declarative", |rng| {
+        let config = gen_scenario(rng);
         let params = MarketParams::default();
         let trace = generate(&config);
         let datalog = run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap();
         let reference = ReferenceEngine::<f64>::run_trace(params, &trace);
-        prop_assert_eq!(&datalog.run.frs, &reference.frs);
-        prop_assert_eq!(&datalog.run.trades, &reference.trades);
-        prop_assert_eq!(datalog.run.final_skew, reference.final_skew);
-    }
+        assert_eq!(&datalog.run.frs, &reference.frs, "config {config:?}");
+        assert_eq!(&datalog.run.trades, &reference.trades, "config {config:?}");
+        assert_eq!(
+            datalog.run.final_skew, reference.final_skew,
+            "config {config:?}"
+        );
+    });
+}
 
-    /// Ledger persistence is lossless and tamper-evident for any trace.
-    #[test]
-    fn ledger_roundtrip_is_lossless(config in arb_scenario()) {
+/// Ledger persistence is lossless and tamper-evident for any trace.
+#[test]
+fn ledger_roundtrip_is_lossless() {
+    for_each_case("roundtrip", |rng| {
+        let config = gen_scenario(rng);
         let trace = generate(&config);
         let ledger = Ledger::from_trace(&trace).unwrap();
         let back = from_json(&to_json(&ledger).unwrap()).unwrap();
-        prop_assert_eq!(&back, &ledger);
-        prop_assert_eq!(back.to_trace(), trace);
-    }
+        assert_eq!(&back, &ledger, "config {config:?}");
+        assert_eq!(back.to_trace(), trace, "config {config:?}");
+    });
+}
 
-    /// Subgraph index invariants: one settlement per closePos, and the
-    /// final skew equals initial skew plus all net order flow.
-    #[test]
-    fn subgraph_invariants(config in arb_scenario()) {
+/// Subgraph index invariants: one settlement per closePos, and the
+/// final skew equals initial skew plus all net order flow.
+#[test]
+fn subgraph_invariants() {
+    for_each_case("subgraph", |rng| {
+        let config = gen_scenario(rng);
         let trace = generate(&config);
         let ledger = Ledger::from_trace(&trace).unwrap();
         let index = SubgraphIndex::build(&ledger, MarketParams::default());
-        prop_assert_eq!(index.trades().len(), trace.trade_count());
+        assert_eq!(
+            index.trades().len(),
+            trace.trade_count(),
+            "config {config:?}"
+        );
         // Every account's trades are a partition of all trades.
         let per_account: usize = trace
             .accounts()
             .iter()
             .map(|&a| index.trades_of(a).len())
             .sum();
-        prop_assert_eq!(per_account, index.trades().len());
+        assert_eq!(per_account, index.trades().len(), "config {config:?}");
         // All positions that opened were closed or still net out in skew:
         // final skew minus initial equals the sum of surviving positions.
         let open_sizes: f64 = {
-            let mut engine = ReferenceEngine::<f64>::new(MarketParams::default(), trace.initial_skew, trace.start_time);
+            let mut engine = ReferenceEngine::<f64>::new(
+                MarketParams::default(),
+                trace.initial_skew,
+                trace.start_time,
+            );
             for e in &trace.events {
                 engine.apply(e);
             }
@@ -81,25 +106,31 @@ proptest! {
                 .map(|(s, _)| s)
                 .sum()
         };
-        prop_assert!(
+        assert!(
             (index.final_skew() - trace.initial_skew - open_sizes).abs() < 1e-6,
-            "skew accounting: {} vs {} + {}",
+            "skew accounting: {} vs {} + {} (config {config:?})",
             index.final_skew(),
             trace.initial_skew,
             open_sizes
         );
-    }
+    });
+}
 
-    /// Fees are always non-negative and monotone in trade size.
-    #[test]
-    fn settlement_sanity(config in arb_scenario()) {
+/// Fees are always non-negative and monotone in trade size.
+#[test]
+fn settlement_sanity() {
+    for_each_case("settlement", |rng| {
+        let config = gen_scenario(rng);
         let trace = generate(&config);
         let reference = ReferenceEngine::<f64>::run_trace(MarketParams::default(), &trace);
         for t in &reference.trades {
-            prop_assert!(t.fee >= 0.0, "fee {} negative", t.fee);
-            prop_assert!(t.fee.is_finite() && t.pnl.is_finite() && t.funding.is_finite());
+            assert!(t.fee >= 0.0, "fee {} negative (config {config:?})", t.fee);
+            assert!(
+                t.fee.is_finite() && t.pnl.is_finite() && t.funding.is_finite(),
+                "non-finite settlement (config {config:?})"
+            );
         }
-    }
+    });
 }
 
 /// The §3.1 execution model, live: stream a market window through a
@@ -157,7 +188,9 @@ fn live_session_equals_batch_on_streamed_markets() {
             session
                 .submit(Fact::at("price", vec![Value::num(event.price)], epoch))
                 .unwrap();
-            session.submit(Fact::at("ts", vec![Value::Int(event.time)], epoch)).unwrap();
+            session
+                .submit(Fact::at("ts", vec![Value::Int(event.time)], epoch))
+                .unwrap();
             session.advance_to(epoch).unwrap();
         }
         assert_eq!(
