@@ -2,7 +2,7 @@
 //! transforms, parsing, and small materializations.
 
 use chronolog_bench::microbench::{black_box, Bench};
-use chronolog_core::{parse_program, parse_source, Database, Reasoner, ReasonerConfig};
+use chronolog_core::{parse_program, parse_source, Database, Reasoner, ReasonerConfig, Value};
 use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
 
 fn bench_interval_sets(c: &mut Bench) {
@@ -105,9 +105,55 @@ fn bench_small_materialization(c: &mut Bench) {
     });
 }
 
+/// A join-heavy workload: two 600-tuple relations joined on a key drawn
+/// from 40 distinct values, plus a second rule re-joining the result. The
+/// full-scan path walks 600 tuples per binding; the indexed path probes a
+/// ~15-tuple bucket. The workload has >256 bindings per rule, so the
+/// `threads4` variant also exercises the binding fan-out inside a rule.
+fn bench_join_heavy(c: &mut Bench) {
+    let src = "linked(X, Z) :- r(X, K), s(K, Z).\n\
+               closed(X, Z) :- linked(X, Z), r(Z, K2), s(K2, X).";
+    let program = parse_program(src).unwrap();
+    let mut db = Database::new();
+    for i in 0..600i64 {
+        db.assert_at("r", &[Value::Int(i), Value::Int(i % 40)], i % 8);
+        db.assert_at("s", &[Value::Int(i % 40), Value::Int(i)], i % 8);
+    }
+
+    let run = |index_joins: bool, threads: usize, db: &Database| {
+        let config = ReasonerConfig {
+            index_joins,
+            ..ReasonerConfig::default()
+                .with_horizon(0, 8)
+                .with_threads(threads)
+        };
+        Reasoner::new(program.clone(), config)
+            .unwrap()
+            .materialize(db)
+            .unwrap()
+    };
+
+    let mut group = c.group("join_heavy");
+    group.sample_size(10);
+    group.bench_function("full_scan/threads1", |b| {
+        b.iter(|| black_box(run(false, 1, &db)))
+    });
+    group.bench_function("full_scan/threads4", |b| {
+        b.iter(|| black_box(run(false, 4, &db)))
+    });
+    group.bench_function("indexed/threads1", |b| {
+        b.iter(|| black_box(run(true, 1, &db)))
+    });
+    group.bench_function("indexed/threads4", |b| {
+        b.iter(|| black_box(run(true, 4, &db)))
+    });
+    group.finish();
+}
+
 fn main() {
     let mut c = Bench::from_env();
     bench_interval_sets(&mut c);
     bench_parser(&mut c);
     bench_small_materialization(&mut c);
+    bench_join_heavy(&mut c);
 }

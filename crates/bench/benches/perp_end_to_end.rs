@@ -18,6 +18,17 @@ fn bench_paper_intervals(c: &mut Bench) {
         group.bench_function(format!("datalog/{}", config.name), |b| {
             b.iter(|| run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap())
         });
+        group.bench_function(format!("datalog_threads4/{}", config.name), |b| {
+            b.iter(|| {
+                chronolog_perp::harness::run_datalog_threaded(
+                    &trace,
+                    &params,
+                    TimelineMode::EventEpochs,
+                    4,
+                )
+                .unwrap()
+            })
+        });
         group.bench_function(format!("reference_f64/{}", config.name), |b| {
             b.iter(|| ReferenceEngine::<f64>::run_trace(params, &trace))
         });

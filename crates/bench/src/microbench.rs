@@ -6,28 +6,64 @@
 //! so one sample takes a few milliseconds, then timed over `sample_size`
 //! samples; min/median/mean per iteration are printed as the run goes.
 //!
+//! Pass `--json PATH` after `--` to also write the collected results as a
+//! schema-versioned JSON report (see [`BENCH_SCHEMA_VERSION`]); the file
+//! is written when the harness is dropped at the end of `main`. Results
+//! accumulate across groups, so one report covers the whole bench binary.
+//!
 //! Wall-clock numbers from this harness are indicative, not
 //! statistically rigorous: there is no outlier rejection and no
 //! regression tracking. They are good enough for the relative
 //! comparisons the repro tables make (semi-naive vs naive, dense vs
 //! epoch timelines, engine vs oracle).
 
+use chronolog_obs::Json;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Schema version of the `--json` report. v1: `{schema_version, command,
+/// benches: [{name, median_ns, min_ns, mean_ns, iters, samples}]}`.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One finished benchmark's timing summary (per-iteration durations).
+struct BenchResult {
+    name: String,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    iters: u64,
+    samples: usize,
+}
+
 /// Top-level harness; hand out groups or run stand-alone benchmarks.
 pub struct Bench {
     filter: Option<String>,
+    json_path: Option<String>,
+    results: Vec<BenchResult>,
 }
 
 impl Bench {
-    /// Builds a harness, reading an optional substring filter from the
-    /// command line (`cargo bench --bench engine_micro -- parse` runs only
-    /// benchmarks whose full name contains "parse").
+    /// Builds a harness from the command line: an optional substring
+    /// filter (`cargo bench --bench engine_micro -- parse` runs only
+    /// benchmarks whose full name contains "parse") and an optional
+    /// `--json PATH` for the machine-readable report.
     pub fn from_env() -> Bench {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Bench { filter }
+        let mut filter = None;
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                json_path = args.next();
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Bench {
+            filter,
+            json_path,
+            results: Vec::new(),
+        }
     }
 
     /// Starts a named group; benchmark names are prefixed `group/name`.
@@ -41,8 +77,58 @@ impl Bench {
 
     /// Runs a stand-alone benchmark with the default sample size.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
-        let filter = self.filter.clone();
-        run_one(filter.as_deref(), name, 20, f);
+        self.run_one(name, 20, f);
+    }
+
+    fn run_one(&mut self, name: &str, samples: usize, f: impl FnMut(&mut Bencher)) {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return;
+            }
+        }
+        if let Some(result) = run_one(name, samples, f) {
+            self.results.push(result);
+        }
+    }
+
+    /// Renders the collected results as the schema-versioned JSON report.
+    pub fn report_json(&self) -> Json {
+        let mut report = Json::object();
+        report.set("schema_version", BENCH_SCHEMA_VERSION);
+        report.set(
+            "command",
+            std::env::args().next().unwrap_or_default().as_str(),
+        );
+        report.set(
+            "benches",
+            Json::Arr(
+                self.results
+                    .iter()
+                    .map(|r| {
+                        Json::from_pairs([
+                            ("name", Json::from(r.name.as_str())),
+                            ("median_ns", Json::from(r.median.as_nanos() as u64)),
+                            ("min_ns", Json::from(r.min.as_nanos() as u64)),
+                            ("mean_ns", Json::from(r.mean.as_nanos() as u64)),
+                            ("iters", Json::from(r.iters)),
+                            ("samples", Json::from(r.samples as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        report
+    }
+}
+
+impl Drop for Bench {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json_path {
+            match std::fs::write(path, self.report_json().to_pretty()) {
+                Ok(()) => println!("wrote {} results to {path}", self.results.len()),
+                Err(e) => eprintln!("cannot write bench report {path}: {e}"),
+            }
+        }
     }
 }
 
@@ -63,8 +149,8 @@ impl Group<'_> {
     /// Runs one benchmark in this group.
     pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
         let full = format!("{}/{}", self.prefix, name.as_ref());
-        let filter = self.bench.filter.clone();
-        run_one(filter.as_deref(), &full, self.sample_size, f);
+        let samples = self.sample_size;
+        self.bench.run_one(&full, samples, f);
     }
 
     /// Ends the group. (Groups report as they go; this is a no-op kept for
@@ -106,12 +192,7 @@ impl Bencher {
     }
 }
 
-fn run_one(filter: Option<&str>, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
-    if let Some(filt) = filter {
-        if !name.contains(filt) {
-            return;
-        }
-    }
+fn run_one(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) -> Option<BenchResult> {
     // Warmup doubles as calibration: size each sample to take ~5ms so
     // Instant resolution noise stays below a percent.
     let mut warm = Bencher {
@@ -142,6 +223,14 @@ fn run_one(filter: Option<&str>, name: &str, samples: usize, mut f: impl FnMut(&
         fmt_duration(median),
         fmt_duration(mean),
     );
+    Some(BenchResult {
+        name: name.to_string(),
+        min,
+        median,
+        mean,
+        iters,
+        samples,
+    })
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -161,9 +250,17 @@ fn fmt_duration(d: Duration) -> String {
 mod tests {
     use super::*;
 
+    fn bare(filter: Option<&str>) -> Bench {
+        Bench {
+            filter: filter.map(str::to_string),
+            json_path: None,
+            results: Vec::new(),
+        }
+    }
+
     #[test]
     fn calibrates_and_runs() {
-        let mut b = Bench { filter: None };
+        let mut b = bare(None);
         let mut group = b.group("t");
         group.sample_size(3);
         let mut ran = 0u64;
@@ -177,15 +274,32 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut b = Bench {
-            filter: Some("other".to_string()),
-        };
+        let mut b = bare(Some("other"));
         let mut ran = false;
         b.bench_function("this_one", |b| {
             b.iter(|| ());
             ran = true;
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_report_carries_all_results() {
+        let mut b = bare(None);
+        let mut group = b.group("g");
+        group.sample_size(2);
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.bench_function("two", |b| b.iter(|| 2 + 2));
+        group.finish();
+        let report = b.report_json();
+        assert_eq!(
+            report.get("schema_version").and_then(Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        let benches = report.get("benches").and_then(Json::as_array).unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].get("name").and_then(Json::as_str), Some("g/one"));
+        assert!(benches[0].get("median_ns").and_then(Json::as_u64).is_some());
     }
 
     #[test]

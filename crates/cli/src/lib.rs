@@ -7,6 +7,8 @@
 //!
 //! run options:
 //!   --horizon LO..HI      reasoning horizon (integers; default unbounded)
+//!   --threads N           evaluation worker threads (default 1; output is
+//!                         identical for every N)
 //!   --query 'p(X, 1)'     print facts matching an atom pattern (repeatable)
 //!   --explain 'p(a)@5'    print the derivation tree of a ground fact
 //!   --facts               dump the full materialization as fact text
@@ -27,7 +29,8 @@ use chronolog_obs::{Json, Registry, Tracer};
 use std::fmt::Write as _;
 
 /// Schema version of the `--stats-json` report; bump on breaking changes.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// v2 added join-path counters to `totals` and the `workers` section.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -86,8 +89,8 @@ pub fn run_cli(
 }
 
 const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
-  run options: --horizon LO..HI  --query 'p(X)'  --explain 'p(a)@5'  --facts  --stats\n\
-               --stats-json FILE  --trace FILE";
+  run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
+               --facts  --stats  --stats-json FILE  --trace FILE";
 
 fn load_sources(
     paths: &mut Vec<String>,
@@ -140,6 +143,7 @@ fn cmd_run(
 ) -> Result<String, CliError> {
     let mut paths = Vec::new();
     let mut horizon: Option<(i64, i64)> = None;
+    let mut threads: usize = 1;
     let mut queries: Vec<String> = Vec::new();
     let mut explains: Vec<String> = Vec::new();
     let mut dump_facts = false;
@@ -182,6 +186,16 @@ fn cmd_run(
                     .map_err(|_| CliError::usage("bad horizon bound"))?;
                 horizon = Some((lo, hi));
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--threads needs a worker count"))?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::usage("--threads must be a positive integer"))?;
+            }
             "--query" => {
                 i += 1;
                 queries.push(
@@ -216,6 +230,7 @@ fn cmd_run(
     let mut config = ReasonerConfig {
         provenance: !explains.is_empty(),
         tracer: tracer.clone(),
+        threads,
         ..ReasonerConfig::default()
     };
     if let Some((lo, hi)) = horizon {
@@ -284,6 +299,21 @@ fn render_stats(out: &mut String, stats: &RunStats) {
         "stats: {} derived tuples, {} components, {} rule evaluations, {:?}",
         stats.derived_tuples, stats.total_components, stats.rule_evaluations, stats.elapsed
     );
+    let _ = writeln!(
+        out,
+        "joins: {} index probes ({} tuples skipped), {} full scans ({} tuples walked)",
+        stats.index_probes, stats.index_scan_avoided, stats.full_scans, stats.scanned_tuples
+    );
+    if stats.workers.len() > 1 {
+        let _ = writeln!(out, "workers:");
+        for w in &stats.workers {
+            let _ = writeln!(
+                out,
+                "  worker {}: {} tasks, {:?} busy",
+                w.worker, w.tasks, w.busy
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "strata (iterations per fixpoint): {:?}",
@@ -361,6 +391,10 @@ pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)
     report.set(
         "rules",
         stats_json.get("rules").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "workers",
+        stats_json.get("workers").cloned().unwrap_or(Json::Null),
     );
     report.set("metrics", Registry::global().snapshot());
     report
@@ -634,6 +668,87 @@ mod tests {
         let err = run_cli(&args(&["run", "demo.dmtl", "--trance", "x"]), fs).unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("unknown option"), "{}", err.message);
+    }
+
+    #[test]
+    fn threads_flag_usage_errors() {
+        for bad in [
+            &["run", "demo.dmtl", "--threads"][..],
+            &["run", "demo.dmtl", "--threads", "0"],
+            &["run", "demo.dmtl", "--threads", "many"],
+        ] {
+            let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+            let err = run_cli(&args(bad), fs).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+            assert!(err.message.contains("--threads"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn threaded_runs_are_byte_identical_to_sequential() {
+        // A join-heavy recursive scenario with several rules per stratum so
+        // the worker pool actually fans out; output and derivation counts
+        // must not depend on the thread count.
+        let scenario = "reach(X, Y) :- edge(X, Y).\n\
+                        reach(X, Z) :- reach(X, Y), edge(Y, Z).\n\
+                        hot(X) :- reach(X, Y), load(Y, L), L > 5.\n\
+                        cool(X) :- reach(X, Y), not hot(Y).\n\
+                        edge(a, b)@[0, 10]. edge(b, c)@[0, 10]. edge(c, d)@[2, 8].\n\
+                        edge(d, a)@[4, 6]. edge(b, d)@[1, 3].\n\
+                        load(c, 7)@[0, 10]. load(d, 3)@[0, 10].";
+        let dir = std::env::temp_dir().join("chronolog-cli-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut outputs = Vec::new();
+        let mut reports = Vec::new();
+        for threads in ["1", "4"] {
+            let path = dir.join(format!("report-{threads}.json"));
+            let fs = fake_fs(&[("g.dmtl", scenario)]);
+            let out = run_cli(
+                &args(&[
+                    "run",
+                    "g.dmtl",
+                    "--horizon",
+                    "0..10",
+                    "--threads",
+                    threads,
+                    "--stats-json",
+                    path.to_str().unwrap(),
+                ]),
+                fs,
+            )
+            .unwrap();
+            outputs.push(out);
+            reports.push(Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap());
+            std::fs::remove_file(&path).ok();
+        }
+        // Derived facts are byte-identical across thread counts.
+        assert_eq!(outputs[0], outputs[1]);
+        // So are all derivation counts, per rule and in total.
+        for field in ["derived_tuples", "rule_evaluations", "derived_components"] {
+            assert_eq!(
+                reports[0].get("totals").unwrap().get(field).unwrap(),
+                reports[1].get("totals").unwrap().get(field).unwrap(),
+                "{field}"
+            );
+        }
+        let rule_counts = |r: &Json| -> Vec<(u64, u64)> {
+            r.get("rules")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|rule| {
+                    (
+                        rule.get("derivations").and_then(Json::as_u64).unwrap(),
+                        rule.get("tuples_derived").and_then(Json::as_u64).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(rule_counts(&reports[0]), rule_counts(&reports[1]));
+        // The threaded run reports one worker slot per requested thread.
+        let workers = |r: &Json| r.get("workers").and_then(Json::as_array).unwrap().len();
+        assert_eq!(workers(&reports[0]), 1);
+        assert_eq!(workers(&reports[1]), 4);
     }
 
     #[test]

@@ -10,23 +10,100 @@ use crate::value::{Tuple, Value};
 use mtl_temporal::{Interval, IntervalSet, Rational};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::RwLock;
+
+/// Index key of one argument value, normalized so semantically equal values
+/// (`3` and `3.0`) land in the same bucket. Numeric values key on the `f64`
+/// bit pattern — exactly the equivalence [`Value::semantic_eq`] uses, so an
+/// index probe never misses a tuple a full scan would unify with.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum IndexKey {
+    Num(u64),
+    Sym(Symbol),
+    Bool(bool),
+}
+
+impl IndexKey {
+    fn of(v: &Value) -> IndexKey {
+        match v.as_f64() {
+            // `-0.0` is normalized at Value construction and `Int` cannot
+            // produce it, so the bit pattern is canonical.
+            Some(f) => IndexKey::Num(f.to_bits()),
+            None => match v {
+                Value::Sym(s) => IndexKey::Sym(*s),
+                Value::Bool(b) => IndexKey::Bool(*b),
+                Value::Int(_) | Value::Num(_) => unreachable!("numeric handled above"),
+            },
+        }
+    }
+}
+
+/// Per-argument-position secondary indexes: `value → tuple ids`, built
+/// lazily on first probe and maintained incrementally afterwards. Bucket id
+/// lists are kept in ascending (insertion) order so a probe visits tuples
+/// in the same order a full scan would — determinism is preserved.
+#[derive(Default, Debug)]
+struct SecondaryIndexes {
+    by_pos: HashMap<usize, HashMap<IndexKey, Vec<u32>>>,
+}
 
 /// All tuples of one predicate with their validity intervals.
-#[derive(Clone, Default, Debug)]
+///
+/// Tuples live in a dense, insertion-ordered arena (`entries`) with a
+/// hash lookup (`ids`) for exact-tuple access; value indexes hang off the
+/// side under a lock so read-only evaluation threads can build them on
+/// first use.
+#[derive(Default, Debug)]
 pub struct Relation {
-    tuples: HashMap<Tuple, IntervalSet>,
+    entries: Vec<(Tuple, IntervalSet)>,
+    ids: HashMap<Tuple, u32>,
+    indexes: RwLock<SecondaryIndexes>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        // Indexes are a cache; the clone rebuilds its own lazily.
+        Relation {
+            entries: self.entries.clone(),
+            ids: self.ids.clone(),
+            indexes: RwLock::new(SecondaryIndexes::default()),
+        }
+    }
 }
 
 impl Relation {
+    /// The id of `tuple`, allocating a fresh entry (and updating any built
+    /// indexes) when unseen.
+    fn id_of(&mut self, tuple: Tuple) -> u32 {
+        if let Some(&id) = self.ids.get(&tuple) {
+            return id;
+        }
+        let id = u32::try_from(self.entries.len()).expect("relation tuple-id overflow");
+        let indexes = self
+            .indexes
+            .get_mut()
+            .expect("relation index lock poisoned");
+        for (&pos, buckets) in indexes.by_pos.iter_mut() {
+            if let Some(v) = tuple.get(pos) {
+                buckets.entry(IndexKey::of(v)).or_default().push(id);
+            }
+        }
+        self.ids.insert(tuple.clone(), id);
+        self.entries.push((tuple, IntervalSet::new()));
+        id
+    }
+
     /// Inserts an interval for a tuple; returns `true` iff the set grew.
     pub fn insert(&mut self, tuple: Tuple, interval: Interval) -> bool {
-        self.tuples.entry(tuple).or_default().insert(interval)
+        let id = self.id_of(tuple);
+        self.entries[id as usize].1.insert(interval)
     }
 
     /// Merges an interval set for a tuple; returns the genuinely new part
     /// (empty when nothing grew).
     pub fn merge(&mut self, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
-        let entry = self.tuples.entry(tuple).or_default();
+        let id = self.id_of(tuple);
+        let entry = &mut self.entries[id as usize].1;
         let delta = ivs.difference(entry);
         if !delta.is_empty() {
             entry.union_with(&delta);
@@ -36,22 +113,85 @@ impl Relation {
 
     /// The interval set of a tuple (empty-set view for missing tuples).
     pub fn get(&self, tuple: &[Value]) -> Option<&IntervalSet> {
-        self.tuples.get(tuple)
+        self.ids.get(tuple).map(|&id| &self.entries[id as usize].1)
     }
 
-    /// Iterates `(tuple, intervals)`.
+    /// Iterates `(tuple, intervals)` in insertion order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &IntervalSet)> {
-        self.tuples.iter()
+        self.entries.iter().map(|(t, ivs)| (t, ivs))
+    }
+
+    /// The tuple and intervals stored under a tuple id (from
+    /// [`Relation::probe`]).
+    pub fn entry(&self, id: u32) -> (&Tuple, &IntervalSet) {
+        let (t, ivs) = &self.entries[id as usize];
+        (t, ivs)
     }
 
     /// Number of distinct tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.entries.len()
     }
 
     /// `true` iff the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.entries.is_empty()
+    }
+
+    /// Ensures the position index for `pos` exists, building it from the
+    /// current entries when missing.
+    fn ensure_index(&self, pos: usize) {
+        if self
+            .indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .by_pos
+            .contains_key(&pos)
+        {
+            return;
+        }
+        let mut w = self.indexes.write().expect("relation index lock poisoned");
+        // Double-checked: another thread may have built it while we waited.
+        if w.by_pos.contains_key(&pos) {
+            return;
+        }
+        let mut buckets: HashMap<IndexKey, Vec<u32>> = HashMap::new();
+        for (id, (tuple, _)) in self.entries.iter().enumerate() {
+            if let Some(v) = tuple.get(pos) {
+                buckets.entry(IndexKey::of(v)).or_default().push(id as u32);
+            }
+        }
+        w.by_pos.insert(pos, buckets);
+    }
+
+    /// Index probe: tuple ids whose argument at some ground position
+    /// semantically equals the bound value, using the most selective
+    /// (smallest-bucket) position among `ground`. Candidate ids come back
+    /// in insertion order, i.e. the order a full scan would visit them, so
+    /// callers only need to re-verify with full unification.
+    ///
+    /// Builds missing per-position indexes on first use; they are then
+    /// maintained incrementally by [`Relation::insert`] /
+    /// [`Relation::merge`].
+    pub fn probe(&self, ground: &[(usize, Value)]) -> Vec<u32> {
+        for &(pos, _) in ground {
+            self.ensure_index(pos);
+        }
+        let r = self.indexes.read().expect("relation index lock poisoned");
+        let mut best: Option<&Vec<u32>> = None;
+        for (pos, v) in ground {
+            let bucket = r.by_pos[pos].get(&IndexKey::of(v));
+            match bucket {
+                // A ground position with no bucket means no tuple can match.
+                None => return Vec::new(),
+                Some(b) => {
+                    if best.is_none_or(|cur| b.len() < cur.len()) {
+                        best = Some(b);
+                    }
+                }
+            }
+        }
+        best.cloned().unwrap_or_default()
     }
 }
 
@@ -350,6 +490,65 @@ mod tests {
         let text = db.to_facts_text();
         let back = Database::from_facts_text(&text).unwrap();
         assert_eq!(back.to_facts_text(), text);
+    }
+
+    #[test]
+    fn probe_finds_semantic_matches_in_scan_order() {
+        let mut db = Database::new();
+        db.extend_facts(
+            &crate::parser::parse_facts(
+                "p(a, 1)@0.\np(b, 2)@1.\np(a, 3.0)@2.\np(c, 1.0)@3.\np(a, 2)@4.",
+            )
+            .unwrap(),
+        );
+        let rel = db.relation(Symbol::new("p")).unwrap();
+        // Probe on position 0 = a.
+        let ids = rel.probe(&[(0, Value::sym("a"))]);
+        let tuples: Vec<&Tuple> = ids.iter().map(|&id| rel.entry(id).0).collect();
+        assert_eq!(tuples.len(), 3);
+        // Insertion (scan) order preserved.
+        assert_eq!(tuples[0][1], Value::Int(1));
+        assert_eq!(tuples[1][1], Value::num(3.0));
+        assert_eq!(tuples[2][1], Value::Int(2));
+        // Numeric buckets are semantic: Int 1 and Num 1.0 share one.
+        let ids = rel.probe(&[(1, Value::num(1.0))]);
+        assert_eq!(ids.len(), 2);
+        let ids = rel.probe(&[(1, Value::Int(3))]);
+        assert_eq!(ids.len(), 1);
+        // Most selective position wins: (a, 3.0) → bucket of size 1.
+        let ids = rel.probe(&[(0, Value::sym("a")), (1, Value::Int(3))]);
+        assert_eq!(ids.len(), 1);
+        // A ground value with no bucket short-circuits to no candidates.
+        assert!(rel.probe(&[(0, Value::sym("zzz"))]).is_empty());
+    }
+
+    #[test]
+    fn probe_indexes_stay_fresh_under_inserts_and_merges() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_at("p", &[Value::sym("a"), Value::Int(1)], 0);
+        // Build the index...
+        assert_eq!(
+            db.relation(pred)
+                .unwrap()
+                .probe(&[(0, Value::sym("a"))])
+                .len(),
+            1
+        );
+        // ...then grow the relation through both mutation paths.
+        db.assert_at("p", &[Value::sym("a"), Value::Int(2)], 1);
+        db.merge(
+            pred,
+            vec![Value::sym("a"), Value::num(2.0)].into_boxed_slice(),
+            &IntervalSet::from_interval(Interval::at(2)),
+        );
+        let rel = db.relation(pred).unwrap();
+        assert_eq!(rel.probe(&[(0, Value::sym("a"))]).len(), 3);
+        // Int 2 and Num 2.0 are distinct tuples but share a value bucket.
+        assert_eq!(rel.probe(&[(1, Value::Int(2))]).len(), 2);
+        // Cloning drops the cache; a fresh probe rebuilds and agrees.
+        let cloned = rel.clone();
+        assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 3);
     }
 
     #[test]

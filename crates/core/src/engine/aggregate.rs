@@ -220,10 +220,14 @@ mod tests {
         let program = parse_program(rules_src).unwrap();
         let mut db = Database::new();
         db.extend_facts(&parse_facts(facts).unwrap());
+        let counters = crate::engine::eval::JoinCounters::default();
         let ctx = EvalCtx {
             total: &db,
             delta: None,
             horizon: Interval::closed_int(0, 100),
+            index_joins: true,
+            threads: 1,
+            counters: &counters,
         };
         let rules: Vec<&Rule> = program.rules.iter().collect();
         let mut out = eval_aggregate_rules(&rules, &ctx).unwrap();

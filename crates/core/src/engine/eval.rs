@@ -11,10 +11,40 @@ use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::Value;
 use mtl_temporal::{Interval, IntervalSet};
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A variable assignment.
 pub(crate) type Bindings = HashMap<Symbol, Value>;
+
+/// Relations smaller than this are scanned directly: probing (and possibly
+/// building) an index costs more than walking a handful of tuples.
+const INDEX_MIN_TUPLES: usize = 8;
+
+/// Minimum accumulated bindings before `join_positive` fans the per-binding
+/// work across threads; below this the scoped-thread spawn cost dominates.
+const PAR_FANOUT_MIN: usize = 256;
+
+/// Join-path counters, shared across evaluation threads (relaxed atomics:
+/// these are statistics, not synchronization).
+#[derive(Default, Debug)]
+pub(crate) struct JoinCounters {
+    /// `eval_rel` calls answered through a secondary index probe.
+    pub index_probes: AtomicU64,
+    /// Tuples a probe did *not* visit compared to a full scan.
+    pub index_scan_avoided: AtomicU64,
+    /// `eval_rel` calls that fell back to a full relation scan.
+    pub full_scans: AtomicU64,
+    /// Tuples visited by full scans.
+    pub scanned_tuples: AtomicU64,
+}
+
+impl JoinCounters {
+    fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 /// Evaluation context for one rule application.
 pub(crate) struct EvalCtx<'a> {
@@ -24,6 +54,14 @@ pub(crate) struct EvalCtx<'a> {
     pub delta: Option<&'a Database>,
     /// The reasoning horizon.
     pub horizon: Interval,
+    /// Probe secondary value indexes instead of scanning relations
+    /// (`false` is the ablation baseline).
+    pub index_joins: bool,
+    /// Worker budget for the binding fan-out inside [`join_positive`];
+    /// `1` keeps body evaluation single-threaded.
+    pub threads: usize,
+    /// Join-path statistics sink.
+    pub counters: &'a JoinCounters,
 }
 
 impl EvalCtx<'_> {
@@ -118,8 +156,10 @@ pub(crate) fn eval_body(
             Literal::Pos(_) => unreachable!("handled in phase 1"),
         }
     }
-    // Deduplicate bindings, merging interval sets.
-    let mut merged: HashMap<Vec<(Symbol, Value)>, IntervalSet> = HashMap::new();
+    // Deduplicate bindings, merging interval sets. The ordered map makes
+    // the result order — and with it provenance, merge order, and stats —
+    // deterministic across runs and thread counts.
+    let mut merged: BTreeMap<Vec<(Symbol, Value)>, IntervalSet> = BTreeMap::new();
     for (b, ivs) in acc {
         if ivs.is_empty() {
             continue;
@@ -370,8 +410,41 @@ pub(crate) fn eval_expr(expr: &Expr, b: &Bindings) -> Result<Value> {
 /// Joins the accumulator with a positive metric atom. The accumulated
 /// interval hull is pushed down as a read mask: only the time window that
 /// can still contribute is pulled out of (possibly huge) base relations.
+///
+/// Skewed rules accumulate thousands of bindings before a join; with
+/// `ctx.threads > 1` the per-binding work is fanned across scoped worker
+/// threads in contiguous chunks and re-concatenated in chunk order, so the
+/// output is identical to the sequential pass.
 fn join_positive(
     acc: Vec<(Bindings, IntervalSet)>,
+    m: &MetricAtom,
+    ctx: &EvalCtx<'_>,
+    use_delta: bool,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    if ctx.threads > 1 && acc.len() >= PAR_FANOUT_MIN {
+        let chunk_size = acc.len().div_ceil(ctx.threads);
+        let results: Vec<Result<Vec<(Bindings, IntervalSet)>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = acc
+                .chunks(chunk_size)
+                .map(|chunk| s.spawn(move || join_chunk(chunk, m, ctx, use_delta)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join fan-out worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    } else {
+        join_chunk(&acc, m, ctx, use_delta)
+    }
+}
+
+fn join_chunk(
+    acc: &[(Bindings, IntervalSet)],
     m: &MetricAtom,
     ctx: &EvalCtx<'_>,
     use_delta: bool,
@@ -379,7 +452,7 @@ fn join_positive(
     let mut out = Vec::new();
     for (b, ivs) in acc {
         let mask = ivs.hull();
-        for (b2, ivs2) in eval_matom_masked(m, ctx, use_delta, &b, mask)? {
+        for (b2, ivs2) in eval_matom_masked(m, ctx, use_delta, b, mask)? {
             let joined = ivs.intersect(&ivs2);
             if !joined.is_empty() {
                 out.push((b2, joined));
@@ -520,6 +593,11 @@ fn eval_matom_masked(
 }
 
 /// Base-relation lookup with unification and optional `@T` time capture.
+///
+/// When the atom has arguments that are ground under the current binding,
+/// the relation's secondary value index is probed for the most selective
+/// position instead of scanning every tuple; candidates still pass through
+/// full unification, so the probe is purely an access-path optimization.
 fn eval_rel(
     atom: &Atom,
     ctx: &EvalCtx<'_>,
@@ -536,24 +614,42 @@ fn eval_rel(
     let Some(rel) = db.relation(atom.pred) else {
         return Ok(vec![]);
     };
+
+    // Argument positions that are ground under the current binding.
+    let mut ground: Vec<(usize, Value)> = Vec::new();
+    if ctx.index_joins && rel.len() >= INDEX_MIN_TUPLES {
+        for (i, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Val(c) => ground.push((i, *c)),
+                Term::Var(x) => {
+                    if let Some(v) = binding.get(x) {
+                        ground.push((i, *v));
+                    }
+                }
+            }
+        }
+    }
+
     let mut out = Vec::new();
-    for (tuple, ivs) in rel.iter() {
+    let mut emit = |tuple: &crate::value::Tuple, ivs: &IntervalSet| -> Result<()> {
         let Some(b2) = unify(atom, tuple, binding) else {
-            continue;
+            return Ok(());
         };
-        let ivs = match &mask {
-            Some(w) => ivs.intersect_interval(w),
-            None => ivs.clone(),
+        // Clip lazily: the unmasked path borrows the stored set and only
+        // clones if the tuple is actually emitted (hot-path clone fix).
+        let clipped: Cow<'_, IntervalSet> = match &mask {
+            Some(w) => Cow::Owned(ivs.intersect_interval(w)),
+            None => Cow::Borrowed(ivs),
         };
-        if ivs.is_empty() {
-            continue;
+        if clipped.is_empty() {
+            return Ok(());
         }
         match atom.time_var {
-            None => out.push((b2, ivs)),
+            None => out.push((b2, clipped.into_owned())),
             Some(tv) => {
                 // The capture refers to the base fact's own time points, so
                 // the fact must be punctual (event-style predicates are).
-                let points = ivs.punctual_points().ok_or_else(|| {
+                let points = clipped.punctual_points().ok_or_else(|| {
                     Error::Eval(format!(
                         "time capture @{tv} on non-punctual fact {}{:?}",
                         atom.pred, tuple
@@ -570,6 +666,26 @@ fn eval_rel(
                     out.push((b3, IntervalSet::from_interval(Interval::point(p))));
                 }
             }
+        }
+        Ok(())
+    };
+
+    if ground.is_empty() {
+        JoinCounters::bump(&ctx.counters.full_scans, 1);
+        JoinCounters::bump(&ctx.counters.scanned_tuples, rel.len() as u64);
+        for (tuple, ivs) in rel.iter() {
+            emit(tuple, ivs)?;
+        }
+    } else {
+        let candidates = rel.probe(&ground);
+        JoinCounters::bump(&ctx.counters.index_probes, 1);
+        JoinCounters::bump(
+            &ctx.counters.index_scan_avoided,
+            (rel.len() - candidates.len()) as u64,
+        );
+        for id in candidates {
+            let (tuple, ivs) = rel.entry(id);
+            emit(tuple, ivs)?;
         }
     }
     Ok(out)
@@ -635,10 +751,14 @@ mod tests {
     fn eval(rule_src: &str, facts: &str) -> Vec<(Bindings, IntervalSet)> {
         let rule = parse_rule(rule_src).unwrap();
         let db = ctx_db(facts);
+        let counters = JoinCounters::default();
         let ctx = EvalCtx {
             total: &db,
             delta: None,
             horizon: Interval::closed_int(0, 100),
+            index_joins: true,
+            threads: 1,
+            counters: &counters,
         };
         eval_body(&rule, &ctx, None).unwrap()
     }
@@ -715,10 +835,14 @@ mod tests {
     fn time_capture_on_long_interval_errors() {
         let rule = parse_rule("h(T) :- p(A)@T.").unwrap();
         let db = ctx_db("p(x)@[0, 5].");
+        let counters = JoinCounters::default();
         let ctx = EvalCtx {
             total: &db,
             delta: None,
             horizon: Interval::closed_int(0, 100),
+            index_joins: true,
+            threads: 1,
+            counters: &counters,
         };
         assert!(eval_body(&rule, &ctx, None).is_err());
     }
@@ -773,6 +897,44 @@ mod tests {
             &b
         )
         .is_err());
+    }
+
+    #[test]
+    fn indexed_probe_matches_full_scan_and_counts() {
+        let mut facts = String::new();
+        for i in 0..50 {
+            facts.push_str(&format!("p(a{i}, {i})@{i}.\n"));
+        }
+        facts.push_str("q(a7)@[0, 100].");
+        let rule = parse_rule("h(X, N) :- q(X), p(X, N).").unwrap();
+        let db = ctx_db(&facts);
+        let run = |index_joins: bool| {
+            let counters = JoinCounters::default();
+            let out = {
+                let ctx = EvalCtx {
+                    total: &db,
+                    delta: None,
+                    horizon: Interval::closed_int(0, 100),
+                    index_joins,
+                    threads: 1,
+                    counters: &counters,
+                };
+                eval_body(&rule, &ctx, None).unwrap()
+            };
+            (out, counters)
+        };
+        let (indexed, ic) = run(true);
+        let (scanned, sc) = run(false);
+        // Same derivations either way (eval_body output order is stable).
+        assert_eq!(indexed.len(), 1);
+        assert_eq!(indexed.len(), scanned.len());
+        assert_eq!(indexed[0].0, scanned[0].0);
+        assert_eq!(indexed[0].1.components(), scanned[0].1.components());
+        // The indexed run probed p(X, N) with X bound and skipped 49 tuples.
+        assert!(ic.index_probes.load(Ordering::Relaxed) >= 1);
+        assert!(ic.index_scan_avoided.load(Ordering::Relaxed) >= 49);
+        assert_eq!(sc.index_probes.load(Ordering::Relaxed), 0);
+        assert!(sc.scanned_tuples.load(Ordering::Relaxed) >= 50);
     }
 
     #[test]

@@ -23,10 +23,17 @@ use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
 use chronolog_obs::{Json, Tracer};
-use eval::{delta_eligible, eval_body, EvalCtx};
+use eval::{delta_eligible, eval_body, EvalCtx, JoinCounters};
 use mtl_temporal::{Interval, IntervalSet};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Minimum evaluation wall time of the *previous* fixpoint iteration for
+/// the next one to use worker threads. Scoped-thread spawns cost tens of
+/// microseconds each; iterations cheaper than this lose more to spawning
+/// than they could recoup, so they run on the main thread.
+const PAR_MIN_EVAL_WALL: Duration = Duration::from_millis(2);
 
 /// Reasoner configuration.
 #[derive(Clone, Debug)]
@@ -47,6 +54,15 @@ pub struct ReasonerConfig {
     /// When set, the engine emits structured events (stratum/iteration
     /// boundaries, fixpoint deltas) into this bounded buffer.
     pub tracer: Option<Tracer>,
+    /// Worker threads for stratum evaluation (rule fan-out and the binding
+    /// fan-out inside skewed joins). `1` is fully sequential; any value
+    /// produces bit-identical output, derivation counts, and provenance —
+    /// evaluation always reads the iteration-start snapshot and merges in
+    /// fixed rule order.
+    pub threads: usize,
+    /// Probe lazily built secondary value indexes during joins instead of
+    /// scanning relations (`false` is the ablation baseline).
+    pub index_joins: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -58,6 +74,8 @@ impl Default for ReasonerConfig {
             semi_naive: true,
             provenance: false,
             tracer: None,
+            threads: 1,
+            index_joins: true,
         }
     }
 }
@@ -66,6 +84,12 @@ impl ReasonerConfig {
     /// Convenience: a bounded integer horizon.
     pub fn with_horizon(mut self, lo: i64, hi: i64) -> Self {
         self.horizon = Interval::closed_int(lo, hi);
+        self
+    }
+
+    /// Convenience: set the evaluation worker count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -123,6 +147,17 @@ pub struct StratumStats {
     pub wall: Duration,
 }
 
+/// Per-worker statistics of the stratum evaluation pool.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Worker index (`0..threads`).
+    pub worker: usize,
+    /// Rule-evaluation tasks this worker executed.
+    pub tasks: usize,
+    /// Busy wall-clock time (task execution, excluding idle waits).
+    pub busy: Duration,
+}
+
 /// Statistics of one materialization run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -138,10 +173,21 @@ pub struct RunStats {
     pub derived_components: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Positive-atom lookups answered through a secondary index probe.
+    pub index_probes: u64,
+    /// Tuples index probes skipped relative to full scans.
+    pub index_scan_avoided: u64,
+    /// Positive-atom lookups that scanned the whole relation.
+    pub full_scans: u64,
+    /// Tuples visited by full scans.
+    pub scanned_tuples: u64,
     /// Per-rule breakdown, indexed by rule position in the program.
     pub rules: Vec<RuleStats>,
     /// Per-stratum breakdown (one entry per stratum fixpoint executed).
     pub strata: Vec<StratumStats>,
+    /// Per-worker breakdown of the evaluation pool (one entry per worker,
+    /// accumulated across strata and advances).
+    pub workers: Vec<WorkerStats>,
 }
 
 impl RunStats {
@@ -159,6 +205,10 @@ impl RunStats {
                 Json::Arr(self.iterations.iter().map(|&i| Json::from(i)).collect()),
             ),
             ("elapsed_us", Json::from(self.elapsed.as_micros() as u64)),
+            ("index_probes", Json::from(self.index_probes)),
+            ("index_scan_avoided", Json::from(self.index_scan_avoided)),
+            ("full_scans", Json::from(self.full_scans)),
+            ("scanned_tuples", Json::from(self.scanned_tuples)),
         ]);
         let strata = Json::Arr(
             self.strata
@@ -195,7 +245,24 @@ impl RunStats {
                 })
                 .collect(),
         );
-        Json::from_pairs([("totals", totals), ("strata", strata), ("rules", rules)])
+        let workers = Json::Arr(
+            self.workers
+                .iter()
+                .map(|w| {
+                    Json::from_pairs([
+                        ("worker", Json::from(w.worker)),
+                        ("tasks", Json::from(w.tasks)),
+                        ("busy_us", Json::from(w.busy.as_micros() as u64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::from_pairs([
+            ("totals", totals),
+            ("strata", strata),
+            ("rules", rules),
+            ("workers", workers),
+        ])
     }
 }
 
@@ -376,6 +443,18 @@ impl Reasoner {
         let evals_before = stats.rule_evaluations;
         let mut stratum_tuples = 0usize;
         let mut stratum_components = 0usize;
+        let threads = self.config.threads.max(1);
+        let counters = JoinCounters::default();
+        // One WorkerStats slot per configured worker, reused across strata
+        // (and across a session's advances).
+        if stats.workers.len() < threads {
+            for w in stats.workers.len()..threads {
+                stats.workers.push(WorkerStats {
+                    worker: w,
+                    ..WorkerStats::default()
+                });
+            }
+        }
         let current_preds: HashSet<Symbol> = rule_indices
             .iter()
             .map(|&i| self.program.rules[i].head.atom.pred)
@@ -405,6 +484,9 @@ impl Reasoner {
                 total,
                 delta: None,
                 horizon,
+                index_joins: self.config.index_joins,
+                threads: 1,
+                counters: &counters,
             };
             let derived = aggregate::eval_aggregate_rules(&rules, &ctx)?;
             stats.rule_evaluations += indices.len();
@@ -486,6 +568,13 @@ impl Reasoner {
         // --- Fixpoint. ---
         let mut prev_delta = Database::new();
         let mut iteration = 0usize;
+        // Adaptive parallelism gate: an iteration only pays for worker
+        // threads when the *previous* iteration's evaluation was expensive
+        // enough to amortize the spawns. Cheap fixpoint tails (the common
+        // case: hundreds of sub-millisecond delta iterations) stay on the
+        // main thread. The gate never changes results — merge order is
+        // fixed either way — only where the work runs.
+        let mut last_eval_wall = Duration::ZERO;
         loop {
             if iteration >= self.config.max_iterations {
                 return Err(Error::BudgetExceeded(format!(
@@ -505,10 +594,13 @@ impl Reasoner {
             let mut next_delta = Database::new();
             let mut grew = false;
 
+            // Which evaluations to run this iteration, flattened into a
+            // fixed-order `(rule, delta literal)` task list. The task order
+            // is also the merge order, so output, stats, and provenance are
+            // bit-identical for every thread count.
+            let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
             for (rule_idx, plan) in &plans {
                 let rule = &self.program.rules[*rule_idx];
-                let rule_start = Instant::now();
-                // Which evaluations to run this iteration.
                 let modes: Vec<Option<usize>> = match (plan, iteration, seed) {
                     // Incremental iteration 0: semi-naive against the seed
                     // when every positive literal supports it.
@@ -532,64 +624,96 @@ impl Reasoner {
                     (RulePlan::SemiNaive(_), 0, None) => vec![None],
                     (RulePlan::SemiNaive(lits), _, _) => lits.iter().map(|&l| Some(l)).collect(),
                 };
-                let iter0_delta = if iteration == 0 { seed } else { None };
-                for delta_literal in modes {
-                    let delta_db = if delta_literal.is_some() {
-                        Some(iter0_delta.unwrap_or(&prev_delta))
-                    } else {
-                        None
-                    };
+                tasks.extend(modes.into_iter().map(|m| (*rule_idx, m)));
+            }
+            let delta_base: &Database = if iteration == 0 {
+                seed.unwrap_or(&prev_delta)
+            } else {
+                &prev_delta
+            };
+
+            // Evaluate every task against the iteration-start snapshot of
+            // `total`. With several tasks the rule fan-out gets the worker
+            // budget; a lone task hands it to the binding fan-out inside
+            // its joins instead (no nested oversubscription either way).
+            let pool_threads = if last_eval_wall >= PAR_MIN_EVAL_WALL {
+                threads
+            } else {
+                1
+            };
+            let inner_threads = if tasks.len() > 1 { 1 } else { pool_threads };
+            type EvalOut = (Result<Vec<(eval::Bindings, IntervalSet)>>, Duration);
+            let eval_out: Vec<EvalOut> = {
+                let total_snapshot: &Database = total;
+                fan_out(tasks.len(), pool_threads, &mut stats.workers, |i| {
+                    let (rule_idx, delta_literal) = tasks[i];
                     let ctx = EvalCtx {
-                        total,
-                        delta: delta_db,
+                        total: total_snapshot,
+                        delta: delta_literal.is_some().then_some(delta_base),
                         horizon,
+                        index_joins: self.config.index_joins,
+                        threads: inner_threads,
+                        counters: &counters,
                     };
-                    let results = eval_body(rule, &ctx, delta_literal)?;
-                    stats.rule_evaluations += 1;
-                    let rstats = &mut stats.rules[*rule_idx];
-                    rstats.body_evaluations += 1;
-                    if let Some(delta) = delta_db {
-                        rstats.delta_tuples += delta.tuple_count();
+                    let eval_start = Instant::now();
+                    let r = eval_body(&self.program.rules[rule_idx], &ctx, delta_literal);
+                    (r, eval_start.elapsed())
+                })
+            };
+            last_eval_wall = eval_out.iter().map(|(_, d)| *d).sum();
+
+            // Merge every task's derivations back in fixed task order.
+            for ((rule_idx, delta_literal), (results, eval_wall)) in
+                tasks.iter().copied().zip(eval_out)
+            {
+                let rule = &self.program.rules[rule_idx];
+                let merge_start = Instant::now();
+                let results = results?;
+                stats.rule_evaluations += 1;
+                let rstats = &mut stats.rules[rule_idx];
+                rstats.body_evaluations += 1;
+                rstats.wall += eval_wall;
+                if delta_literal.is_some() {
+                    rstats.delta_tuples += delta_base.tuple_count();
+                }
+                rstats.derivations += results.len();
+                for (binding, ivs) in results {
+                    let tuple = ground_head(rule, &binding)?;
+                    let mut out = ivs;
+                    for op in &rule.head.ops {
+                        out = apply_head_op(op, &out);
                     }
-                    rstats.derivations += results.len();
-                    for (binding, ivs) in results {
-                        let tuple = ground_head(rule, &binding)?;
-                        let mut out = ivs;
-                        for op in &rule.head.ops {
-                            out = apply_head_op(op, &out);
+                    let out = out.intersect_interval(&horizon);
+                    if out.is_empty() {
+                        continue;
+                    }
+                    stats.rules[rule_idx].components_emitted += out.components().len();
+                    let is_new = total
+                        .relation(rule.head.atom.pred)
+                        .and_then(|r| r.get(&tuple))
+                        .is_none_or(|ivs| ivs.is_empty());
+                    let added = total.merge(rule.head.atom.pred, tuple.clone(), &out);
+                    if !added.is_empty() {
+                        grew = true;
+                        let rstats = &mut stats.rules[rule_idx];
+                        if is_new {
+                            rstats.tuples_derived += 1;
+                            stratum_tuples += 1;
                         }
-                        let out = out.intersect_interval(&horizon);
-                        if out.is_empty() {
-                            continue;
+                        rstats.components_added += added.components().len();
+                        stratum_components += added.components().len();
+                        next_delta.merge(rule.head.atom.pred, tuple.clone(), &added);
+                        if let Some(acc) = collected.as_deref_mut() {
+                            acc.merge(rule.head.atom.pred, tuple.clone(), &added);
                         }
-                        stats.rules[*rule_idx].components_emitted += out.components().len();
-                        let is_new = total
-                            .relation(rule.head.atom.pred)
-                            .and_then(|r| r.get(&tuple))
-                            .is_none_or(|ivs| ivs.is_empty());
-                        let added = total.merge(rule.head.atom.pred, tuple.clone(), &out);
-                        if !added.is_empty() {
-                            grew = true;
-                            let rstats = &mut stats.rules[*rule_idx];
-                            if is_new {
-                                rstats.tuples_derived += 1;
-                                stratum_tuples += 1;
-                            }
-                            rstats.components_added += added.components().len();
-                            stratum_components += added.components().len();
-                            next_delta.merge(rule.head.atom.pred, tuple.clone(), &added);
-                            if let Some(acc) = collected.as_deref_mut() {
-                                acc.merge(rule.head.atom.pred, tuple.clone(), &added);
-                            }
-                            if let Some(log) = provenance {
-                                let b: Vec<(Symbol, Value)> =
-                                    binding.iter().map(|(k, v)| (*k, *v)).collect();
-                                log.record(*rule_idx, rule.head.atom.pred, tuple, added, b);
-                            }
+                        if let Some(log) = provenance {
+                            let b: Vec<(Symbol, Value)> =
+                                binding.iter().map(|(k, v)| (*k, *v)).collect();
+                            log.record(rule_idx, rule.head.atom.pred, tuple, added, b);
                         }
                     }
                 }
-                stats.rules[*rule_idx].wall += rule_start.elapsed();
+                stats.rules[rule_idx].wall += merge_start.elapsed();
             }
 
             if let Some(tracer) = &self.config.tracer {
@@ -609,6 +733,26 @@ impl Reasoner {
             prev_delta = next_delta;
             iteration += 1;
         }
+
+        // Fold the join-path counters into the run totals and mirror them
+        // into the global metric registry (picked up by `--stats-json`).
+        let index_probes = counters.index_probes.load(Ordering::Relaxed);
+        let index_scan_avoided = counters.index_scan_avoided.load(Ordering::Relaxed);
+        let full_scans = counters.full_scans.load(Ordering::Relaxed);
+        let scanned_tuples = counters.scanned_tuples.load(Ordering::Relaxed);
+        stats.index_probes += index_probes;
+        stats.index_scan_avoided += index_scan_avoided;
+        stats.full_scans += full_scans;
+        stats.scanned_tuples += scanned_tuples;
+        let registry = chronolog_obs::Registry::global();
+        registry.counter("engine.index_probes").add(index_probes);
+        registry
+            .counter("engine.index_scan_avoided")
+            .add(index_scan_avoided);
+        registry.counter("engine.full_scans").add(full_scans);
+        registry
+            .counter("engine.scanned_tuples")
+            .add(scanned_tuples);
 
         let wall = stratum_start.elapsed();
         stats.strata.push(StratumStats {
@@ -634,6 +778,69 @@ impl Reasoner {
         }
         Ok(iteration + 1)
     }
+}
+
+/// Deterministic task fan-out: runs `f` over `0..n` on up to `threads`
+/// scoped workers and returns the results in task-index order, regardless
+/// of how the dynamic work-stealing interleaved execution. Worker busy
+/// time and task counts accumulate into `workers` (indexed by worker id;
+/// the sequential path attributes to worker 0).
+fn fan_out<T: Send>(
+    n: usize,
+    threads: usize,
+    workers: &mut [WorkerStats],
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let start = Instant::now();
+        let out: Vec<T> = (0..n).map(&f).collect();
+        if let Some(w) = workers.first_mut() {
+            w.tasks += n;
+            w.busy += start.elapsed();
+        }
+        return out;
+    }
+    type WorkerOut<T> = (usize, Duration, Vec<(usize, T)>);
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    (w, start.elapsed(), local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stratum worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (w, busy, local) in per_worker {
+        if let Some(ws) = workers.get_mut(w) {
+            ws.tasks += local.len();
+            ws.busy += busy;
+        }
+        for (i, t) in local {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every task produces exactly one result"))
+        .collect()
 }
 
 /// A head operator spreads the derived validity:

@@ -70,12 +70,34 @@ pub fn run_datalog_with(
     mode: TimelineMode,
     semi_naive: bool,
 ) -> Result<DatalogRun, HarnessError> {
+    run_datalog_configured(trace, params, mode, semi_naive, 1)
+}
+
+/// Like [`run_datalog`] with an explicit evaluation thread count.
+pub fn run_datalog_threaded(
+    trace: &Trace,
+    params: &MarketParams,
+    mode: TimelineMode,
+    threads: usize,
+) -> Result<DatalogRun, HarnessError> {
+    run_datalog_configured(trace, params, mode, true, threads)
+}
+
+fn run_datalog_configured(
+    trace: &Trace,
+    params: &MarketParams,
+    mode: TimelineMode,
+    semi_naive: bool,
+    threads: usize,
+) -> Result<DatalogRun, HarnessError> {
     trace.validate().map_err(HarnessError::Trace)?;
     let program = build_program(params, mode)?;
     let encoded = encode_trace(trace, mode);
     let config = ReasonerConfig {
         semi_naive,
-        ..ReasonerConfig::default().with_horizon(encoded.horizon.0, encoded.horizon.1)
+        ..ReasonerConfig::default()
+            .with_horizon(encoded.horizon.0, encoded.horizon.1)
+            .with_threads(threads)
     };
     let reasoner = Reasoner::new(program, config)?;
     let m = reasoner.materialize(&encoded.database)?;

@@ -37,3 +37,7 @@ repro-json out="perf.json":
 # Micro-benchmarks (in-tree harness; pass a substring filter after --).
 bench *ARGS:
     cargo bench --workspace {{ARGS}}
+
+# Engine micro-benchmarks with a machine-readable report (BENCH_engine.json).
+bench-engine out="BENCH_engine.json":
+    cargo bench -p chronolog-bench --bench engine_micro -- --json {{out}}
