@@ -2,7 +2,9 @@
 //! transforms, parsing, and small materializations.
 
 use chronolog_bench::microbench::{black_box, Bench};
-use chronolog_core::{parse_program, parse_source, Database, Reasoner, ReasonerConfig, Value};
+use chronolog_core::{
+    parse_program, parse_source, Database, Fact, Reasoner, ReasonerConfig, Value,
+};
 use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
 
 fn bench_interval_sets(c: &mut Bench) {
@@ -150,10 +152,110 @@ fn bench_join_heavy(c: &mut Bench) {
     group.finish();
 }
 
+/// A windowed join over a long-lived relation: `load` holds 4000 punctual
+/// tuples spread over t∈[0,4000), but each outer binding only needs the
+/// ~3-instant slice its pushed-down mask selects. The time-indexed path
+/// binary-searches the sorted endpoint array for that slice; the ablated
+/// path clips every candidate tuple's interval set against the mask.
+fn bench_windowed_join(c: &mut Bench) {
+    // `unkeyed`: the inner literal has no bound argument, so the time
+    // index is the only selective access path (vs a full clipping scan).
+    // `keyed`: the inner literal is also value-bound, so the probe is the
+    // composed (value, window) lookup from the most-selective bucket.
+    let src = "near(X, L) :- ev(X), diamondminus[0, 2] load(L).\n\
+               linked(X, L) :- evk(X, K), diamondminus[0, 2] loadk(K, L).";
+    let program = parse_program(src).unwrap();
+    let mut db = Database::new();
+    for j in 0..4000i64 {
+        db.assert_at("load", &[Value::Int(j)], j);
+        db.assert_at("loadk", &[Value::Int(j % 40), Value::Int(j)], j);
+    }
+    for i in 0..50i64 {
+        db.assert_at("ev", &[Value::Int(i)], i);
+        db.assert_at("evk", &[Value::Int(i), Value::Int(i % 40)], i);
+    }
+
+    let run = |time_index: bool, db: &Database| {
+        let config = ReasonerConfig {
+            time_index,
+            ..ReasonerConfig::default().with_horizon(0, 50)
+        };
+        Reasoner::new(program.clone(), config)
+            .unwrap()
+            .materialize(db)
+            .unwrap()
+    };
+
+    let mut group = c.group("windowed_join");
+    group.sample_size(10);
+    group.bench_function("clipped", |b| b.iter(|| black_box(run(false, &db))));
+    group.bench_function("time_indexed", |b| b.iter(|| black_box(run(true, &db))));
+    group.finish();
+}
+
+/// The streaming execution model vs repeated batch runs: one event per
+/// tick over the margin recursion. The warm chain advances a single
+/// `Session` (boundary-slice seeding, clone-preserved indexes); the cold
+/// chain re-materializes the growing database from scratch at every tick.
+fn bench_session_stream(c: &mut Bench) {
+    let src = "isOpen(A) :- tranM(A, M).\n\
+               isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+               changeM(A) :- tranM(A, M).\n\
+               margin(A, M) :- tranM(A, M), not boxminus isOpen(A).\n\
+               margin(A, M) :- diamondminus margin(A, M), not changeM(A).";
+    let program = parse_program(src).unwrap();
+    const STEPS: i64 = 40;
+    let accounts = ["acc0", "acc1", "acc2"];
+
+    let mut group = c.group("session_stream");
+    group.sample_size(10);
+    group.bench_function("warm_advance_chain", |b| {
+        b.iter(|| {
+            let mut s = Reasoner::new(program.clone(), ReasonerConfig::default())
+                .unwrap()
+                .into_session(&Database::new(), 0)
+                .unwrap();
+            for t in 1..=STEPS {
+                let acc = accounts[(t % 3) as usize];
+                s.submit(Fact::at(
+                    "tranM",
+                    vec![Value::sym(acc), Value::num(t as f64)],
+                    t,
+                ))
+                .unwrap();
+                s.advance_to(t).unwrap();
+            }
+            black_box(s.database().tuple_count())
+        })
+    });
+    group.bench_function("cold_rematerialize_chain", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let mut last = 0;
+            for t in 1..=STEPS {
+                let acc = accounts[(t % 3) as usize];
+                db.assert_at("tranM", &[Value::sym(acc), Value::num(t as f64)], t);
+                let m = Reasoner::new(
+                    program.clone(),
+                    ReasonerConfig::default().with_horizon(0, t),
+                )
+                .unwrap()
+                .materialize(&db)
+                .unwrap();
+                last = m.database.tuple_count();
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let mut c = Bench::from_env();
     bench_interval_sets(&mut c);
     bench_parser(&mut c);
     bench_small_materialization(&mut c);
     bench_join_heavy(&mut c);
+    bench_windowed_join(&mut c);
+    bench_session_stream(&mut c);
 }

@@ -24,7 +24,9 @@ pub use std::hint::black_box;
 
 /// Schema version of the `--json` report. v1: `{schema_version, command,
 /// benches: [{name, median_ns, min_ns, mean_ns, iters, samples}]}`.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `environment` section (`cpus` — the parallelism available
+/// to the run, so multi-core baselines are labeled as such).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// One finished benchmark's timing summary (per-iteration durations).
 struct BenchResult {
@@ -99,6 +101,12 @@ impl Bench {
             "command",
             std::env::args().next().unwrap_or_default().as_str(),
         );
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1);
+        let mut environment = Json::object();
+        environment.set("cpus", cpus);
+        report.set("environment", environment);
         report.set(
             "benches",
             Json::Arr(
@@ -300,6 +308,12 @@ mod tests {
         assert_eq!(benches.len(), 2);
         assert_eq!(benches[0].get("name").and_then(Json::as_str), Some("g/one"));
         assert!(benches[0].get("median_ns").and_then(Json::as_u64).is_some());
+        let cpus = report
+            .get("environment")
+            .and_then(|e| e.get("cpus"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(cpus >= 1, "runner parallelism must be recorded");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   --stats               print run statistics (totals + per-rule hot list)
 //!   --stats-json FILE     write a machine-readable run report (JSON)
 //!   --trace FILE          write structured engine events (JSON Lines)
+//!   --session             stream the facts through a live session instead
+//!                         of one batch materialization (requires --horizon;
+//!                         the output must be byte-identical to the batch)
+//!   --no-time-index       disable the sorted-endpoint time index (ablation)
 //! ```
 //!
 //! Files may mix rules and facts; `-` reads standard input.
@@ -30,7 +34,9 @@ use std::fmt::Write as _;
 
 /// Schema version of the `--stats-json` report; bump on breaking changes.
 /// v2 added join-path counters to `totals` and the `workers` section.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// v3 added the time-index counters `time_index_probes`,
+/// `interval_clips_avoided`, and `index_rebuilds_avoided` to `totals`.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -90,7 +96,8 @@ pub fn run_cli(
 
 const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
-               --facts  --stats  --stats-json FILE  --trace FILE";
+               --facts  --stats  --stats-json FILE  --trace FILE\n\
+               --session  --no-time-index";
 
 fn load_sources(
     paths: &mut Vec<String>,
@@ -150,6 +157,8 @@ fn cmd_run(
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut trace_file: Option<String> = None;
+    let mut session_mode = false;
+    let mut time_index = true;
 
     let mut i = 0;
     while i < args.len() {
@@ -214,6 +223,8 @@ fn cmd_run(
             }
             "--facts" => dump_facts = true,
             "--stats" => stats = true,
+            "--session" => session_mode = true,
+            "--no-time-index" => time_index = false,
             other if other.starts_with("--") => {
                 return Err(CliError::usage(format!("unknown option {other}")));
             }
@@ -223,40 +234,61 @@ fn cmd_run(
     }
 
     let (program, facts) = load_sources(&mut paths, read_file)?;
-    let mut db = Database::new();
-    db.extend_facts(&facts);
+    if session_mode && !explains.is_empty() {
+        return Err(CliError::usage(
+            "--explain is unavailable with --session (sessions keep no provenance)",
+        ));
+    }
 
     let tracer = trace_file.as_ref().map(|_| Tracer::new());
     let mut config = ReasonerConfig {
         provenance: !explains.is_empty(),
         tracer: tracer.clone(),
         threads,
+        time_index,
         ..ReasonerConfig::default()
     };
     if let Some((lo, hi)) = horizon {
         config = config.with_horizon(lo, hi);
     }
     let reasoner = Reasoner::new(program.clone(), config)?;
-    let m = reasoner.materialize(&db)?;
+
+    enum Outcome {
+        Batch(Box<chronolog_core::Materialization>),
+        Session(Box<chronolog_core::Session>),
+    }
+    let outcome = if session_mode {
+        let (lo, hi) =
+            horizon.ok_or_else(|| CliError::usage("--session needs --horizon LO..HI"))?;
+        Outcome::Session(Box::new(run_session(reasoner, &facts, lo, hi)?))
+    } else {
+        let mut db = Database::new();
+        db.extend_facts(&facts);
+        Outcome::Batch(Box::new(reasoner.materialize(&db)?))
+    };
+    let (database, run_stats) = match &outcome {
+        Outcome::Batch(m) => (&m.database, &m.stats),
+        Outcome::Session(s) => (s.database(), s.stats()),
+    };
 
     if let (Some(path), Some(tracer)) = (&trace_file, &tracer) {
         std::fs::write(path, tracer.drain_jsonl())
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = &stats_json {
-        let report = run_report(&m.stats, &paths, horizon);
+        let report = run_report(run_stats, &paths, horizon);
         std::fs::write(path, report.to_pretty())
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
     }
 
     let mut out = String::new();
     if dump_facts || (queries.is_empty() && explains.is_empty() && !stats) {
-        let _ = writeln!(out, "{}", m.database.to_facts_text());
+        let _ = writeln!(out, "{}", database.to_facts_text());
     }
     for q in &queries {
         let pattern = parse_query_atom(q)?;
         let _ = writeln!(out, "-- query {q} --");
-        let mut lines = query_database(&m.database, &pattern);
+        let mut lines = query_database(database, &pattern);
         lines.sort();
         if lines.is_empty() {
             let _ = writeln!(out, "(no matches)");
@@ -276,6 +308,9 @@ fn cmd_run(
             })
             .collect::<Result<_, _>>()?;
         let _ = writeln!(out, "-- explain {e} --");
+        let Outcome::Batch(m) = &outcome else {
+            unreachable!("--explain with --session is rejected above")
+        };
         match m.explain(&program, &atom.pred.to_string(), &args, t) {
             Some(tree) => {
                 let _ = writeln!(out, "{tree}");
@@ -286,9 +321,60 @@ fn cmd_run(
         }
     }
     if stats {
-        render_stats(&mut out, &m.stats);
+        render_stats(&mut out, run_stats);
     }
     Ok(out)
+}
+
+/// Streams the parsed facts through a live [`chronolog_core::Session`]:
+/// facts at or before the horizon start seed the initial database, the
+/// rest are submitted in timestamp order with the watermark advanced past
+/// each batch, and a final advance lands on the horizon end. The resulting
+/// database must be byte-identical to the batch materialization — CI diffs
+/// the two.
+fn run_session(
+    reasoner: Reasoner,
+    facts: &[Fact],
+    lo: i64,
+    hi: i64,
+) -> Result<chronolog_core::Session, CliError> {
+    let start = Rational::integer(lo);
+    let mut initial = Database::new();
+    let mut stream: Vec<&Fact> = Vec::new();
+    for fact in facts {
+        match fact.interval.lo() {
+            chronolog_core::TimeBound::Finite(flo) if flo > start => stream.push(fact),
+            _ => {
+                initial.insert_fact(fact);
+            }
+        }
+    }
+    // Stable sort by interval position keeps input order for simultaneous
+    // facts, so the stream is deterministic.
+    stream.sort_by(|a, b| a.interval.cmp_position(&b.interval));
+
+    let mut session = reasoner.into_session(&initial, lo)?;
+    let mut i = 0;
+    while i < stream.len() {
+        let batch_lo = stream[i].interval.lo();
+        let mut target = lo;
+        while i < stream.len() && stream[i].interval.lo() == batch_lo {
+            let fact = stream[i];
+            match fact.interval.hi() {
+                chronolog_core::TimeBound::Finite(fhi) => target = target.max(fhi.ceil()),
+                other => {
+                    return Err(CliError::failed(format!(
+                        "--session needs finite fact endpoints (got {other:?} in {fact})"
+                    )))
+                }
+            }
+            session.submit(fact.clone())?;
+            i += 1;
+        }
+        session.advance_to(target.min(hi))?;
+    }
+    session.advance_to(hi)?;
+    Ok(session)
 }
 
 /// Renders the `--stats` report: run totals, per-stratum iteration counts,
@@ -303,6 +389,11 @@ fn render_stats(out: &mut String, stats: &RunStats) {
         out,
         "joins: {} index probes ({} tuples skipped), {} full scans ({} tuples walked)",
         stats.index_probes, stats.index_scan_avoided, stats.full_scans, stats.scanned_tuples
+    );
+    let _ = writeln!(
+        out,
+        "time index: {} probes ({} interval clips avoided), {} index rebuilds avoided",
+        stats.time_index_probes, stats.interval_clips_avoided, stats.index_rebuilds_avoided
     );
     if stats.workers.len() > 1 {
         let _ = writeln!(out, "workers:");
@@ -749,6 +840,85 @@ mod tests {
         let workers = |r: &Json| r.get("workers").and_then(Json::as_array).unwrap().len();
         assert_eq!(workers(&reports[0]), 1);
         assert_eq!(workers(&reports[1]), 4);
+    }
+
+    const STREAMABLE: &str = "isOpen(A) :- tranM(A, M).\n\
+                              isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+                              rate(base, 0.5).\n\
+                              tranM(acc1, 20.0)@3.\n\
+                              tranM(acc2, 5.0)@5.\n\
+                              withdraw(acc1)@8.";
+
+    #[test]
+    fn session_mode_matches_batch_byte_for_byte() {
+        let batch = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--facts"]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap();
+        let streamed = run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--facts",
+                "--session",
+            ]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap();
+        assert_eq!(batch, streamed);
+        assert!(batch.contains("isOpen(acc1)@[7]"), "{batch}");
+        assert!(!batch.contains("isOpen(acc1)@[8]"), "{batch}");
+    }
+
+    #[test]
+    fn session_mode_usage_errors() {
+        let err = run_cli(
+            &args(&["run", "demo.dmtl", "--session"]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--horizon"), "{}", err.message);
+        let err = run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--session",
+                "--explain",
+                "isOpen(acc1)@5",
+            ]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--explain"), "{}", err.message);
+    }
+
+    #[test]
+    fn disabling_the_time_index_changes_nothing_but_counters() {
+        let indexed = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--facts"]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap();
+        let ablated = run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--facts",
+                "--no-time-index",
+            ]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap();
+        assert_eq!(indexed, ablated);
     }
 
     #[test]

@@ -42,9 +42,122 @@ impl IndexKey {
 /// lazily on first probe and maintained incrementally afterwards. Bucket id
 /// lists are kept in ascending (insertion) order so a probe visits tuples
 /// in the same order a full scan would — determinism is preserved.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 struct SecondaryIndexes {
     by_pos: HashMap<usize, HashMap<IndexKey, Vec<u32>>>,
+    time: Option<TimeIndex>,
+}
+
+/// Pending-tail length at which a [`TimeIndex`] re-sorts; probes scan the
+/// tail linearly below this, so read-side calls never need a write lock.
+const TIME_INDEX_PENDING_MAX: usize = 64;
+
+/// Sorted-endpoint time index: every finite interval component of every
+/// tuple as a `(lo, hi, id)` entry ordered by `lo`. A window probe
+/// binary-searches the entries whose component can overlap the window —
+/// `lo ∈ [window.lo − max_len, window.hi]` — and filters by `hi`.
+///
+/// The index is an over-approximation: endpoint closedness is ignored and
+/// components superseded by later coalescing are retained. That is sound
+/// because the union of all indexed components always covers the tuple's
+/// true interval set (every `insert`ed interval and every `merge` delta is
+/// indexed), so a probe can return false positives — removed by the
+/// caller's exact `intersect_interval` clip — but never false negatives.
+#[derive(Clone, Debug)]
+struct TimeIndex {
+    /// Sorted by `(lo, hi, id)`.
+    entries: Vec<(Rational, Rational, u32)>,
+    /// Recent insertions not yet merged into `entries`, scanned linearly.
+    pending: Vec<(Rational, Rational, u32)>,
+    /// Ids of tuples with an unbounded (or overflow-length) component;
+    /// always candidates. Sorted, deduplicated.
+    unbounded: Vec<u32>,
+    /// Upper bound on the length of any indexed component; bounds how far
+    /// before a window an overlapping component can start.
+    max_len: Rational,
+}
+
+impl TimeIndex {
+    fn build(entries: &[(Tuple, IntervalSet)]) -> TimeIndex {
+        let mut idx = TimeIndex {
+            entries: Vec::new(),
+            pending: Vec::new(),
+            unbounded: Vec::new(),
+            max_len: Rational::ZERO,
+        };
+        for (id, (_, ivs)) in entries.iter().enumerate() {
+            for comp in ivs.iter() {
+                idx.note(comp, id as u32);
+            }
+        }
+        idx.flush();
+        idx
+    }
+
+    /// Records one interval component of tuple `id`.
+    fn note(&mut self, comp: &Interval, id: u32) {
+        let bounded = comp.finite_endpoints().and_then(|(lo, hi)| {
+            // Overflow-length components are demoted to `unbounded`.
+            hi.checked_sub(lo).map(|len| (lo, hi, len))
+        });
+        match bounded {
+            Some((lo, hi, len)) => {
+                if len > self.max_len {
+                    self.max_len = len;
+                }
+                self.pending.push((lo, hi, id));
+                if self.pending.len() > TIME_INDEX_PENDING_MAX {
+                    self.flush();
+                }
+            }
+            None => {
+                if let Err(pos) = self.unbounded.binary_search(&id) {
+                    self.unbounded.insert(pos, id);
+                }
+            }
+        }
+    }
+
+    /// Merges the pending tail into the sorted entries.
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            self.entries.append(&mut self.pending);
+            self.entries.sort_unstable();
+        }
+    }
+
+    /// Tuple ids whose indexed extent can overlap `window`, in ascending
+    /// (= insertion) order, so scan determinism is preserved.
+    fn probe(&self, window: &Interval) -> Vec<u32> {
+        let wlo = window.lo().finite();
+        let whi = window.hi().finite();
+        let start = match wlo.and_then(|a| a.checked_sub(self.max_len)) {
+            // A component starting before `window.lo − max_len` ends
+            // before the window; skip it. On −∞ or overflow, scan from 0.
+            Some(cut) => self.entries.partition_point(|&(lo, _, _)| lo < cut),
+            None => 0,
+        };
+        let end = match whi {
+            Some(b) => self.entries.partition_point(|&(lo, _, _)| lo <= b),
+            None => self.entries.len(),
+        };
+        let overlaps =
+            |lo: Rational, hi: Rational| wlo.is_none_or(|a| hi >= a) && whi.is_none_or(|b| lo <= b);
+        let mut ids: Vec<u32> = self.unbounded.clone();
+        for &(lo, hi, id) in &self.entries[start..end] {
+            if overlaps(lo, hi) {
+                ids.push(id);
+            }
+        }
+        for &(lo, hi, id) in &self.pending {
+            if overlaps(lo, hi) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
 }
 
 /// All tuples of one predicate with their validity intervals.
@@ -62,11 +175,19 @@ pub struct Relation {
 
 impl Clone for Relation {
     fn clone(&self) -> Relation {
-        // Indexes are a cache; the clone rebuilds its own lazily.
+        // Built indexes are carried over: a cloned database (session window
+        // advance, threaded stratum snapshot) keeps its warm access paths
+        // and patches them incrementally instead of rebuilding on the next
+        // probe.
+        let indexes = self
+            .indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .clone();
         Relation {
             entries: self.entries.clone(),
             ids: self.ids.clone(),
-            indexes: RwLock::new(SecondaryIndexes::default()),
+            indexes: RwLock::new(indexes),
         }
     }
 }
@@ -96,7 +217,19 @@ impl Relation {
     /// Inserts an interval for a tuple; returns `true` iff the set grew.
     pub fn insert(&mut self, tuple: Tuple, interval: Interval) -> bool {
         let id = self.id_of(tuple);
-        self.entries[id as usize].1.insert(interval)
+        let grew = self.entries[id as usize].1.insert(interval);
+        if grew {
+            if let Some(time) = self
+                .indexes
+                .get_mut()
+                .expect("relation index lock poisoned")
+                .time
+                .as_mut()
+            {
+                time.note(&interval, id);
+            }
+        }
+        grew
     }
 
     /// Merges an interval set for a tuple; returns the genuinely new part
@@ -107,6 +240,17 @@ impl Relation {
         let delta = ivs.difference(entry);
         if !delta.is_empty() {
             entry.union_with(&delta);
+            if let Some(time) = self
+                .indexes
+                .get_mut()
+                .expect("relation index lock poisoned")
+                .time
+                .as_mut()
+            {
+                for comp in delta.iter() {
+                    time.note(comp, id);
+                }
+            }
         }
         delta
     }
@@ -192,6 +336,46 @@ impl Relation {
             }
         }
         best.cloned().unwrap_or_default()
+    }
+
+    /// Ensures the time index exists, building it from the current entries
+    /// when missing (double-checked, like [`Relation::ensure_index`]).
+    fn ensure_time_index(&self) {
+        if self
+            .indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .time
+            .is_some()
+        {
+            return;
+        }
+        let mut w = self.indexes.write().expect("relation index lock poisoned");
+        if w.time.is_none() {
+            w.time = Some(TimeIndex::build(&self.entries));
+        }
+    }
+
+    /// Time-index probe: tuple ids whose validity can overlap `window`, in
+    /// insertion order. Over-approximate (see [`TimeIndex`]): callers must
+    /// still clip each candidate's interval set exactly. Builds the index
+    /// on first use; it is then maintained incrementally by
+    /// [`Relation::insert`] / [`Relation::merge`] and survives cloning.
+    pub fn probe_time(&self, window: &Interval) -> Vec<u32> {
+        self.ensure_time_index();
+        self.indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .time
+            .as_ref()
+            .expect("time index built above")
+            .probe(window)
+    }
+
+    /// Number of built indexes (per-position value indexes + time index).
+    pub fn built_index_count(&self) -> usize {
+        let r = self.indexes.read().expect("relation index lock poisoned");
+        r.by_pos.len() + usize::from(r.time.is_some())
     }
 }
 
@@ -384,6 +568,13 @@ impl Database {
     pub fn component_count(&self) -> usize {
         self.iter().map(|(_, _, ivs)| ivs.components().len()).sum()
     }
+
+    /// Total number of built secondary indexes across relations. A clone
+    /// carries these over, so the count right after cloning measures the
+    /// index rebuilds the clone avoided.
+    pub fn built_index_count(&self) -> usize {
+        self.rels.values().map(Relation::built_index_count).sum()
+    }
 }
 
 impl fmt::Display for Database {
@@ -546,9 +737,87 @@ mod tests {
         assert_eq!(rel.probe(&[(0, Value::sym("a"))]).len(), 3);
         // Int 2 and Num 2.0 are distinct tuples but share a value bucket.
         assert_eq!(rel.probe(&[(1, Value::Int(2))]).len(), 2);
-        // Cloning drops the cache; a fresh probe rebuilds and agrees.
-        let cloned = rel.clone();
+        // Cloning keeps both built position indexes warm...
+        let mut cloned = rel.clone();
+        assert_eq!(cloned.built_index_count(), 2);
         assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 3);
+        // ...and the carried-over index stays fresh under further growth.
+        cloned.insert(
+            vec![Value::sym("a"), Value::Int(9)].into_boxed_slice(),
+            Interval::at(5),
+        );
+        assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 4);
+    }
+
+    #[test]
+    fn time_probe_overlaps_only_window() {
+        let mut db = Database::new();
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 4));
+        db.assert_over("p", &[Value::Int(1)], Interval::closed_int(10, 12));
+        db.assert_over("p", &[Value::Int(2)], Interval::closed_int(20, 24));
+        db.assert_over(
+            "p",
+            &[Value::Int(3)],
+            Interval::from_instant(Rational::integer(100)),
+        );
+        let rel = db.relation(Symbol::new("p")).unwrap();
+        // Unbounded tuple 3 is always a candidate; exact clipping is the
+        // caller's job.
+        assert_eq!(rel.probe_time(&Interval::closed_int(11, 21)), vec![1, 2, 3]);
+        assert_eq!(rel.probe_time(&Interval::closed_int(5, 9)), vec![3]);
+        assert_eq!(
+            rel.probe_time(&Interval::closed_int(0, 100)),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn time_index_stays_fresh_under_growth_and_clone() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 2));
+        // Build the index, then grow through both mutation paths.
+        assert_eq!(
+            db.relation(pred)
+                .unwrap()
+                .probe_time(&Interval::closed_int(0, 100))
+                .len(),
+            1
+        );
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(50, 52));
+        db.merge(
+            pred,
+            vec![Value::Int(1)].into_boxed_slice(),
+            &IntervalSet::from_interval(Interval::closed_int(60, 61)),
+        );
+        let rel = db.relation(pred).unwrap();
+        assert_eq!(rel.probe_time(&Interval::closed_int(49, 70)), vec![0, 1]);
+        assert_eq!(rel.probe_time(&Interval::closed_int(0, 3)), vec![0]);
+        assert!(rel.probe_time(&Interval::closed_int(10, 20)).is_empty());
+        // The clone carries the index and keeps patching it.
+        let mut cloned = rel.clone();
+        assert_eq!(cloned.built_index_count(), 1);
+        cloned.insert(
+            vec![Value::Int(2)].into_boxed_slice(),
+            Interval::closed_int(15, 16),
+        );
+        assert_eq!(cloned.probe_time(&Interval::closed_int(10, 20)), vec![2]);
+    }
+
+    #[test]
+    fn time_probe_never_misses_after_coalescing() {
+        // Coalescing leaves stale sub-entries behind; they may only add
+        // false positives, never hide a tuple.
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 1));
+        db.relation(pred).unwrap().probe_time(&Interval::at(0)); // build
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(3, 9));
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(1, 3)); // glue
+        let rel = db.relation(pred).unwrap();
+        for t in 0..=9 {
+            assert_eq!(rel.probe_time(&Interval::at(t)), vec![0], "at t={t}");
+        }
     }
 
     #[test]

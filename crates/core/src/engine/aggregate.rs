@@ -226,6 +226,7 @@ mod tests {
             delta: None,
             horizon: Interval::closed_int(0, 100),
             index_joins: true,
+            time_index: true,
             threads: 1,
             counters: &counters,
         };

@@ -30,14 +30,22 @@ const PAR_FANOUT_MIN: usize = 256;
 /// these are statistics, not synchronization).
 #[derive(Default, Debug)]
 pub(crate) struct JoinCounters {
-    /// `eval_rel` calls answered through a secondary index probe.
+    /// `eval_rel` calls answered through an index probe (value, time, or
+    /// both). Every `eval_rel` call bumps exactly one of `index_probes` /
+    /// `full_scans`, so the two always account for every call.
     pub index_probes: AtomicU64,
     /// Tuples a probe did *not* visit compared to a full scan.
     pub index_scan_avoided: AtomicU64,
-    /// `eval_rel` calls that fell back to a full relation scan.
+    /// `eval_rel` calls that fell back to a full relation scan (including
+    /// missing-relation lookups, which scan zero tuples).
     pub full_scans: AtomicU64,
     /// Tuples visited by full scans.
     pub scanned_tuples: AtomicU64,
+    /// `eval_rel` calls that consulted the sorted-endpoint time index.
+    pub time_index_probes: AtomicU64,
+    /// Candidate tuples the time index excluded before their interval sets
+    /// were clipped against the read mask.
+    pub interval_clips_avoided: AtomicU64,
 }
 
 impl JoinCounters {
@@ -57,6 +65,9 @@ pub(crate) struct EvalCtx<'a> {
     /// Probe secondary value indexes instead of scanning relations
     /// (`false` is the ablation baseline).
     pub index_joins: bool,
+    /// Probe the sorted-endpoint time index for masked reads instead of
+    /// clipping every candidate tuple (`false` is the ablation baseline).
+    pub time_index: bool,
     /// Worker budget for the binding fan-out inside [`join_positive`];
     /// `1` keeps body evaluation single-threaded.
     pub threads: usize,
@@ -508,49 +519,56 @@ fn eval_matom_masked(
     mask: Option<Interval>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     // Base times contributing to past-operator outputs in `mask` lie in
-    // mask ⊕ mirrored-ρ, which is exactly the hull transform below.
-    let past_mask = |rho| mask.as_ref().map(|w| w.diamond_plus(rho));
-    let future_mask = |rho| mask.as_ref().map(|w| w.diamond_minus(rho));
+    // mask ⊕ mirrored-ρ, which is exactly the hull transform below. All
+    // endpoint shifts are checked: a window near the timeline extremes
+    // surfaces `Error::TimeOverflow` instead of aborting the process.
+    let past_mask = |rho| -> Result<Option<Interval>> {
+        mask.as_ref()
+            .map(|w| w.checked_diamond_plus(rho))
+            .transpose()
+            .map_err(Error::from)
+    };
+    let future_mask = |rho| -> Result<Option<Interval>> {
+        mask.as_ref()
+            .map(|w| w.checked_diamond_minus(rho))
+            .transpose()
+            .map_err(Error::from)
+    };
+    // Applies a checked interval-set transform to every inner result,
+    // dropping bindings whose transformed set is empty.
+    fn transform(
+        inner: Vec<(Bindings, IntervalSet)>,
+        f: impl Fn(&IntervalSet) -> std::result::Result<IntervalSet, mtl_temporal::TimeOverflow>,
+    ) -> Result<Vec<(Bindings, IntervalSet)>> {
+        let mut out = Vec::with_capacity(inner.len());
+        for (b, ivs) in inner {
+            let t = f(&ivs)?;
+            if !t.is_empty() {
+                out.push((b, t));
+            }
+        }
+        Ok(out)
+    }
     match m {
         MetricAtom::Top => Ok(vec![(binding.clone(), ctx.horizon_set())]),
         MetricAtom::Bottom => Ok(vec![]),
         MetricAtom::Rel(atom) => eval_rel(atom, ctx, use_delta, binding, mask),
-        MetricAtom::DiamondMinus(rho, inner) => {
-            Ok(
-                eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
-                    .into_iter()
-                    .map(|(b, ivs)| (b, ivs.diamond_minus(rho)))
-                    .filter(|(_, ivs)| !ivs.is_empty())
-                    .collect(),
-            )
-        }
-        MetricAtom::DiamondPlus(rho, inner) => {
-            Ok(
-                eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
-                    .into_iter()
-                    .map(|(b, ivs)| (b, ivs.diamond_plus(rho)))
-                    .filter(|(_, ivs)| !ivs.is_empty())
-                    .collect(),
-            )
-        }
-        MetricAtom::BoxMinus(rho, inner) => {
-            Ok(
-                eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho))?
-                    .into_iter()
-                    .map(|(b, ivs)| (b, ivs.box_minus(rho)))
-                    .filter(|(_, ivs)| !ivs.is_empty())
-                    .collect(),
-            )
-        }
-        MetricAtom::BoxPlus(rho, inner) => {
-            Ok(
-                eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho))?
-                    .into_iter()
-                    .map(|(b, ivs)| (b, ivs.box_plus(rho)))
-                    .filter(|(_, ivs)| !ivs.is_empty())
-                    .collect(),
-            )
-        }
+        MetricAtom::DiamondMinus(rho, inner) => transform(
+            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?)?,
+            |ivs| ivs.checked_diamond_minus(rho),
+        ),
+        MetricAtom::DiamondPlus(rho, inner) => transform(
+            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?)?,
+            |ivs| ivs.checked_diamond_plus(rho),
+        ),
+        MetricAtom::BoxMinus(rho, inner) => transform(
+            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?)?,
+            |ivs| ivs.checked_box_minus(rho),
+        ),
+        MetricAtom::BoxPlus(rho, inner) => transform(
+            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?)?,
+            |ivs| ivs.checked_box_plus(rho),
+        ),
         MetricAtom::Since(m1, rho, m2) => {
             debug_assert!(!use_delta, "delta never designates multi-atom literals");
             let mut out = Vec::new();
@@ -612,6 +630,9 @@ fn eval_rel(
         ctx.total
     };
     let Some(rel) = db.relation(atom.pred) else {
+        // Still an eval_rel call: account for it as a zero-tuple full scan
+        // so `index_probes + full_scans` covers every call.
+        JoinCounters::bump(&ctx.counters.full_scans, 1);
         return Ok(vec![]);
     };
 
@@ -629,6 +650,7 @@ fn eval_rel(
             }
         }
     }
+    let use_time = ctx.time_index && mask.is_some() && rel.len() >= INDEX_MIN_TUPLES;
 
     let mut out = Vec::new();
     let mut emit = |tuple: &crate::value::Tuple, ivs: &IntervalSet| -> Result<()> {
@@ -670,14 +692,42 @@ fn eval_rel(
         Ok(())
     };
 
-    if ground.is_empty() {
+    if ground.is_empty() && !use_time {
         JoinCounters::bump(&ctx.counters.full_scans, 1);
         JoinCounters::bump(&ctx.counters.scanned_tuples, rel.len() as u64);
         for (tuple, ivs) in rel.iter() {
             emit(tuple, ivs)?;
         }
     } else {
-        let candidates = rel.probe(&ground);
+        // Value probe, time probe, or both: both candidate lists come back
+        // in ascending id (= insertion) order, so their intersection visits
+        // tuples in scan order and determinism is preserved.
+        let candidates = match (ground.is_empty(), use_time) {
+            (false, false) => rel.probe(&ground),
+            (true, true) => {
+                let w = mask.as_ref().expect("use_time implies a mask");
+                let time_cands = rel.probe_time(w);
+                JoinCounters::bump(&ctx.counters.time_index_probes, 1);
+                JoinCounters::bump(
+                    &ctx.counters.interval_clips_avoided,
+                    (rel.len() - time_cands.len()) as u64,
+                );
+                time_cands
+            }
+            (false, true) => {
+                let value_cands = rel.probe(&ground);
+                let w = mask.as_ref().expect("use_time implies a mask");
+                let time_cands = rel.probe_time(w);
+                JoinCounters::bump(&ctx.counters.time_index_probes, 1);
+                let both = intersect_sorted(&value_cands, &time_cands);
+                JoinCounters::bump(
+                    &ctx.counters.interval_clips_avoided,
+                    (value_cands.len() - both.len()) as u64,
+                );
+                both
+            }
+            (true, false) => unreachable!("handled by the full-scan branch"),
+        };
         JoinCounters::bump(&ctx.counters.index_probes, 1);
         JoinCounters::bump(
             &ctx.counters.index_scan_avoided,
@@ -689,6 +739,24 @@ fn eval_rel(
         }
     }
     Ok(out)
+}
+
+/// Intersection of two ascending-sorted id lists, preserving order.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Unifies an atom's argument pattern with a ground tuple under a binding.
@@ -757,6 +825,7 @@ mod tests {
             delta: None,
             horizon: Interval::closed_int(0, 100),
             index_joins: true,
+            time_index: true,
             threads: 1,
             counters: &counters,
         };
@@ -841,6 +910,7 @@ mod tests {
             delta: None,
             horizon: Interval::closed_int(0, 100),
             index_joins: true,
+            time_index: true,
             threads: 1,
             counters: &counters,
         };
@@ -916,6 +986,9 @@ mod tests {
                     delta: None,
                     horizon: Interval::closed_int(0, 100),
                     index_joins,
+                    // The unindexed baseline disables the time index too so
+                    // its counters show pure full scans.
+                    time_index: index_joins,
                     threads: 1,
                     counters: &counters,
                 };

@@ -63,6 +63,10 @@ pub struct ReasonerConfig {
     /// Probe lazily built secondary value indexes during joins instead of
     /// scanning relations (`false` is the ablation baseline).
     pub index_joins: bool,
+    /// Probe the lazily built sorted-endpoint time index for masked reads
+    /// instead of clipping every candidate tuple's interval set against the
+    /// window (`false` is the ablation baseline).
+    pub time_index: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -76,6 +80,7 @@ impl Default for ReasonerConfig {
             tracer: None,
             threads: 1,
             index_joins: true,
+            time_index: true,
         }
     }
 }
@@ -181,6 +186,14 @@ pub struct RunStats {
     pub full_scans: u64,
     /// Tuples visited by full scans.
     pub scanned_tuples: u64,
+    /// Positive-atom lookups that consulted the sorted-endpoint time index.
+    pub time_index_probes: u64,
+    /// Candidate tuples the time index ruled out before their interval sets
+    /// were clipped against the read mask.
+    pub interval_clips_avoided: u64,
+    /// Secondary indexes carried over by database clones (session advances,
+    /// snapshot copies) instead of being rebuilt from scratch.
+    pub index_rebuilds_avoided: u64,
     /// Per-rule breakdown, indexed by rule position in the program.
     pub rules: Vec<RuleStats>,
     /// Per-stratum breakdown (one entry per stratum fixpoint executed).
@@ -209,6 +222,15 @@ impl RunStats {
             ("index_scan_avoided", Json::from(self.index_scan_avoided)),
             ("full_scans", Json::from(self.full_scans)),
             ("scanned_tuples", Json::from(self.scanned_tuples)),
+            ("time_index_probes", Json::from(self.time_index_probes)),
+            (
+                "interval_clips_avoided",
+                Json::from(self.interval_clips_avoided),
+            ),
+            (
+                "index_rebuilds_avoided",
+                Json::from(self.index_rebuilds_avoided),
+            ),
         ]);
         let strata = Json::Arr(
             self.strata
@@ -344,6 +366,12 @@ impl Reasoner {
         let mut total = input.clone();
         let mut provenance = self.config.provenance.then(ProvenanceLog::default);
         let mut stats = RunStats::default();
+        // Cloning preserves already-built secondary indexes: every index the
+        // input carries over is one the fixpoint loop does not rebuild.
+        stats.index_rebuilds_avoided += total.built_index_count() as u64;
+        chronolog_obs::Registry::global()
+            .counter("engine.index_rebuilds_avoided")
+            .add(total.built_index_count() as u64);
         self.init_rule_stats(&mut stats);
         let input_tuples = input.tuple_count();
         if let Some(tracer) = &self.config.tracer {
@@ -485,6 +513,7 @@ impl Reasoner {
                 delta: None,
                 horizon,
                 index_joins: self.config.index_joins,
+                time_index: self.config.time_index,
                 threads: 1,
                 counters: &counters,
             };
@@ -500,7 +529,7 @@ impl Reasoner {
             for (tuple, interval) in derived {
                 let mut ivs = IntervalSet::from_interval(interval);
                 for op in &rules[0].head.ops {
-                    ivs = apply_head_op(op, &ivs);
+                    ivs = apply_head_op(op, &ivs)?;
                 }
                 let ivs = ivs.intersect_interval(&horizon);
                 if ivs.is_empty() {
@@ -652,6 +681,7 @@ impl Reasoner {
                         delta: delta_literal.is_some().then_some(delta_base),
                         horizon,
                         index_joins: self.config.index_joins,
+                        time_index: self.config.time_index,
                         threads: inner_threads,
                         counters: &counters,
                     };
@@ -681,7 +711,7 @@ impl Reasoner {
                     let tuple = ground_head(rule, &binding)?;
                     let mut out = ivs;
                     for op in &rule.head.ops {
-                        out = apply_head_op(op, &out);
+                        out = apply_head_op(op, &out)?;
                     }
                     let out = out.intersect_interval(&horizon);
                     if out.is_empty() {
@@ -740,10 +770,14 @@ impl Reasoner {
         let index_scan_avoided = counters.index_scan_avoided.load(Ordering::Relaxed);
         let full_scans = counters.full_scans.load(Ordering::Relaxed);
         let scanned_tuples = counters.scanned_tuples.load(Ordering::Relaxed);
+        let time_index_probes = counters.time_index_probes.load(Ordering::Relaxed);
+        let interval_clips_avoided = counters.interval_clips_avoided.load(Ordering::Relaxed);
         stats.index_probes += index_probes;
         stats.index_scan_avoided += index_scan_avoided;
         stats.full_scans += full_scans;
         stats.scanned_tuples += scanned_tuples;
+        stats.time_index_probes += time_index_probes;
+        stats.interval_clips_avoided += interval_clips_avoided;
         let registry = chronolog_obs::Registry::global();
         registry.counter("engine.index_probes").add(index_probes);
         registry
@@ -753,6 +787,12 @@ impl Reasoner {
         registry
             .counter("engine.scanned_tuples")
             .add(scanned_tuples);
+        registry
+            .counter("engine.time_index_probes")
+            .add(time_index_probes);
+        registry
+            .counter("engine.interval_clips_avoided")
+            .add(interval_clips_avoided);
 
         let wall = stratum_start.elapsed();
         stats.strata.push(StratumStats {
@@ -846,11 +886,12 @@ fn fan_out<T: Send>(
 /// A head operator spreads the derived validity:
 /// `⊟ρ P` derived at `T` means `P` holds on `T ⊖ ρ` (towards the past);
 /// `⊞ρ P` derived at `T` means `P` holds on `T ⊕ ρ` (towards the future).
-fn apply_head_op(op: &HeadOp, ivs: &IntervalSet) -> IntervalSet {
-    match op {
-        HeadOp::BoxMinus(rho) => ivs.diamond_plus(rho),
-        HeadOp::BoxPlus(rho) => ivs.diamond_minus(rho),
-    }
+fn apply_head_op(op: &HeadOp, ivs: &IntervalSet) -> Result<IntervalSet> {
+    let out = match op {
+        HeadOp::BoxMinus(rho) => ivs.checked_diamond_plus(rho),
+        HeadOp::BoxPlus(rho) => ivs.checked_diamond_minus(rho),
+    };
+    out.map_err(Error::from)
 }
 
 fn ground_head(rule: &Rule, binding: &eval::Bindings) -> Result<Tuple> {

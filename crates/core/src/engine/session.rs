@@ -69,14 +69,22 @@ impl Reasoner {
     pub fn into_session(self, initial: &Database, start: i64) -> Result<Session> {
         let reach = program_reach(self.program())?;
         let start = Rational::integer(start);
+        let total = initial.clone();
+        let mut stats = RunStats::default();
+        // The clone carries the initial database's built indexes with it, so
+        // the session never rebuilds them.
+        stats.index_rebuilds_avoided += total.built_index_count() as u64;
+        chronolog_obs::Registry::global()
+            .counter("engine.index_rebuilds_avoided")
+            .add(total.built_index_count() as u64);
         let mut session = Session {
             reasoner: self,
-            total: initial.clone(),
+            total,
             pending: Vec::new(),
             start,
             now: start,
             reach,
-            stats: RunStats::default(),
+            stats,
         };
         // Materialize the starting instant so `database()` is consistent
         // with `now` from the first moment.
@@ -147,8 +155,14 @@ impl Session {
         let tuples_before = self.total.tuple_count();
         // Seed: boundary slice of the existing materialization plus the
         // pending submissions, clipped to the derivation window.
+        let window_lo = self.now.checked_sub(self.reach).ok_or_else(|| {
+            Error::TimeOverflow(format!(
+                "seed window start {} - {} leaves the rational timeline",
+                self.now, self.reach
+            ))
+        })?;
         let window = Interval::new(
-            TimeBound::Finite(self.now - self.reach),
+            TimeBound::Finite(window_lo),
             true,
             TimeBound::Finite(t),
             true,
@@ -258,7 +272,9 @@ fn program_reach(program: &Program) -> Result<Rational> {
                         ))
                     }
                 };
-                Ok(hi + chain_reach(inner)?)
+                hi.checked_add(chain_reach(inner)?).ok_or_else(|| {
+                    Error::TimeOverflow("program look-back overflows the rational timeline".into())
+                })
             }
             MetricAtom::DiamondPlus(..) | MetricAtom::BoxPlus(..) | MetricAtom::Until(..) => {
                 Err(Error::Eval(
@@ -276,7 +292,12 @@ fn program_reach(program: &Program) -> Result<Rational> {
                         ))
                     }
                 };
-                Ok(hi + chain_reach(m1)?.max(chain_reach(m2)?))
+                hi.checked_add(chain_reach(m1)?.max(chain_reach(m2)?))
+                    .ok_or_else(|| {
+                        Error::TimeOverflow(
+                            "program look-back overflows the rational timeline".into(),
+                        )
+                    })
             }
         }
     }

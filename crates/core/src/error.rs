@@ -24,6 +24,9 @@ pub enum Error {
     Eval(String),
     /// A resource budget was exceeded (facts, iterations).
     BudgetExceeded(String),
+    /// Temporal endpoint arithmetic overflowed the rational timeline
+    /// (an operator window shifted an interval past the `i64` range).
+    TimeOverflow(String),
 }
 
 impl Error {
@@ -45,7 +48,14 @@ impl fmt::Display for Error {
             Error::ArityMismatch(m) => write!(f, "arity mismatch: {m}"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
+            Error::TimeOverflow(m) => write!(f, "temporal overflow: {m}"),
         }
+    }
+}
+
+impl From<mtl_temporal::TimeOverflow> for Error {
+    fn from(e: mtl_temporal::TimeOverflow) -> Error {
+        Error::TimeOverflow(e.to_string())
     }
 }
 

@@ -1,0 +1,49 @@
+//! Temporal-overflow surfacing: window shifts that leave the `i64`
+//! rational timeline must come back as `Error::TimeOverflow`, never as a
+//! panic. Before the checked arithmetic landed, `Rational::from_i128`
+//! panicked deep inside the `⊟`/`⊞` transforms.
+
+use chronolog_core::{parse_source, Database, Error, Reasoner, ReasonerConfig};
+
+/// Just under `i64::MAX`, so a four-digit shift overflows.
+const HUGE: &str = "9223372036854775000";
+
+fn run(src: &str) -> Result<(), Error> {
+    let (program, facts) = parse_source(src).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    Reasoner::new(program, ReasonerConfig::default())?
+        .materialize(&db)
+        .map(|_| ())
+}
+
+#[test]
+fn body_window_shift_overflow_is_an_error_not_a_panic() {
+    let src = format!("h(X) :- diamondminus[0, 10000] p(X).\np(a)@{HUGE}.");
+    match run(&src) {
+        Err(Error::TimeOverflow(_)) => {}
+        other => panic!("expected TimeOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn head_operator_overflow_is_an_error_not_a_panic() {
+    let src = format!("boxplus[0, 10000] h(X) :- p(X).\np(a)@{HUGE}.");
+    match run(&src) {
+        Err(Error::TimeOverflow(_)) => {}
+        other => panic!("expected TimeOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn in_range_windows_still_work_near_the_extremes() {
+    let src = format!("h(X) :- diamondminus[0, 5] p(X).\np(a)@{HUGE}.");
+    let (program, facts) = parse_source(&src).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    let m = Reasoner::new(program, ReasonerConfig::default())
+        .unwrap()
+        .materialize(&db)
+        .unwrap();
+    assert!(m.database.to_facts_text().contains("h(a)"));
+}

@@ -165,6 +165,70 @@ fn every_rule_is_accounted_for() {
     }
 }
 
+/// `index_probes + full_scans` counts every positive-atom lookup, so it is
+/// an access-path-independent quantity: flipping the value index or the
+/// time index on/off only moves lookups between the two buckets.
+#[test]
+fn join_path_counters_account_for_every_lookup() {
+    for (name, src, lo, hi) in corpus() {
+        let (program, facts) = parse_source(&src).unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&facts);
+        let mut totals = Vec::new();
+        for (index_joins, time_index) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let stats = Reasoner::new(
+                program.clone(),
+                ReasonerConfig {
+                    index_joins,
+                    time_index,
+                    ..ReasonerConfig::default().with_horizon(lo, hi)
+                },
+            )
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .stats;
+            assert!(
+                stats.time_index_probes <= stats.index_probes,
+                "{name}: time-index probes are a subset of index probes"
+            );
+            if !time_index {
+                assert_eq!(
+                    stats.time_index_probes, 0,
+                    "{name}: ablated run must not touch the time index"
+                );
+                assert_eq!(stats.interval_clips_avoided, 0, "{name}: ablated clips");
+            }
+            totals.push(stats.index_probes + stats.full_scans);
+        }
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "{name}: lookup totals differ across access paths: {totals:?}"
+        );
+    }
+}
+
+/// A lookup against a relation with no facts at all is still a lookup:
+/// it must land in `full_scans` (walking zero tuples), not vanish.
+#[test]
+fn missing_relations_count_as_zero_tuple_full_scans() {
+    let (program, facts) = parse_source("h(X) :- e(X), ghost(X).\ne(a)@0.").unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    let stats = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 5))
+        .unwrap()
+        .materialize(&db)
+        .unwrap()
+        .stats;
+    assert!(
+        stats.full_scans >= 1,
+        "ghost lookup must be accounted: {stats:?}"
+    );
+    assert!(stats.index_probes + stats.full_scans >= 2);
+}
+
 /// An empty database still produces a well-formed (all-zero) breakdown.
 #[test]
 fn stats_on_empty_input_are_well_formed() {

@@ -11,6 +11,25 @@ use crate::Rational;
 use std::cmp::Ordering;
 use std::fmt;
 
+/// Endpoint arithmetic overflowed the rational timeline: a shifted endpoint
+/// no longer fits an `i64` numerator/denominator after reduction.
+///
+/// Returned by the `checked_*` operator transforms so callers (the reasoner,
+/// a live session) can reject a pathological program instead of aborting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimeOverflow;
+
+impl fmt::Display for TimeOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "temporal endpoint arithmetic overflowed the rational timeline"
+        )
+    }
+}
+
+impl std::error::Error for TimeOverflow {}
+
 /// One endpoint of an interval: a finite rational or ±∞.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TimeBound {
@@ -36,27 +55,33 @@ impl TimeBound {
         matches!(self, TimeBound::Finite(_))
     }
 
-    /// Endpoint addition for operator shifts. `NegInf + PosInf` is the only
+    /// Endpoint addition for operator shifts; `None` if the finite sum
+    /// overflows the rational timeline. `NegInf + PosInf` is the only
     /// undefined combination and cannot arise from valid operator transforms.
-    pub(crate) fn add(self, other: TimeBound) -> TimeBound {
+    pub fn checked_add(self, other: TimeBound) -> Option<TimeBound> {
         use TimeBound::*;
         match (self, other) {
-            (Finite(a), Finite(b)) => Finite(a + b),
+            (Finite(a), Finite(b)) => a.checked_add(b).map(Finite),
             (NegInf, PosInf) | (PosInf, NegInf) => {
                 unreachable!("indeterminate -inf + +inf in interval arithmetic")
             }
-            (NegInf, _) | (_, NegInf) => NegInf,
-            (PosInf, _) | (_, PosInf) => PosInf,
+            (NegInf, _) | (_, NegInf) => Some(NegInf),
+            (PosInf, _) | (_, PosInf) => Some(PosInf),
         }
     }
 
-    pub(crate) fn sub(self, other: TimeBound) -> TimeBound {
+    /// Endpoint subtraction; `None` on overflow. `NegInf - NegInf` and
+    /// `PosInf - PosInf` are the undefined combinations.
+    pub fn checked_sub(self, other: TimeBound) -> Option<TimeBound> {
         use TimeBound::*;
-        self.add(match other {
-            NegInf => PosInf,
-            PosInf => NegInf,
-            Finite(r) => Finite(-r),
-        })
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.checked_sub(b).map(Finite),
+            (NegInf, NegInf) | (PosInf, PosInf) => {
+                unreachable!("indeterminate inf - inf in interval arithmetic")
+            }
+            (NegInf, _) | (_, PosInf) => Some(NegInf),
+            (PosInf, _) | (_, NegInf) => Some(PosInf),
+        }
     }
 }
 
@@ -353,6 +378,16 @@ impl Interval {
             .then_with(|| self.hi_closed.cmp(&other.hi_closed))
     }
 
+    /// Both endpoints as rationals, if the interval is bounded. Used by the
+    /// engine's per-relation time index, which keys tuples by component
+    /// endpoints (closedness is handled by the exact clip afterwards).
+    pub fn finite_endpoints(&self) -> Option<(Rational, Rational)> {
+        match (self.lo, self.hi) {
+            (TimeBound::Finite(a), TimeBound::Finite(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
     /// Length of the interval (`None` if unbounded).
     pub fn length(&self) -> Option<Rational> {
         match (self.lo, self.hi) {
@@ -368,15 +403,25 @@ impl Interval {
 
     /// `◇⁻ρ`: the Minkowski sum `self ⊕ ρ`. `◇⁻ρ M` holds at `t` iff `M`
     /// holds at some `s` with `t − s ∈ ρ`, i.e. `t ∈ ι ⊕ ρ`.
-    pub fn diamond_minus(&self, rho: &MetricInterval) -> Interval {
+    ///
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_diamond_minus(&self, rho: &MetricInterval) -> Result<Interval, TimeOverflow> {
         let rho = rho.as_interval();
-        Interval::new(
-            self.lo.add(rho.lo),
+        let lo = self.lo.checked_add(rho.lo).ok_or(TimeOverflow)?;
+        let hi = self.hi.checked_add(rho.hi).ok_or(TimeOverflow)?;
+        Ok(Interval::new(
+            lo,
             self.lo_closed && rho.lo_closed,
-            self.hi.add(rho.hi),
+            hi,
             self.hi_closed && rho.hi_closed,
         )
-        .expect("Minkowski sum of non-empty intervals is non-empty")
+        .expect("Minkowski sum of non-empty intervals is non-empty"))
+    }
+
+    /// Panicking shorthand for [`Interval::checked_diamond_minus`].
+    pub fn diamond_minus(&self, rho: &MetricInterval) -> Interval {
+        self.checked_diamond_minus(rho)
+            .expect("temporal endpoint overflow in diamond_minus")
     }
 
     /// `⊟ρ`: erosion. `⊟ρ M` holds at `t` iff `M` holds at *all* `s` with
@@ -387,58 +432,94 @@ impl Interval {
     ///
     /// NOTE: on a *union* of intervals erosion is only exact after
     /// adjacency-coalescing; see [`crate::IntervalSet::box_minus`].
-    pub fn box_minus(&self, rho: &MetricInterval) -> Option<Interval> {
+    ///
+    /// `Ok(None)` means the interval is too short for the window;
+    /// `Err` means a shifted endpoint overflowed the timeline.
+    pub fn checked_box_minus(
+        &self,
+        rho: &MetricInterval,
+    ) -> Result<Option<Interval>, TimeOverflow> {
         let rho = rho.as_interval();
         // Window of obligation for candidate t: [t - rho.hi, t - rho.lo]
         // (endpoint closedness inherited from rho, reversed). It must be a
         // subset of self.
         if !rho.hi.is_finite() && self.lo != TimeBound::NegInf {
-            return None;
+            return Ok(None);
         }
         // Infinite self.lo: any window lower end fits.
         let (lo, lo_closed) = if self.lo == TimeBound::NegInf {
             (TimeBound::NegInf, false)
         } else {
-            (self.lo.add(rho.hi), self.lo_closed || !rho.hi_closed)
+            (
+                self.lo.checked_add(rho.hi).ok_or(TimeOverflow)?,
+                self.lo_closed || !rho.hi_closed,
+            )
         };
-        let hi = self.hi.add(rho.lo);
+        let hi = self.hi.checked_add(rho.lo).ok_or(TimeOverflow)?;
         let hi_closed = self.hi_closed || !rho.lo_closed;
-        Interval::new(lo, lo_closed, hi, hi_closed)
+        Ok(Interval::new(lo, lo_closed, hi, hi_closed))
+    }
+
+    /// Panicking shorthand for [`Interval::checked_box_minus`].
+    pub fn box_minus(&self, rho: &MetricInterval) -> Option<Interval> {
+        self.checked_box_minus(rho)
+            .expect("temporal endpoint overflow in box_minus")
     }
 
     /// `◇⁺ρ` (future diamond): `t` such that `M` holds at some `s` with
     /// `s − t ∈ ρ`, i.e. `t ∈ ι ⊖ ρ` pointwise: `⟨lo − ρ⁺, hi − ρ⁻⟩`.
-    pub fn diamond_plus(&self, rho: &MetricInterval) -> Interval {
+    ///
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_diamond_plus(&self, rho: &MetricInterval) -> Result<Interval, TimeOverflow> {
         let rho = rho.as_interval();
         let (lo, lo_closed) = if !rho.hi.is_finite() {
             (TimeBound::NegInf, false)
         } else {
-            (self.lo.sub(rho.hi), self.lo_closed && rho.hi_closed)
+            (
+                self.lo.checked_sub(rho.hi).ok_or(TimeOverflow)?,
+                self.lo_closed && rho.hi_closed,
+            )
         };
-        Interval::new(
-            lo,
-            lo_closed,
-            self.hi.sub(rho.lo),
-            self.hi_closed && rho.lo_closed,
+        let hi = self.hi.checked_sub(rho.lo).ok_or(TimeOverflow)?;
+        Ok(
+            Interval::new(lo, lo_closed, hi, self.hi_closed && rho.lo_closed)
+                .expect("diamond_plus of non-empty interval is non-empty"),
         )
-        .expect("diamond_plus of non-empty interval is non-empty")
+    }
+
+    /// Panicking shorthand for [`Interval::checked_diamond_plus`].
+    pub fn diamond_plus(&self, rho: &MetricInterval) -> Interval {
+        self.checked_diamond_plus(rho)
+            .expect("temporal endpoint overflow in diamond_plus")
     }
 
     /// `⊞ρ` (future box): `t` such that `M` holds at *all* `s` with
     /// `s − t ∈ ρ`. Mirror of [`Interval::box_minus`].
-    pub fn box_plus(&self, rho: &MetricInterval) -> Option<Interval> {
+    ///
+    /// `Ok(None)` means the interval is too short for the window;
+    /// `Err` means a shifted endpoint overflowed the timeline.
+    pub fn checked_box_plus(&self, rho: &MetricInterval) -> Result<Option<Interval>, TimeOverflow> {
         let rho = rho.as_interval();
         if !rho.hi.is_finite() && self.hi != TimeBound::PosInf {
-            return None;
+            return Ok(None);
         }
-        let lo = self.lo.sub(rho.lo);
+        let lo = self.lo.checked_sub(rho.lo).ok_or(TimeOverflow)?;
         let lo_closed = self.lo_closed || !rho.lo_closed;
         let (hi, hi_closed) = if self.hi == TimeBound::PosInf {
             (TimeBound::PosInf, false)
         } else {
-            (self.hi.sub(rho.hi), self.hi_closed || !rho.hi_closed)
+            (
+                self.hi.checked_sub(rho.hi).ok_or(TimeOverflow)?,
+                self.hi_closed || !rho.hi_closed,
+            )
         };
-        Interval::new(lo, lo_closed, hi, hi_closed)
+        Ok(Interval::new(lo, lo_closed, hi, hi_closed))
+    }
+
+    /// Panicking shorthand for [`Interval::checked_box_plus`].
+    pub fn box_plus(&self, rho: &MetricInterval) -> Option<Interval> {
+        self.checked_box_plus(rho)
+            .expect("temporal endpoint overflow in box_plus")
     }
 
     /// Clips the interval to a bounded horizon; `None` if disjoint.
@@ -675,6 +756,31 @@ mod tests {
         assert!(outer.contains_interval(&Interval::closed(r(0), r(9))));
         assert!(!outer.contains_interval(&Interval::closed(r(0), r(10))));
         assert!(outer.contains_interval(&Interval::open(r(0), r(10))));
+    }
+
+    #[test]
+    fn checked_transforms_surface_overflow() {
+        // 2*huge exceeds i64::MAX and -2*huge is below i64::MIN.
+        let huge = Rational::integer(i64::MAX / 2 + 2);
+        let rho = MetricInterval::punctual(huge);
+        // Shifting towards the future past i64::MAX...
+        assert_eq!(
+            Interval::point(huge).checked_diamond_minus(&rho),
+            Err(TimeOverflow)
+        );
+        assert_eq!(
+            Interval::point(huge).checked_box_minus(&rho),
+            Err(TimeOverflow)
+        );
+        // ...and towards the past below i64::MIN.
+        let lo = Interval::point(-huge);
+        assert_eq!(lo.checked_diamond_plus(&rho), Err(TimeOverflow));
+        assert_eq!(lo.checked_box_plus(&rho), Err(TimeOverflow));
+        // In-range shifts still succeed.
+        let i = Interval::closed(r(0), r(5));
+        let rho = MetricInterval::closed_int(1, 2);
+        assert_eq!(i.checked_diamond_minus(&rho), Ok(i.diamond_minus(&rho)));
+        assert_eq!(i.checked_box_minus(&rho), Ok(i.box_minus(&rho)));
     }
 
     #[test]

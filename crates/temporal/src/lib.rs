@@ -36,6 +36,6 @@ mod interval;
 mod rational;
 mod set;
 
-pub use interval::{Interval, MetricInterval, TimeBound};
+pub use interval::{Interval, MetricInterval, TimeBound, TimeOverflow};
 pub use rational::{ParseRationalError, Rational};
 pub use set::IntervalSet;

@@ -153,6 +153,13 @@ impl Rational {
         Self::try_from_i128(num, den)
     }
 
+    /// Checked subtraction: `None` if the reduced result overflows `i64`.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        let num = self.num as i128 * rhs.den as i128 - rhs.num as i128 * self.den as i128;
+        let den = self.den as i128 * rhs.den as i128;
+        Self::try_from_i128(num, den)
+    }
+
     /// Checked multiplication: `None` if the reduced result overflows `i64`.
     pub fn checked_mul(self, rhs: Rational) -> Option<Rational> {
         Self::try_from_i128(

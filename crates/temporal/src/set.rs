@@ -8,7 +8,7 @@
 //! when no two components can be bridged by an obligation window, which the
 //! no-touching invariant guarantees.
 
-use crate::{Interval, MetricInterval, Rational, TimeBound};
+use crate::{Interval, MetricInterval, Rational, TimeBound, TimeOverflow};
 use std::fmt;
 
 /// A set of rational time points stored as maximal disjoint intervals.
@@ -259,25 +259,71 @@ impl IntervalSet {
     // ------------------------------------------------------------------
 
     /// `◇⁻ρ`: Minkowski sum of every component with `ρ` (re-coalesced).
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_diamond_minus(&self, rho: &MetricInterval) -> Result<IntervalSet, TimeOverflow> {
+        self.items
+            .iter()
+            .map(|i| i.checked_diamond_minus(rho))
+            .collect()
+    }
+
+    /// Panicking shorthand for [`IntervalSet::checked_diamond_minus`].
     pub fn diamond_minus(&self, rho: &MetricInterval) -> IntervalSet {
-        IntervalSet::from_intervals(self.items.iter().map(|i| i.diamond_minus(rho)))
+        self.checked_diamond_minus(rho)
+            .expect("temporal endpoint overflow in diamond_minus")
     }
 
     /// `⊟ρ`: erosion. Exact per component thanks to the full-coalescing
     /// invariant — an obligation window of positive length cannot straddle a
     /// gap, and punctual windows reduce to shifts.
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_box_minus(&self, rho: &MetricInterval) -> Result<IntervalSet, TimeOverflow> {
+        let mut out = IntervalSet::new();
+        for i in &self.items {
+            if let Some(x) = i.checked_box_minus(rho)? {
+                out.insert(x);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking shorthand for [`IntervalSet::checked_box_minus`].
     pub fn box_minus(&self, rho: &MetricInterval) -> IntervalSet {
-        IntervalSet::from_intervals(self.items.iter().filter_map(|i| i.box_minus(rho)))
+        self.checked_box_minus(rho)
+            .expect("temporal endpoint overflow in box_minus")
     }
 
     /// `◇⁺ρ`: future diamond (Minkowski sum towards the past).
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_diamond_plus(&self, rho: &MetricInterval) -> Result<IntervalSet, TimeOverflow> {
+        self.items
+            .iter()
+            .map(|i| i.checked_diamond_plus(rho))
+            .collect()
+    }
+
+    /// Panicking shorthand for [`IntervalSet::checked_diamond_plus`].
     pub fn diamond_plus(&self, rho: &MetricInterval) -> IntervalSet {
-        IntervalSet::from_intervals(self.items.iter().map(|i| i.diamond_plus(rho)))
+        self.checked_diamond_plus(rho)
+            .expect("temporal endpoint overflow in diamond_plus")
     }
 
     /// `⊞ρ`: future box (erosion towards the past).
+    /// Errs when a shifted endpoint overflows the rational timeline.
+    pub fn checked_box_plus(&self, rho: &MetricInterval) -> Result<IntervalSet, TimeOverflow> {
+        let mut out = IntervalSet::new();
+        for i in &self.items {
+            if let Some(x) = i.checked_box_plus(rho)? {
+                out.insert(x);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking shorthand for [`IntervalSet::checked_box_plus`].
     pub fn box_plus(&self, rho: &MetricInterval) -> IntervalSet {
-        IntervalSet::from_intervals(self.items.iter().filter_map(|i| i.box_plus(rho)))
+        self.checked_box_plus(rho)
+            .expect("temporal endpoint overflow in box_plus")
     }
 
     /// `self S_ρ other` (Since): holds at `t` iff there is `s` with

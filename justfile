@@ -40,4 +40,4 @@ bench *ARGS:
 
 # Engine micro-benchmarks with a machine-readable report (BENCH_engine.json).
 bench-engine out="BENCH_engine.json":
-    cargo bench -p chronolog-bench --bench engine_micro -- --json {{out}}
+    cargo bench -p chronolog-bench --bench engine_micro -- --json {{justfile_directory()}}/{{out}}
