@@ -149,6 +149,58 @@ fn bench_join_heavy(c: &mut Bench) {
     group.bench_function("indexed/threads4", |b| {
         b.iter(|| black_box(run(true, 4, &db)))
     });
+    // Same workload, but one `Reasoner` — and therefore one persistent
+    // worker pool — reused across runs. The plain `threads4` variant above
+    // builds a fresh `Reasoner` per run, so every run pays the pool spawn;
+    // this one pays it once.
+    let warm = Reasoner::new(
+        program.clone(),
+        ReasonerConfig {
+            index_joins: true,
+            ..ReasonerConfig::default().with_horizon(0, 8).with_threads(4)
+        },
+    )
+    .unwrap();
+    group.bench_function("indexed/threads4_warm_pool", |b| {
+        b.iter(|| black_box(warm.materialize(&db).unwrap()))
+    });
+    group.finish();
+}
+
+/// Cost-based join reordering on a selective-last body: `sel` holds two
+/// tuples per instant but is written after two 600-tuple relations. The
+/// planner hoists it to the front, collapsing the binding fan-out before
+/// the wide joins; the `no_reorder` ablation executes the textual order,
+/// enumerating the full wide1⋈wide2 product before filtering on `sel`.
+fn bench_reorder_heavy(c: &mut Bench) {
+    let src = "hot(X, Y) :- wide1(X, K), wide2(K, Y), sel(X).\n\
+               chain(X, Z) :- hot(X, Y), wide2(Y, Z).";
+    let program = parse_program(src).unwrap();
+    let mut db = Database::new();
+    for i in 0..600i64 {
+        db.assert_at("wide1", &[Value::Int(i % 50), Value::Int(i % 40)], i % 8);
+        db.assert_at("wide2", &[Value::Int(i % 40), Value::Int(i % 60)], i % 8);
+    }
+    for t in 0..8i64 {
+        db.assert_at("sel", &[Value::Int(7)], t);
+        db.assert_at("sel", &[Value::Int(23)], t);
+    }
+
+    let run = |cost_based_reorder: bool, db: &Database| {
+        let config = ReasonerConfig {
+            cost_based_reorder,
+            ..ReasonerConfig::default().with_horizon(0, 8)
+        };
+        Reasoner::new(program.clone(), config)
+            .unwrap()
+            .materialize(db)
+            .unwrap()
+    };
+
+    let mut group = c.group("reorder_heavy");
+    group.sample_size(10);
+    group.bench_function("no_reorder", |b| b.iter(|| black_box(run(false, &db))));
+    group.bench_function("cost_based", |b| b.iter(|| black_box(run(true, &db))));
     group.finish();
 }
 
@@ -256,6 +308,7 @@ fn main() {
     bench_parser(&mut c);
     bench_small_materialization(&mut c);
     bench_join_heavy(&mut c);
+    bench_reorder_heavy(&mut c);
     bench_windowed_join(&mut c);
     bench_session_stream(&mut c);
 }

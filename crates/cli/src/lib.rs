@@ -19,6 +19,11 @@
 //!                         of one batch materialization (requires --horizon;
 //!                         the output must be byte-identical to the batch)
 //!   --no-time-index       disable the sorted-endpoint time index (ablation)
+//!   --no-reorder          disable cost-based join reordering (ablation;
+//!                         rules run in textual delta-first order)
+//!   --explain-plans       print each rule's compiled physical plan with
+//!                         the chosen access paths and estimated vs. actual
+//!                         rows per step
 //! ```
 //!
 //! Files may mix rules and facts; `-` reads standard input.
@@ -36,7 +41,10 @@ use std::fmt::Write as _;
 /// v2 added join-path counters to `totals` and the `workers` section.
 /// v3 added the time-index counters `time_index_probes`,
 /// `interval_clips_avoided`, and `index_rebuilds_avoided` to `totals`.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// v4 added `probed_tuples` to `totals`, the `planner` section (plan
+/// compilation counters plus per-rule plans with estimated vs. actual
+/// rows), and the `pool` section (worker-pool reuse counters).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -97,7 +105,7 @@ pub fn run_cli(
 const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
-               --session  --no-time-index";
+               --session  --no-time-index  --no-reorder  --explain-plans";
 
 fn load_sources(
     paths: &mut Vec<String>,
@@ -159,6 +167,8 @@ fn cmd_run(
     let mut trace_file: Option<String> = None;
     let mut session_mode = false;
     let mut time_index = true;
+    let mut cost_based_reorder = true;
+    let mut explain_plans = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -225,6 +235,8 @@ fn cmd_run(
             "--stats" => stats = true,
             "--session" => session_mode = true,
             "--no-time-index" => time_index = false,
+            "--no-reorder" => cost_based_reorder = false,
+            "--explain-plans" => explain_plans = true,
             other if other.starts_with("--") => {
                 return Err(CliError::usage(format!("unknown option {other}")));
             }
@@ -246,6 +258,7 @@ fn cmd_run(
         tracer: tracer.clone(),
         threads,
         time_index,
+        cost_based_reorder,
         ..ReasonerConfig::default()
     };
     if let Some((lo, hi)) = horizon {
@@ -282,8 +295,11 @@ fn cmd_run(
     }
 
     let mut out = String::new();
-    if dump_facts || (queries.is_empty() && explains.is_empty() && !stats) {
+    if dump_facts || (queries.is_empty() && explains.is_empty() && !stats && !explain_plans) {
         let _ = writeln!(out, "{}", database.to_facts_text());
+    }
+    if explain_plans {
+        render_plans(&mut out, run_stats);
     }
     for q in &queries {
         let pattern = parse_query_atom(q)?;
@@ -377,6 +393,35 @@ fn run_session(
     Ok(session)
 }
 
+/// Renders the `--explain-plans` report: every compiled rule plan (one per
+/// semi-naive variant) in execution order, with the chosen access path and
+/// estimated vs. actual rows per step. Contains no wall times, so the
+/// output is deterministic and golden-testable.
+fn render_plans(out: &mut String, stats: &RunStats) {
+    let _ = writeln!(out, "-- plans --");
+    let mut plans: Vec<_> = stats.plan_explains.iter().collect();
+    plans.sort_by_key(|p| (p.rule, p.delta_literal));
+    for p in plans {
+        let variant = match p.delta_literal {
+            Some(d) => format!("delta literal {d}"),
+            None => "full".to_string(),
+        };
+        let reordered = if p.reordered { ", reordered" } else { "" };
+        let _ = writeln!(
+            out,
+            "plan {} ({variant}{reordered}): est {} rows",
+            p.label, p.est_rows
+        );
+        for s in &p.steps {
+            let _ = writeln!(
+                out,
+                "  {:<44} est {:>6}  actual {:>6}",
+                s.desc, s.est_rows, s.actual_rows
+            );
+        }
+    }
+}
+
 /// Renders the `--stats` report: run totals, per-stratum iteration counts,
 /// and a per-rule hot list ordered by wall time.
 fn render_stats(out: &mut String, stats: &RunStats) {
@@ -395,6 +440,22 @@ fn render_stats(out: &mut String, stats: &RunStats) {
         "time index: {} probes ({} interval clips avoided), {} index rebuilds avoided",
         stats.time_index_probes, stats.interval_clips_avoided, stats.index_rebuilds_avoided
     );
+    let _ = writeln!(
+        out,
+        "planner: {} plans built, {} replans, {} reorders applied, est {} rows vs {} actual",
+        stats.plans_built,
+        stats.replans,
+        stats.reorders_applied,
+        stats.planner_estimated_rows,
+        stats.planner_actual_rows
+    );
+    if stats.pool_respawns + stats.pool_reuses > 0 {
+        let _ = writeln!(
+            out,
+            "pool: {} warm dispatches, {} spawns",
+            stats.pool_reuses, stats.pool_respawns
+        );
+    }
     if stats.workers.len() > 1 {
         let _ = writeln!(out, "workers:");
         for w in &stats.workers {
@@ -486,6 +547,14 @@ pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)
     report.set(
         "workers",
         stats_json.get("workers").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "planner",
+        stats_json.get("planner").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "pool",
+        stats_json.get("pool").cloned().unwrap_or(Json::Null),
     );
     report.set("metrics", Registry::global().snapshot());
     report
@@ -708,6 +777,15 @@ mod tests {
             sum(strata, "tuples_derived"),
             totals.get("derived_tuples").and_then(Json::as_u64).unwrap()
         );
+        // v4: the planner section ties out against its own plan list, and
+        // the pool section exists (all-zero for a sequential run).
+        let planner = report.get("planner").unwrap();
+        let plans = planner.get("plans").and_then(Json::as_array).unwrap();
+        assert!(planner.get("plans_built").and_then(Json::as_u64).unwrap() >= plans.len() as u64);
+        assert!(!plans.is_empty(), "every evaluated rule has a plan");
+        let pool = report.get("pool").unwrap();
+        assert_eq!(pool.get("respawns").and_then(Json::as_u64), Some(0));
+        assert_eq!(pool.get("reuses").and_then(Json::as_u64), Some(0));
         std::fs::remove_file(&path).ok();
     }
 
@@ -897,6 +975,69 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("--explain"), "{}", err.message);
+    }
+
+    #[test]
+    fn disabling_reordering_changes_nothing_but_counters() {
+        // Multi-join bodies with one selective atom: the planner reorders,
+        // the ablated run keeps textual order, and the derived facts must
+        // be byte-identical either way.
+        let scenario = "hot(X, Y) :- wide(X, K), fan(K, Y), sel(X).\n\
+                        chain(X, Z) :- hot(X, Y), fan(Y, Z).\n\
+                        wide(a, k1)@[0, 9]. wide(b, k1)@[0, 9]. wide(c, k2)@[0, 9].\n\
+                        wide(d, k2)@[0, 9]. wide(e, k3)@[0, 9].\n\
+                        fan(k1, u)@[0, 9]. fan(k1, v)@[0, 9]. fan(k2, u)@[0, 9].\n\
+                        fan(k3, w)@[0, 9]. fan(u, t)@[0, 9].\n\
+                        sel(c)@[0, 9].";
+        let reordered = run_cli(
+            &args(&["run", "g.dmtl", "--horizon", "0..9", "--facts"]),
+            fake_fs(&[("g.dmtl", scenario)]),
+        )
+        .unwrap();
+        let ablated = run_cli(
+            &args(&[
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..9",
+                "--facts",
+                "--no-reorder",
+            ]),
+            fake_fs(&[("g.dmtl", scenario)]),
+        )
+        .unwrap();
+        assert_eq!(reordered, ablated);
+        assert!(reordered.contains("hot(c, u)"), "{reordered}");
+    }
+
+    #[test]
+    fn explain_plans_output_is_stable() {
+        // Golden: the plan listing carries no wall times, so the exact
+        // bytes are deterministic for a fixed program and input.
+        let scenario = "h(X) :- e(X), ghost(X).\n\
+                        d(X) :- e(X).\n\
+                        e(a)@0. e(b)@0.";
+        let run = |extra: &[&str]| {
+            let mut a = vec!["run", "g.dmtl", "--horizon", "0..2", "--explain-plans"];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", scenario)])).unwrap()
+        };
+        let out = run(&[]);
+        assert!(out.starts_with("-- plans --\n"), "{out}");
+        // The planner hoists the empty `ghost` ahead of `e` in rule 0.
+        assert_eq!(
+            out,
+            "-- plans --\n\
+             plan r0 (full, reordered): est 0 rows\n  \
+             join ghost(X) [scan]                         est      0  actual      0\n  \
+             join e(X) [scan]                             est      1  actual      0\n\
+             plan r1 (full): est 2 rows\n  \
+             join e(X) [scan]                             est      2  actual      2\n"
+        );
+        // Ablated: textual order, nothing reordered.
+        let ablated = run(&["--no-reorder"]);
+        assert!(!ablated.contains("reordered"), "{ablated}");
+        assert!(ablated.contains("plan r0 (full): est 0 rows"), "{ablated}");
     }
 
     #[test]

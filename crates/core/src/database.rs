@@ -377,6 +377,31 @@ impl Relation {
         let r = self.indexes.read().expect("relation index lock poisoned");
         r.by_pos.len() + usize::from(r.time.is_some())
     }
+
+    /// Number of distinct values at argument position `pos`, when the
+    /// per-position value index for `pos` has already been built. Strictly
+    /// read-only — it never triggers an index build — so the planner can
+    /// consult cardinalities without perturbing access-path counters.
+    pub fn distinct_count(&self, pos: usize) -> Option<usize> {
+        self.indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .by_pos
+            .get(&pos)
+            .map(|buckets| buckets.len())
+    }
+
+    /// Number of indexed interval components (sorted entries plus pending
+    /// tail), when the time index has already been built. Read-only, like
+    /// [`Relation::distinct_count`].
+    pub fn time_entry_count(&self) -> Option<usize> {
+        self.indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .time
+            .as_ref()
+            .map(|t| t.entries.len() + t.pending.len())
+    }
 }
 
 /// A temporal database: one [`Relation`] per predicate.

@@ -228,6 +228,7 @@ mod tests {
             index_joins: true,
             time_index: true,
             threads: 1,
+            pool: None,
             counters: &counters,
         };
         let rules: Vec<&Rule> = program.rules.iter().collect();

@@ -15,16 +15,28 @@ use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use super::cost::NoCardinalities;
+use super::plan::{build_plan, ConstraintMode, PlanConfig, RulePlan, StepKind};
+use super::pool::WorkerPool;
+
 /// A variable assignment.
 pub(crate) type Bindings = HashMap<Symbol, Value>;
 
 /// Relations smaller than this are scanned directly: probing (and possibly
 /// building) an index costs more than walking a handful of tuples.
-const INDEX_MIN_TUPLES: usize = 8;
+pub(crate) const INDEX_MIN_TUPLES: usize = 8;
 
-/// Minimum accumulated bindings before `join_positive` fans the per-binding
-/// work across threads; below this the scoped-thread spawn cost dominates.
-const PAR_FANOUT_MIN: usize = 256;
+/// Minimum accumulated bindings before `join_positive` considers fanning
+/// the per-binding work across the worker pool. Lower than the old scoped
+/// threshold (256): the persistent pool has no spawn cost to amortize, only
+/// chunking and hand-off.
+const PAR_FANOUT_MIN: usize = 64;
+
+/// Minimum estimated work units (accumulated bindings × planner-estimated
+/// rows per binding) before the fan-out actually happens. Plan-aware: a
+/// wide join fans out early, a selective probe stays sequential even with
+/// many bindings.
+const PAR_FANOUT_WORK_MIN: u64 = 4096;
 
 /// Join-path counters, shared across evaluation threads (relaxed atomics:
 /// these are statistics, not synchronization).
@@ -41,6 +53,11 @@ pub(crate) struct JoinCounters {
     pub full_scans: AtomicU64,
     /// Tuples visited by full scans.
     pub scanned_tuples: AtomicU64,
+    /// Candidate tuples visited by index probes. Together with the other
+    /// two tuple counters this partitions every lookup: per `eval_rel`
+    /// call on a present relation, `scanned + probed + avoided` equals the
+    /// relation's size — an invariant across all four index configs.
+    pub probed_tuples: AtomicU64,
     /// `eval_rel` calls that consulted the sorted-endpoint time index.
     pub time_index_probes: AtomicU64,
     /// Candidate tuples the time index excluded before their interval sets
@@ -71,6 +88,9 @@ pub(crate) struct EvalCtx<'a> {
     /// Worker budget for the binding fan-out inside [`join_positive`];
     /// `1` keeps body evaluation single-threaded.
     pub threads: usize,
+    /// Persistent worker pool backing the fan-out; `None` keeps body
+    /// evaluation on the calling thread regardless of `threads`.
+    pub pool: Option<&'a WorkerPool>,
     /// Join-path statistics sink.
     pub counters: &'a JoinCounters,
 }
@@ -110,6 +130,13 @@ pub(crate) fn delta_eligible(lit: &Literal) -> Option<Symbol> {
 /// Evaluates a rule body. When `delta_literal` is set, that literal's base
 /// relation is read from `ctx.delta` instead of `ctx.total`.
 ///
+/// This is the unplanned entry point (aggregates, tests): it compiles an
+/// order-preserving plan on the spot — no cardinality information, no
+/// reordering, so the join order is exactly the old interpretive
+/// delta-first order — and executes it. The fixpoint loop in `mod.rs`
+/// builds and caches cost-based plans instead and calls
+/// [`execute_plan`] directly.
+///
 /// Returns deduplicated `(binding, intervals)` pairs with non-empty interval
 /// sets.
 pub(crate) fn eval_body(
@@ -117,54 +144,64 @@ pub(crate) fn eval_body(
     ctx: &EvalCtx<'_>,
     delta_literal: Option<usize>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
-    let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::new(), ctx.horizon_set())];
-
-    let n = rule.body.len();
-    let mut done = vec![false; n];
-
-    // Phase 1: positive literals, interleaving constraints that become
-    // schedulable after each (early filtering keeps joins small). The
-    // delta-restricted literal goes first: its (tiny) per-iteration delta
-    // prunes the remaining joins to the changed time points, which is what
-    // makes semi-naive evaluation pay off on rules whose other literals
-    // join only through time (e.g. a `price` stream).
-    let order: Vec<usize> = match delta_literal {
-        Some(d) => std::iter::once(d)
-            .chain((0..n).filter(|&i| i != d))
-            .collect(),
-        None => (0..n).collect(),
+    let cfg = PlanConfig {
+        cost_based: false,
+        index_joins: ctx.index_joins,
+        time_index: ctx.time_index,
     };
-    for i in order {
-        if let Literal::Pos(m) = &rule.body[i] {
-            let use_delta = delta_literal == Some(i);
-            acc = join_positive(acc, m, ctx, use_delta)?;
-            done[i] = true;
-            schedule_constraints(rule, ctx, &mut acc, &mut done)?;
-            if acc.is_empty() {
-                return Ok(vec![]);
+    let plan = build_plan(rule, delta_literal, &cfg, &NoCardinalities);
+    execute_plan(rule, &plan, ctx)
+}
+
+/// Executes a compiled rule-body plan: one shared executor for every step
+/// kind, used by the semi-naive fixpoint (with cached cost-based plans)
+/// and by [`eval_body`] (with throwaway order-preserving plans).
+///
+/// The delta-restricted literal is taken from the plan, joins push the
+/// accumulated interval hull down as a read mask, and constraints run in
+/// their statically scheduled modes. An unschedulable-constraint step
+/// raises [`Error::Unsafe`] when reached.
+pub(crate) fn execute_plan(
+    rule: &Rule,
+    plan: &RulePlan,
+    ctx: &EvalCtx<'_>,
+) -> Result<Vec<(Bindings, IntervalSet)>> {
+    let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::new(), ctx.horizon_set())];
+    for step in &plan.steps {
+        match &step.kind {
+            StepKind::Join { .. } => {
+                let Literal::Pos(m) = &rule.body[step.literal] else {
+                    unreachable!("join step on a non-positive literal");
+                };
+                let use_delta = plan.delta_literal == Some(step.literal);
+                acc = join_positive(acc, m, ctx, use_delta, step.est_rows)?;
+                step.note_actual(acc.len());
+                // An empty accumulator is absorbing for every remaining
+                // step except the unschedulable-constraint error.
+                if acc.is_empty() && !plan.has_unschedulable {
+                    return Ok(vec![]);
+                }
             }
-        }
-    }
-    // Phase 2: any remaining constraints (assignment chains).
-    schedule_constraints(rule, ctx, &mut acc, &mut done)?;
-    // Phase 3: negations.
-    #[allow(clippy::needless_range_loop)] // index drives both body and done
-    for i in 0..n {
-        if done[i] {
-            continue;
-        }
-        match &rule.body[i] {
-            Literal::Neg(m) => {
-                acc = apply_negation(acc, m, ctx)?;
-                done[i] = true;
+            StepKind::Constraint { mode: Some(mode) } => {
+                let Literal::Constraint(lhs, op, rhs) = &rule.body[step.literal] else {
+                    unreachable!("constraint step on a non-constraint literal");
+                };
+                acc = apply_constraint(acc, lhs, *op, rhs, *mode)?;
+                step.note_actual(acc.len());
             }
-            Literal::Constraint(..) => {
+            StepKind::Constraint { mode: None } => {
                 return Err(Error::Unsafe(format!(
                     "constraint `{}` could not be scheduled (unbound variable)",
-                    rule.body[i]
+                    rule.body[step.literal]
                 )));
             }
-            Literal::Pos(_) => unreachable!("handled in phase 1"),
+            StepKind::Negation => {
+                let Literal::Neg(m) = &rule.body[step.literal] else {
+                    unreachable!("negation step on a non-negated literal");
+                };
+                acc = apply_negation(acc, m, ctx)?;
+                step.note_actual(acc.len());
+            }
         }
     }
     // Deduplicate bindings, merging interval sets. The ordered map makes
@@ -185,80 +222,42 @@ pub(crate) fn eval_body(
         .collect())
 }
 
-/// Processes every not-yet-done constraint that is currently schedulable,
-/// repeating until none becomes newly schedulable.
-fn schedule_constraints(
-    rule: &Rule,
-    _ctx: &EvalCtx<'_>,
-    acc: &mut Vec<(Bindings, IntervalSet)>,
-    done: &mut [bool],
-) -> Result<()> {
-    // The set of bound variables is identical across accumulator entries;
-    // an empty accumulator means the body already failed.
-    loop {
-        let bound: std::collections::HashSet<Symbol> = match acc.first() {
-            Some((b, _)) => b.keys().copied().collect(),
-            None => return Ok(()),
-        };
-        let mut progressed = false;
-        #[allow(clippy::needless_range_loop)] // index drives both body and done
-        for i in 0..rule.body.len() {
-            if done[i] {
-                continue;
-            }
-            if let Literal::Constraint(lhs, op, rhs) = &rule.body[i] {
-                if let Some(mode) = constraint_mode(lhs, *op, rhs, &bound) {
-                    *acc = apply_constraint(std::mem::take(acc), lhs, *op, rhs, mode)?;
-                    done[i] = true;
-                    progressed = true;
-                    if acc.is_empty() {
-                        return Ok(());
-                    }
-                }
-            }
-        }
-        if !progressed {
-            return Ok(());
-        }
-    }
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum ConstraintMode {
-    /// All variables bound: evaluate and filter.
-    Filter,
-    /// `X = expr` with X unbound: bind X (left side).
-    AssignLeft,
-    /// `expr = X` with X unbound: bind X (right side).
-    AssignRight,
-}
-
-fn constraint_mode(
+/// Applies a constraint to one binding in its scheduled mode: assignments
+/// extend the binding, filters keep or drop it. Shared by the engine
+/// executor (which threads interval sets alongside) and the naive oracle
+/// (which works on plain bindings).
+pub(crate) fn apply_constraint_row(
+    mut b: Bindings,
     lhs: &Expr,
     op: CmpOp,
     rhs: &Expr,
-    bound: &std::collections::HashSet<Symbol>,
-) -> Option<ConstraintMode> {
-    let lv = lhs.variables();
-    let rv = rhs.variables();
-    let l_bound = lv.iter().all(|v| bound.contains(v));
-    let r_bound = rv.iter().all(|v| bound.contains(v));
-    if l_bound && r_bound {
-        return Some(ConstraintMode::Filter);
-    }
-    if op == CmpOp::Eq {
-        if let Expr::Term(Term::Var(v)) = lhs {
-            if !bound.contains(v) && r_bound {
-                return Some(ConstraintMode::AssignLeft);
-            }
+    mode: ConstraintMode,
+) -> Result<Option<Bindings>> {
+    match mode {
+        ConstraintMode::AssignLeft => {
+            let v = eval_expr(rhs, &b)?;
+            let var = match lhs {
+                Expr::Term(Term::Var(x)) => *x,
+                _ => unreachable!("mode implies lone variable"),
+            };
+            b.insert(var, v);
+            Ok(Some(b))
         }
-        if let Expr::Term(Term::Var(v)) = rhs {
-            if !bound.contains(v) && l_bound {
-                return Some(ConstraintMode::AssignRight);
-            }
+        ConstraintMode::AssignRight => {
+            let v = eval_expr(lhs, &b)?;
+            let var = match rhs {
+                Expr::Term(Term::Var(x)) => *x,
+                _ => unreachable!("mode implies lone variable"),
+            };
+            b.insert(var, v);
+            Ok(Some(b))
+        }
+        ConstraintMode::Filter => {
+            let l = eval_expr(lhs, &b)?;
+            let r = eval_expr(rhs, &b)?;
+            Ok(compare(l, op, r)?.then_some(b))
         }
     }
-    None
 }
 
 fn apply_constraint(
@@ -269,33 +268,9 @@ fn apply_constraint(
     mode: ConstraintMode,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     let mut out = Vec::with_capacity(acc.len());
-    for (mut b, ivs) in acc {
-        match mode {
-            ConstraintMode::AssignLeft => {
-                let v = eval_expr(rhs, &b)?;
-                let var = match lhs {
-                    Expr::Term(Term::Var(x)) => *x,
-                    _ => unreachable!("mode implies lone variable"),
-                };
-                b.insert(var, v);
-                out.push((b, ivs));
-            }
-            ConstraintMode::AssignRight => {
-                let v = eval_expr(lhs, &b)?;
-                let var = match rhs {
-                    Expr::Term(Term::Var(x)) => *x,
-                    _ => unreachable!("mode implies lone variable"),
-                };
-                b.insert(var, v);
-                out.push((b, ivs));
-            }
-            ConstraintMode::Filter => {
-                let l = eval_expr(lhs, &b)?;
-                let r = eval_expr(rhs, &b)?;
-                if compare(l, op, r)? {
-                    out.push((b, ivs));
-                }
-            }
+    for (b, ivs) in acc {
+        if let Some(b2) = apply_constraint_row(b, lhs, op, rhs, mode)? {
+            out.push((b2, ivs));
         }
     }
     Ok(out)
@@ -423,29 +398,25 @@ pub(crate) fn eval_expr(expr: &Expr, b: &Bindings) -> Result<Value> {
 /// can still contribute is pulled out of (possibly huge) base relations.
 ///
 /// Skewed rules accumulate thousands of bindings before a join; with
-/// `ctx.threads > 1` the per-binding work is fanned across scoped worker
-/// threads in contiguous chunks and re-concatenated in chunk order, so the
+/// `ctx.threads > 1` and enough estimated work (`bindings × planner row
+/// estimate`), the per-binding work is fanned across the persistent worker
+/// pool in contiguous chunks and re-concatenated in chunk order, so the
 /// output is identical to the sequential pass.
 fn join_positive(
     acc: Vec<(Bindings, IntervalSet)>,
     m: &MetricAtom,
     ctx: &EvalCtx<'_>,
     use_delta: bool,
+    est_rows: u64,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
-    if ctx.threads > 1 && acc.len() >= PAR_FANOUT_MIN {
+    let enough_work = acc.len() >= PAR_FANOUT_MIN
+        && (acc.len() as u64).saturating_mul(est_rows.max(1)) >= PAR_FANOUT_WORK_MIN;
+    if let (Some(pool), true) = (ctx.pool, ctx.threads > 1 && enough_work) {
         let chunk_size = acc.len().div_ceil(ctx.threads);
-        let results: Vec<Result<Vec<(Bindings, IntervalSet)>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = acc
-                .chunks(chunk_size)
-                .map(|chunk| s.spawn(move || join_chunk(chunk, m, ctx, use_delta)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("join fan-out worker panicked"))
-                .collect()
-        });
+        let chunks: Vec<&[(Bindings, IntervalSet)]> = acc.chunks(chunk_size).collect();
+        let run = pool.run(chunks.len(), |i| join_chunk(chunks[i], m, ctx, use_delta));
         let mut out = Vec::new();
-        for r in results {
+        for r in run.results {
             out.extend(r?);
         }
         Ok(out)
@@ -716,19 +687,28 @@ fn eval_rel(
             }
             (false, true) => {
                 let value_cands = rel.probe(&ground);
-                let w = mask.as_ref().expect("use_time implies a mask");
-                let time_cands = rel.probe_time(w);
-                JoinCounters::bump(&ctx.counters.time_index_probes, 1);
-                let both = intersect_sorted(&value_cands, &time_cands);
-                JoinCounters::bump(
-                    &ctx.counters.interval_clips_avoided,
-                    (value_cands.len() - both.len()) as u64,
-                );
-                both
+                if value_cands.is_empty() {
+                    // Nothing to narrow: skip the time probe entirely, so
+                    // an empty value bucket neither builds the time index
+                    // nor re-counts its pending tail against the clip
+                    // counters.
+                    value_cands
+                } else {
+                    let w = mask.as_ref().expect("use_time implies a mask");
+                    let time_cands = rel.probe_time(w);
+                    JoinCounters::bump(&ctx.counters.time_index_probes, 1);
+                    let both = intersect_sorted(&value_cands, &time_cands);
+                    JoinCounters::bump(
+                        &ctx.counters.interval_clips_avoided,
+                        (value_cands.len() - both.len()) as u64,
+                    );
+                    both
+                }
             }
             (true, false) => unreachable!("handled by the full-scan branch"),
         };
         JoinCounters::bump(&ctx.counters.index_probes, 1);
+        JoinCounters::bump(&ctx.counters.probed_tuples, candidates.len() as u64);
         JoinCounters::bump(
             &ctx.counters.index_scan_avoided,
             (rel.len() - candidates.len()) as u64,
@@ -827,6 +807,7 @@ mod tests {
             index_joins: true,
             time_index: true,
             threads: 1,
+            pool: None,
             counters: &counters,
         };
         eval_body(&rule, &ctx, None).unwrap()
@@ -912,6 +893,7 @@ mod tests {
             index_joins: true,
             time_index: true,
             threads: 1,
+            pool: None,
             counters: &counters,
         };
         assert!(eval_body(&rule, &ctx, None).is_err());
@@ -990,6 +972,7 @@ mod tests {
                     // its counters show pure full scans.
                     time_index: index_joins,
                     threads: 1,
+                    pool: None,
                     counters: &counters,
                 };
                 eval_body(&rule, &ctx, None).unwrap()

@@ -8,11 +8,15 @@
 //! (see [`eval::delta_eligible`]).
 
 mod aggregate;
+pub(crate) mod cost;
 mod eval;
+pub(crate) mod plan;
+mod pool;
 mod provenance;
 mod session;
 
-pub(crate) use eval::eval_expr as eval_expr_public;
+pub(crate) use eval::apply_constraint_row;
+pub use plan::{PlanExplain, PlanStepExplain};
 pub use provenance::{Explanation, ProvenanceLog};
 pub use session::Session;
 
@@ -23,16 +27,19 @@ use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
 use chronolog_obs::{Json, Tracer};
-use eval::{delta_eligible, eval_body, EvalCtx, JoinCounters};
+use eval::{delta_eligible, execute_plan, EvalCtx, JoinCounters};
 use mtl_temporal::{Interval, IntervalSet};
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pool::WorkerPool;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Minimum evaluation wall time of the *previous* fixpoint iteration for
-/// the next one to use worker threads. Scoped-thread spawns cost tens of
-/// microseconds each; iterations cheaper than this lose more to spawning
-/// than they could recoup, so they run on the main thread.
+/// the next one to use worker threads. Even with the persistent pool,
+/// dispatching and latching cost microseconds per task; iterations cheaper
+/// than this lose more to hand-off than they could recoup, so they run on
+/// the main thread.
 const PAR_MIN_EVAL_WALL: Duration = Duration::from_millis(2);
 
 /// Reasoner configuration.
@@ -67,6 +74,13 @@ pub struct ReasonerConfig {
     /// instead of clipping every candidate tuple's interval set against the
     /// window (`false` is the ablation baseline).
     pub time_index: bool,
+    /// Cost-based join reordering: compile each rule into a physical plan
+    /// whose positive literals are ordered by estimated rows, re-planned
+    /// when input cardinalities shift (`false` keeps the textual
+    /// delta-first order — the `--no-reorder` ablation baseline). Either
+    /// setting produces identical output; only the evaluation order and
+    /// the access-path counters move.
+    pub cost_based_reorder: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -81,6 +95,7 @@ impl Default for ReasonerConfig {
             threads: 1,
             index_joins: true,
             time_index: true,
+            cost_based_reorder: true,
         }
     }
 }
@@ -186,6 +201,9 @@ pub struct RunStats {
     pub full_scans: u64,
     /// Tuples visited by full scans.
     pub scanned_tuples: u64,
+    /// Candidate tuples visited by index probes (`scanned + probed +
+    /// avoided` partitions every present-relation lookup).
+    pub probed_tuples: u64,
     /// Positive-atom lookups that consulted the sorted-endpoint time index.
     pub time_index_probes: u64,
     /// Candidate tuples the time index ruled out before their interval sets
@@ -194,6 +212,29 @@ pub struct RunStats {
     /// Secondary indexes carried over by database clones (session advances,
     /// snapshot copies) instead of being rebuilt from scratch.
     pub index_rebuilds_avoided: u64,
+    /// Physical plans compiled (one per `(rule, delta-literal)` variant per
+    /// stratum, plus re-plans).
+    pub plans_built: u64,
+    /// Plans rebuilt because input cardinalities crossed a magnitude
+    /// boundary mid-fixpoint.
+    pub replans: u64,
+    /// Built plans whose cost-based join order differs from the textual
+    /// delta-first order.
+    pub reorders_applied: u64,
+    /// Summed planner estimates of bindings out of each executed plan's
+    /// join pipeline (compare with `planner_actual_rows`).
+    pub planner_estimated_rows: u64,
+    /// Bindings actually produced by executed plans.
+    pub planner_actual_rows: u64,
+    /// Worker-pool dispatches that reused already-running workers.
+    pub pool_reuses: u64,
+    /// Worker-pool constructions (`<= strata` by the pool-lifecycle
+    /// invariant; the old scoped path respawned per iteration).
+    pub pool_respawns: u64,
+    /// Final compiled plan per `(rule, delta-literal)` variant, with
+    /// estimated vs. accumulated actual rows (what `--explain-plans`
+    /// prints).
+    pub plan_explains: Vec<PlanExplain>,
     /// Per-rule breakdown, indexed by rule position in the program.
     pub rules: Vec<RuleStats>,
     /// Per-stratum breakdown (one entry per stratum fixpoint executed).
@@ -222,6 +263,7 @@ impl RunStats {
             ("index_scan_avoided", Json::from(self.index_scan_avoided)),
             ("full_scans", Json::from(self.full_scans)),
             ("scanned_tuples", Json::from(self.scanned_tuples)),
+            ("probed_tuples", Json::from(self.probed_tuples)),
             ("time_index_probes", Json::from(self.time_index_probes)),
             (
                 "interval_clips_avoided",
@@ -279,11 +321,59 @@ impl RunStats {
                 })
                 .collect(),
         );
+        let plans = Json::Arr(
+            self.plan_explains
+                .iter()
+                .map(|p| {
+                    Json::from_pairs([
+                        ("rule", Json::from(p.rule)),
+                        ("label", Json::from(p.label.as_str())),
+                        // `-1` = no delta literal (full evaluation); keeps
+                        // the field's JSON type stable for schema checks.
+                        (
+                            "delta_literal",
+                            Json::from(p.delta_literal.map_or(-1i64, |d| d as i64)),
+                        ),
+                        ("reordered", Json::from(p.reordered)),
+                        ("estimated_rows", Json::from(p.est_rows)),
+                        (
+                            "steps",
+                            Json::Arr(
+                                p.steps
+                                    .iter()
+                                    .map(|s| {
+                                        Json::from_pairs([
+                                            ("desc", Json::from(s.desc.as_str())),
+                                            ("estimated_rows", Json::from(s.est_rows)),
+                                            ("actual_rows", Json::from(s.actual_rows)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let planner = Json::from_pairs([
+            ("plans_built", Json::from(self.plans_built)),
+            ("replans", Json::from(self.replans)),
+            ("reorders_applied", Json::from(self.reorders_applied)),
+            ("estimated_rows", Json::from(self.planner_estimated_rows)),
+            ("actual_rows", Json::from(self.planner_actual_rows)),
+            ("plans", plans),
+        ]);
+        let pool = Json::from_pairs([
+            ("reuses", Json::from(self.pool_reuses)),
+            ("respawns", Json::from(self.pool_respawns)),
+        ]);
         Json::from_pairs([
             ("totals", totals),
             ("strata", strata),
             ("rules", rules),
             ("workers", workers),
+            ("planner", planner),
+            ("pool", pool),
         ])
     }
 }
@@ -319,10 +409,16 @@ pub struct Reasoner {
     program: Program,
     strat: Stratification,
     config: ReasonerConfig,
+    /// Persistent evaluation worker pool, spawned lazily on the first
+    /// multi-threaded dispatch and reused across fixpoint iterations,
+    /// strata, and session advances.
+    pool: OnceLock<WorkerPool>,
 }
 
-/// How a rule participates in its stratum's fixpoint.
-enum RulePlan {
+/// How a rule participates in its stratum's fixpoint (distinct from the
+/// physical [`plan::RulePlan`], which fixes join order and access paths
+/// for one body evaluation).
+enum FixpointMode {
     /// No body dependency on the current stratum: runs only on iteration 0.
     Once,
     /// Every current-stratum dependency sits in a delta-eligible literal:
@@ -342,7 +438,21 @@ impl Reasoner {
             program,
             strat,
             config,
+            pool: OnceLock::new(),
         })
+    }
+
+    /// The persistent worker pool, when multi-threaded evaluation is
+    /// configured (spawned on first use, then reused for the lifetime of
+    /// the reasoner — including every `Session::advance_to`).
+    fn worker_pool(&self) -> Option<&WorkerPool> {
+        if self.config.threads <= 1 {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| WorkerPool::new(self.config.threads)),
+        )
     }
 
     /// The validated program.
@@ -515,6 +625,7 @@ impl Reasoner {
                 index_joins: self.config.index_joins,
                 time_index: self.config.time_index,
                 threads: 1,
+                pool: None,
                 counters: &counters,
             };
             let derived = aggregate::eval_aggregate_rules(&rules, &ctx)?;
@@ -559,8 +670,8 @@ impl Reasoner {
             stats.rules[lead].wall += group_start.elapsed();
         }
 
-        // --- Plans for the normal rules. ---
-        let plans: Vec<(usize, RulePlan)> = normal
+        // --- Fixpoint participation modes for the normal rules. ---
+        let modes: Vec<(usize, FixpointMode)> = normal
             .iter()
             .map(|&i| {
                 let rule = &self.program.rules[i];
@@ -583,18 +694,32 @@ impl Reasoner {
                         None => blocked = true,
                     }
                 }
-                let plan = if !has_dep {
-                    RulePlan::Once
+                let mode = if !has_dep {
+                    FixpointMode::Once
                 } else if blocked || !self.config.semi_naive {
-                    RulePlan::Full
+                    FixpointMode::Full
                 } else {
-                    RulePlan::SemiNaive(dep_literals)
+                    FixpointMode::SemiNaive(dep_literals)
                 };
-                (i, plan)
+                (i, mode)
             })
             .collect();
 
         // --- Fixpoint. ---
+        // Physical plans, cached per `(rule, delta-literal)` variant for the
+        // stratum's lifetime and rebuilt only when a body relation's size
+        // crosses a power-of-two boundary (the fingerprint check below).
+        let plan_cfg = plan::PlanConfig {
+            cost_based: self.config.cost_based_reorder,
+            index_joins: self.config.index_joins,
+            time_index: self.config.time_index,
+        };
+        let mut plan_cache: BTreeMap<(usize, Option<usize>), plan::RulePlan> = BTreeMap::new();
+        let mut plans_built = 0u64;
+        let mut replans = 0u64;
+        let mut reorders_applied = 0u64;
+        let mut planner_estimated_rows = 0u64;
+        let mut planner_actual_rows = 0u64;
         let mut prev_delta = Database::new();
         let mut iteration = 0usize;
         // Adaptive parallelism gate: an iteration only pays for worker
@@ -628,9 +753,9 @@ impl Reasoner {
             // is also the merge order, so output, stats, and provenance are
             // bit-identical for every thread count.
             let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
-            for (rule_idx, plan) in &plans {
+            for (rule_idx, mode) in &modes {
                 let rule = &self.program.rules[*rule_idx];
-                let modes: Vec<Option<usize>> = match (plan, iteration, seed) {
+                let variants: Vec<Option<usize>> = match (mode, iteration, seed) {
                     // Incremental iteration 0: semi-naive against the seed
                     // when every positive literal supports it.
                     (_, 0, Some(_)) => {
@@ -647,19 +772,50 @@ impl Reasoner {
                             vec![None]
                         }
                     }
-                    (RulePlan::Once, 0, None) => vec![None],
-                    (RulePlan::Once, _, _) => continue,
-                    (RulePlan::Full, _, _) => vec![None],
-                    (RulePlan::SemiNaive(_), 0, None) => vec![None],
-                    (RulePlan::SemiNaive(lits), _, _) => lits.iter().map(|&l| Some(l)).collect(),
+                    (FixpointMode::Once, 0, None) => vec![None],
+                    (FixpointMode::Once, _, _) => continue,
+                    (FixpointMode::Full, _, _) => vec![None],
+                    (FixpointMode::SemiNaive(_), 0, None) => vec![None],
+                    (FixpointMode::SemiNaive(lits), _, _) => {
+                        lits.iter().map(|&l| Some(l)).collect()
+                    }
                 };
-                tasks.extend(modes.into_iter().map(|m| (*rule_idx, m)));
+                tasks.extend(variants.into_iter().map(|m| (*rule_idx, m)));
             }
             let delta_base: &Database = if iteration == 0 {
                 seed.unwrap_or(&prev_delta)
             } else {
                 &prev_delta
             };
+
+            // Compile (or refresh) the physical plan of every task due this
+            // iteration. The fingerprint is a coarse hash of live input
+            // cardinalities, so plans survive ordinary delta ticks and only
+            // rebuild when a relation changes magnitude.
+            {
+                let cards = cost::DbCardinalities {
+                    total,
+                    delta: Some(delta_base),
+                };
+                for &(rule_idx, delta_literal) in &tasks {
+                    let rule = &self.program.rules[rule_idx];
+                    let key = (rule_idx, delta_literal);
+                    let fresh = plan::fingerprint(rule, delta_literal, &cards);
+                    let existing = plan_cache.get(&key);
+                    if existing.is_some_and(|p| p.fingerprint == fresh) {
+                        continue;
+                    }
+                    if existing.is_some() {
+                        replans += 1;
+                    }
+                    let compiled = plan::build_plan(rule, delta_literal, &plan_cfg, &cards);
+                    plans_built += 1;
+                    if compiled.reordered {
+                        reorders_applied += 1;
+                    }
+                    plan_cache.insert(key, compiled);
+                }
+            }
 
             // Evaluate every task against the iteration-start snapshot of
             // `total`. With several tasks the rule fan-out gets the worker
@@ -670,11 +826,13 @@ impl Reasoner {
             } else {
                 1
             };
+            let pool = (pool_threads > 1).then(|| self.worker_pool()).flatten();
             let inner_threads = if tasks.len() > 1 { 1 } else { pool_threads };
             type EvalOut = (Result<Vec<(eval::Bindings, IntervalSet)>>, Duration);
             let eval_out: Vec<EvalOut> = {
                 let total_snapshot: &Database = total;
-                fan_out(tasks.len(), pool_threads, &mut stats.workers, |i| {
+                let plan_cache = &plan_cache;
+                fan_out(tasks.len(), pool_threads, pool, &mut stats.workers, |i| {
                     let (rule_idx, delta_literal) = tasks[i];
                     let ctx = EvalCtx {
                         total: total_snapshot,
@@ -683,10 +841,17 @@ impl Reasoner {
                         index_joins: self.config.index_joins,
                         time_index: self.config.time_index,
                         threads: inner_threads,
+                        // The binding fan-out only gets the pool when the
+                        // rule fan-out is not using it (a lone task), so
+                        // pool dispatch always comes from this thread.
+                        pool: if inner_threads > 1 { pool } else { None },
                         counters: &counters,
                     };
+                    let rule_plan = plan_cache
+                        .get(&(rule_idx, delta_literal))
+                        .expect("plan compiled before dispatch");
                     let eval_start = Instant::now();
-                    let r = eval_body(&self.program.rules[rule_idx], &ctx, delta_literal);
+                    let r = execute_plan(&self.program.rules[rule_idx], rule_plan, &ctx);
                     (r, eval_start.elapsed())
                 })
             };
@@ -699,6 +864,10 @@ impl Reasoner {
                 let rule = &self.program.rules[rule_idx];
                 let merge_start = Instant::now();
                 let results = results?;
+                if let Some(p) = plan_cache.get(&(rule_idx, delta_literal)) {
+                    planner_estimated_rows += p.est_total;
+                    planner_actual_rows += results.len() as u64;
+                }
                 stats.rule_evaluations += 1;
                 let rstats = &mut stats.rules[rule_idx];
                 rstats.body_evaluations += 1;
@@ -770,12 +939,14 @@ impl Reasoner {
         let index_scan_avoided = counters.index_scan_avoided.load(Ordering::Relaxed);
         let full_scans = counters.full_scans.load(Ordering::Relaxed);
         let scanned_tuples = counters.scanned_tuples.load(Ordering::Relaxed);
+        let probed_tuples = counters.probed_tuples.load(Ordering::Relaxed);
         let time_index_probes = counters.time_index_probes.load(Ordering::Relaxed);
         let interval_clips_avoided = counters.interval_clips_avoided.load(Ordering::Relaxed);
         stats.index_probes += index_probes;
         stats.index_scan_avoided += index_scan_avoided;
         stats.full_scans += full_scans;
         stats.scanned_tuples += scanned_tuples;
+        stats.probed_tuples += probed_tuples;
         stats.time_index_probes += time_index_probes;
         stats.interval_clips_avoided += interval_clips_avoided;
         let registry = chronolog_obs::Registry::global();
@@ -787,12 +958,50 @@ impl Reasoner {
         registry
             .counter("engine.scanned_tuples")
             .add(scanned_tuples);
+        registry.counter("engine.probed_tuples").add(probed_tuples);
         registry
             .counter("engine.time_index_probes")
             .add(time_index_probes);
         registry
             .counter("engine.interval_clips_avoided")
             .add(interval_clips_avoided);
+
+        // Planner counters, and the stratum's share of pool lifecycle
+        // events (swapped out so a session advance only counts its own).
+        stats.plans_built += plans_built;
+        stats.replans += replans;
+        stats.reorders_applied += reorders_applied;
+        stats.planner_estimated_rows += planner_estimated_rows;
+        stats.planner_actual_rows += planner_actual_rows;
+        registry.counter("engine.plans_built").add(plans_built);
+        registry.counter("engine.replans").add(replans);
+        registry
+            .counter("engine.reorders_applied")
+            .add(reorders_applied);
+        if let Some(pool) = self.pool.get() {
+            let respawns = pool.respawns.swap(0, Ordering::Relaxed);
+            let reuses = pool.reuses.swap(0, Ordering::Relaxed);
+            stats.pool_respawns += respawns;
+            stats.pool_reuses += reuses;
+            registry.counter("engine.pool_respawns").add(respawns);
+            registry.counter("engine.pool_reuses").add(reuses);
+        }
+        // The final compiled plan of every variant this stratum executed,
+        // replacing any explain recorded for the same variant by an
+        // earlier stratum pass (sessions re-run strata; latest plan wins).
+        for ((rule_idx, delta_literal), compiled) in &plan_cache {
+            let label = &stats.rules[*rule_idx].label;
+            let rendered =
+                plan::explain(*rule_idx, label, &self.program.rules[*rule_idx], compiled);
+            match stats
+                .plan_explains
+                .iter_mut()
+                .find(|e| e.rule == *rule_idx && e.delta_literal == *delta_literal)
+            {
+                Some(slot) => *slot = rendered,
+                None => stats.plan_explains.push(rendered),
+            }
+        }
 
         let wall = stratum_start.elapsed();
         stats.strata.push(StratumStats {
@@ -821,18 +1030,19 @@ impl Reasoner {
 }
 
 /// Deterministic task fan-out: runs `f` over `0..n` on up to `threads`
-/// scoped workers and returns the results in task-index order, regardless
-/// of how the dynamic work-stealing interleaved execution. Worker busy
-/// time and task counts accumulate into `workers` (indexed by worker id;
-/// the sequential path attributes to worker 0).
+/// workers of the persistent pool and returns the results in task-index
+/// order, regardless of how the dynamic work-stealing interleaved
+/// execution. Worker busy time and task counts accumulate into `workers`
+/// (indexed by worker slot; the sequential path attributes to worker 0).
 fn fan_out<T: Send>(
     n: usize,
     threads: usize,
+    pool: Option<&WorkerPool>,
     workers: &mut [WorkerStats],
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
     let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n <= 1 {
+    let Some(pool) = pool.filter(|_| threads > 1 && n > 1) else {
         let start = Instant::now();
         let out: Vec<T> = (0..n).map(&f).collect();
         if let Some(w) = workers.first_mut() {
@@ -840,47 +1050,15 @@ fn fan_out<T: Send>(
             w.busy += start.elapsed();
         }
         return out;
-    }
-    type WorkerOut<T> = (usize, Duration, Vec<(usize, T)>);
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let next = &next;
-                let f = &f;
-                s.spawn(move || {
-                    let start = Instant::now();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    (w, start.elapsed(), local)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("stratum worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (w, busy, local) in per_worker {
-        if let Some(ws) = workers.get_mut(w) {
-            ws.tasks += local.len();
+    };
+    let run = pool.run(n, f);
+    for (slot, tasks, busy) in run.workers {
+        if let Some(ws) = workers.get_mut(slot) {
+            ws.tasks += tasks;
             ws.busy += busy;
         }
-        for (i, t) in local {
-            slots[i] = Some(t);
-        }
     }
-    slots
-        .into_iter()
-        .map(|o| o.expect("every task produces exactly one result"))
-        .collect()
+    run.results
 }
 
 /// A head operator spreads the derived validity:

@@ -1,0 +1,512 @@
+//! Physical plans: each rule body is compiled — once per stratum, and again
+//! whenever its input cardinalities shift — into an ordered list of
+//! [`PlanStep`]s that both evaluators execute.
+//!
+//! A plan fixes three decisions that `eval_body` used to make interpretively
+//! on every fixpoint iteration:
+//!
+//! 1. **Join order.** The delta-restricted literal always goes first (that is
+//!    what makes semi-naive evaluation pay off); the remaining positive
+//!    literals are ordered greedily by estimated output rows when
+//!    [`PlanConfig::cost_based`] is set, and keep their textual order
+//!    otherwise. Ties break toward textual order, so a plan with no
+//!    cardinality information is exactly the old interpretive order.
+//! 2. **Constraint scheduling.** Constraints are batched after the join that
+//!    binds their variables, replicating the runtime scheduling passes
+//!    statically from the rule text alone. A constraint whose variables can
+//!    never be bound compiles to an explicit unschedulable step that raises
+//!    [`Error::Unsafe`] when reached — unconditionally, where the old
+//!    interpretive loop could mask the error behind an empty accumulator.
+//! 3. **Access path.** Each join step carries the access path the executor
+//!    is expected to take (scan / value probe / time probe / both), derived
+//!    from the same thresholds `eval_rel` applies at runtime. The annotation
+//!    is advisory — `eval_rel` stays authoritative per lookup — but makes
+//!    `--explain-plans` output honest about what the engine will do.
+//!
+//! Plans are cheap to build (linear passes over the body) and carry a
+//! [`RulePlan::fingerprint`] over coarse (power-of-two bucketed) relation
+//! sizes, so the stratum loop only re-plans when a relation crosses a
+//! magnitude boundary, not on every delta tick.
+
+use crate::ast::{CmpOp, Expr, Literal, MetricAtom, Rule, Term};
+use crate::engine::cost::{estimate_rows, size_bucket, CardinalitySource};
+use crate::engine::eval::INDEX_MIN_TUPLES;
+use crate::symbol::Symbol;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Planner knobs, mirroring the [`ReasonerConfig`](crate::ReasonerConfig)
+/// switches that influence physical plans.
+pub(crate) struct PlanConfig {
+    /// Reorder positive literals by estimated cost (`false` preserves the
+    /// textual order — the `--no-reorder` ablation baseline).
+    pub cost_based: bool,
+    /// Value indexes are enabled, so ground positions can probe.
+    pub index_joins: bool,
+    /// The time index is enabled, so masked reads can probe by window.
+    pub time_index: bool,
+}
+
+/// The access path a join step is expected to take. Advisory: `eval_rel`
+/// re-derives the decision per lookup (a position that is ground in the
+/// plan is ground at runtime, but relation sizes may have moved).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AccessPath {
+    /// Full relation scan (small relation, or no usable index).
+    Scan,
+    /// Value-index probe on the most selective ground position.
+    ValueProbe,
+    /// Sorted-endpoint time-index probe on the read mask.
+    TimeProbe,
+    /// Value probe intersected with a time probe.
+    ValueTimeProbe,
+}
+
+impl AccessPath {
+    pub(crate) fn tag(self) -> &'static str {
+        match self {
+            AccessPath::Scan => "scan",
+            AccessPath::ValueProbe => "value-probe",
+            AccessPath::TimeProbe => "time-probe",
+            AccessPath::ValueTimeProbe => "value+time-probe",
+        }
+    }
+}
+
+/// How a scheduled constraint executes (moved here from `eval.rs`; the
+/// planner decides the mode statically, both executors apply it).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum ConstraintMode {
+    /// All variables bound: evaluate and filter.
+    Filter,
+    /// `X = expr` with X unbound: bind X (left side).
+    AssignLeft,
+    /// `expr = X` with X unbound: bind X (right side).
+    AssignRight,
+}
+
+/// One executable step of a rule-body plan.
+#[derive(Debug)]
+pub(crate) enum StepKind {
+    /// Join the accumulator with the positive literal.
+    Join { access: AccessPath },
+    /// Subtract the negated literal's intervals.
+    Negation,
+    /// Apply a constraint in the scheduled mode; `None` means the
+    /// constraint can never be scheduled and executing it is an error.
+    Constraint { mode: Option<ConstraintMode> },
+}
+
+/// A plan step: which body literal to process, how, and what the planner
+/// expected it to produce. `actual_rows` accumulates accumulator sizes
+/// observed at execution time (relaxed: statistics, not synchronization).
+#[derive(Debug)]
+pub(crate) struct PlanStep {
+    /// Index into `rule.body`.
+    pub literal: usize,
+    pub kind: StepKind,
+    /// Estimated accumulator rows after this step, per plan build. Only
+    /// meaningful for join steps; filters and negations carry `0`.
+    pub est_rows: u64,
+    /// Total accumulator rows observed after this step across executions.
+    pub actual_rows: AtomicU64,
+}
+
+impl PlanStep {
+    pub(crate) fn note_actual(&self, rows: usize) {
+        self.actual_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+}
+
+/// A compiled rule body: ordered steps plus the metadata the stratum loop
+/// needs to decide when the plan has gone stale.
+#[derive(Debug)]
+pub(crate) struct RulePlan {
+    /// The delta-restricted literal of this semi-naive variant, if any.
+    pub delta_literal: Option<usize>,
+    pub steps: Vec<PlanStep>,
+    /// Product of the join steps' row estimates: the planner's guess at
+    /// total bindings flowing out of the join pipeline.
+    pub est_total: u64,
+    /// `true` iff cost-based ordering chose a join order different from
+    /// the delta-first textual order.
+    pub reordered: bool,
+    /// `true` iff some constraint can never be scheduled; executing the
+    /// plan then raises [`Unsafe`](crate::Error::Unsafe) instead of
+    /// silently returning an empty result.
+    pub has_unschedulable: bool,
+    /// Hash over coarse input cardinalities; see [`fingerprint`].
+    pub fingerprint: u64,
+}
+
+/// Hash over the body's predicates and power-of-two-bucketed relation
+/// sizes (total, plus delta for the delta literal). Stable across runs —
+/// `DefaultHasher` with default keys is deterministic — and intentionally
+/// coarse: a plan is only invalidated when a relation crosses a magnitude
+/// boundary, not on every single-tuple change.
+pub(crate) fn fingerprint(
+    rule: &Rule,
+    delta_literal: Option<usize>,
+    cards: &dyn CardinalitySource,
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        if let Literal::Pos(m) = lit {
+            for a in m.atoms() {
+                a.pred.hash(&mut h);
+                size_bucket(cards.relation_size(a.pred)).hash(&mut h);
+                if delta_literal == Some(i) {
+                    size_bucket(cards.delta_size(a.pred)).hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Estimated rows a positive literal produces per outer binding, given the
+/// variables already bound. Single-atom operator chains estimate from the
+/// base relation's size and the selectivity of its ground positions;
+/// composite atoms (`since`/`until`) fall back to the sum of their base
+/// relation sizes; `⊤` is one row, `⊥` none.
+fn est_positive(
+    m: &MetricAtom,
+    is_delta: bool,
+    bound: &HashSet<Symbol>,
+    cards: &dyn CardinalitySource,
+) -> u64 {
+    let atoms = m.atoms();
+    match atoms.as_slice() {
+        [] => u64::from(!matches!(m, MetricAtom::Bottom)),
+        [a] => {
+            let size = if is_delta {
+                cards.delta_size(a.pred)
+            } else {
+                cards.relation_size(a.pred)
+            };
+            let bound_positions: Vec<usize> = a
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Val(_) => Some(i),
+                    Term::Var(x) => bound.contains(x).then_some(i),
+                })
+                .collect();
+            estimate_rows(cards, a.pred, size, &bound_positions)
+        }
+        many => many
+            .iter()
+            .map(|a| cards.relation_size(a.pred) as u64)
+            .sum(),
+    }
+}
+
+/// Advisory access path for a join step, mirroring the thresholds
+/// `eval_rel` applies at runtime (`INDEX_MIN_TUPLES`, ground positions,
+/// masked reads — joins after the first always carry a hull mask, and the
+/// first carries the horizon).
+fn access_for(
+    m: &MetricAtom,
+    is_delta: bool,
+    bound: &HashSet<Symbol>,
+    cfg: &PlanConfig,
+    cards: &dyn CardinalitySource,
+) -> AccessPath {
+    let atoms = m.atoms();
+    let [a] = atoms.as_slice() else {
+        return AccessPath::Scan;
+    };
+    let size = if is_delta {
+        cards.delta_size(a.pred)
+    } else {
+        cards.relation_size(a.pred)
+    };
+    if size < INDEX_MIN_TUPLES {
+        return AccessPath::Scan;
+    }
+    let value = cfg.index_joins
+        && a.args.iter().any(|t| match t {
+            Term::Val(_) => true,
+            Term::Var(x) => bound.contains(x),
+        });
+    match (value, cfg.time_index) {
+        (false, false) => AccessPath::Scan,
+        (true, false) => AccessPath::ValueProbe,
+        (false, true) => AccessPath::TimeProbe,
+        (true, true) => AccessPath::ValueTimeProbe,
+    }
+}
+
+/// Scheduling mode for a constraint under a set of bound variables, or
+/// `None` when it cannot run yet. Shared by the static scheduler here and
+/// (transitively) both executors.
+pub(crate) fn constraint_mode(
+    lhs: &Expr,
+    op: CmpOp,
+    rhs: &Expr,
+    bound: &HashSet<Symbol>,
+) -> Option<ConstraintMode> {
+    let lv = lhs.variables();
+    let rv = rhs.variables();
+    let l_bound = lv.iter().all(|v| bound.contains(v));
+    let r_bound = rv.iter().all(|v| bound.contains(v));
+    if l_bound && r_bound {
+        return Some(ConstraintMode::Filter);
+    }
+    if op == CmpOp::Eq {
+        if let Expr::Term(Term::Var(v)) = lhs {
+            if !bound.contains(v) && r_bound {
+                return Some(ConstraintMode::AssignLeft);
+            }
+        }
+        if let Expr::Term(Term::Var(v)) = rhs {
+            if !bound.contains(v) && l_bound {
+                return Some(ConstraintMode::AssignRight);
+            }
+        }
+    }
+    None
+}
+
+/// Appends every not-yet-planned constraint that is schedulable under the
+/// current bound set, repeating in passes exactly like the old runtime
+/// loop: within one pass the bound set is frozen, so an assignment only
+/// enables later constraints from the next pass on. This keeps the
+/// compiled constraint order identical to what `eval_body` used to do.
+fn schedule_constraints(
+    rule: &Rule,
+    done: &mut [bool],
+    bound: &mut HashSet<Symbol>,
+    steps: &mut Vec<PlanStep>,
+) {
+    loop {
+        let mut progressed = false;
+        let mut newly_bound: Vec<Symbol> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // index drives both body and done
+        for i in 0..rule.body.len() {
+            if done[i] {
+                continue;
+            }
+            if let Literal::Constraint(lhs, op, rhs) = &rule.body[i] {
+                if let Some(mode) = constraint_mode(lhs, *op, rhs, bound) {
+                    match (mode, lhs, rhs) {
+                        (ConstraintMode::AssignLeft, Expr::Term(Term::Var(x)), _)
+                        | (ConstraintMode::AssignRight, _, Expr::Term(Term::Var(x))) => {
+                            newly_bound.push(*x);
+                        }
+                        _ => {}
+                    }
+                    steps.push(PlanStep {
+                        literal: i,
+                        kind: StepKind::Constraint { mode: Some(mode) },
+                        est_rows: 0,
+                        actual_rows: AtomicU64::new(0),
+                    });
+                    done[i] = true;
+                    progressed = true;
+                }
+            }
+        }
+        bound.extend(newly_bound);
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Compiles one rule body (for one semi-naive variant) into a plan.
+pub(crate) fn build_plan(
+    rule: &Rule,
+    delta_literal: Option<usize>,
+    cfg: &PlanConfig,
+    cards: &dyn CardinalitySource,
+) -> RulePlan {
+    let n = rule.body.len();
+    let positives: Vec<usize> = (0..n)
+        .filter(|&i| matches!(rule.body[i], Literal::Pos(_)))
+        .collect();
+
+    // The order `eval_body` always used: delta first, then textual order.
+    let base_order: Vec<usize> = match delta_literal {
+        Some(d) => std::iter::once(d)
+            .chain(positives.iter().copied().filter(|&i| i != d))
+            .collect(),
+        None => positives.clone(),
+    };
+
+    let join_order: Vec<usize> = if !cfg.cost_based || positives.len() <= 1 {
+        base_order.clone()
+    } else {
+        // Greedy: repeatedly pick the cheapest remaining literal under the
+        // variables bound so far. Strict `<` breaks ties toward the lowest
+        // literal index, so equal estimates reproduce the base order.
+        let mut order = Vec::with_capacity(positives.len());
+        let mut bound: HashSet<Symbol> = HashSet::new();
+        let mut remaining = positives.clone();
+        if let Some(d) = delta_literal {
+            order.push(d);
+            remaining.retain(|&i| i != d);
+            if let Literal::Pos(m) = &rule.body[d] {
+                bound.extend(m.variables());
+            }
+        }
+        while !remaining.is_empty() {
+            let mut best = 0usize;
+            let mut best_est = u64::MAX;
+            for (k, &i) in remaining.iter().enumerate() {
+                let Literal::Pos(m) = &rule.body[i] else {
+                    unreachable!("positives contains only positive literals");
+                };
+                let est = est_positive(m, false, &bound, cards);
+                if est < best_est {
+                    best_est = est;
+                    best = k;
+                }
+            }
+            let i = remaining.remove(best);
+            order.push(i);
+            if let Literal::Pos(m) = &rule.body[i] {
+                bound.extend(m.variables());
+            }
+        }
+        order
+    };
+    let reordered = join_order != base_order;
+
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    let mut est_total: u64 = 1;
+
+    for &i in &join_order {
+        let Literal::Pos(m) = &rule.body[i] else {
+            unreachable!("join order contains only positive literals");
+        };
+        let is_delta = delta_literal == Some(i);
+        let est = est_positive(m, is_delta, &bound, cards);
+        est_total = est_total.saturating_mul(est);
+        steps.push(PlanStep {
+            literal: i,
+            kind: StepKind::Join {
+                access: access_for(m, is_delta, &bound, cfg, cards),
+            },
+            est_rows: est,
+            actual_rows: AtomicU64::new(0),
+        });
+        done[i] = true;
+        bound.extend(m.variables());
+        schedule_constraints(rule, &mut done, &mut bound, &mut steps);
+    }
+    // Trailing pass: assignment chains in positive-free rules.
+    schedule_constraints(rule, &mut done, &mut bound, &mut steps);
+
+    // Remaining literals in textual order: negations, then any constraint
+    // that never became schedulable (an explicit error step).
+    let mut has_unschedulable = false;
+    #[allow(clippy::needless_range_loop)] // index drives both body and done
+    for i in 0..n {
+        if done[i] {
+            continue;
+        }
+        match &rule.body[i] {
+            Literal::Neg(_) => steps.push(PlanStep {
+                literal: i,
+                kind: StepKind::Negation,
+                est_rows: 0,
+                actual_rows: AtomicU64::new(0),
+            }),
+            Literal::Constraint(..) => {
+                has_unschedulable = true;
+                steps.push(PlanStep {
+                    literal: i,
+                    kind: StepKind::Constraint { mode: None },
+                    est_rows: 0,
+                    actual_rows: AtomicU64::new(0),
+                });
+            }
+            Literal::Pos(_) => unreachable!("planned in the join loop"),
+        }
+    }
+
+    RulePlan {
+        delta_literal,
+        steps,
+        est_total,
+        reordered,
+        has_unschedulable,
+        fingerprint: fingerprint(rule, delta_literal, cards),
+    }
+}
+
+/// A rendered plan for one rule variant: what `--explain-plans` prints and
+/// what the stats-json v4 `planner.plans` array carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanExplain {
+    /// Rule index in the program.
+    pub rule: usize,
+    /// Rule label (or `r{idx}`).
+    pub label: String,
+    /// Delta-restricted literal of this semi-naive variant, if any.
+    pub delta_literal: Option<usize>,
+    /// Whether cost-based ordering changed the join order.
+    pub reordered: bool,
+    /// Estimated bindings out of the join pipeline.
+    pub est_rows: u64,
+    /// Steps in execution order.
+    pub steps: Vec<PlanStepExplain>,
+}
+
+/// One rendered plan step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStepExplain {
+    /// Human-readable step description, e.g. `join Δprice(S, P) [value+time-probe]`.
+    pub desc: String,
+    /// Estimated rows after this step (join steps only; else 0).
+    pub est_rows: u64,
+    /// Accumulated rows observed after this step across executions.
+    pub actual_rows: u64,
+}
+
+/// Renders a plan for explain output / stats-json.
+pub(crate) fn explain(rule_idx: usize, label: &str, rule: &Rule, plan: &RulePlan) -> PlanExplain {
+    let steps = plan
+        .steps
+        .iter()
+        .map(|s| {
+            let lit = &rule.body[s.literal];
+            let desc = match &s.kind {
+                StepKind::Join { access } => {
+                    let delta = if plan.delta_literal == Some(s.literal) {
+                        "Δ"
+                    } else {
+                        ""
+                    };
+                    format!("join {delta}{lit} [{}]", access.tag())
+                }
+                StepKind::Negation => format!("negate {lit}"),
+                StepKind::Constraint { mode: Some(m) } => match m {
+                    ConstraintMode::Filter => format!("filter {lit}"),
+                    ConstraintMode::AssignLeft | ConstraintMode::AssignRight => {
+                        format!("assign {lit}")
+                    }
+                },
+                StepKind::Constraint { mode: None } => format!("unschedulable {lit}"),
+            };
+            PlanStepExplain {
+                desc,
+                est_rows: s.est_rows,
+                actual_rows: s.actual_rows.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    PlanExplain {
+        rule: rule_idx,
+        label: label.to_string(),
+        delta_literal: plan.delta_literal,
+        reordered: plan.reordered,
+        est_rows: plan.est_total,
+        steps,
+    }
+}

@@ -1,0 +1,231 @@
+//! Persistent worker pool: OS threads spawned once per [`Reasoner`]
+//! (lazily, on the first multi-threaded dispatch) and reused across
+//! fixpoint iterations and `Session::advance_to` calls. This replaces the
+//! per-iteration scoped-thread respawn, whose spawn cost the 2 ms adaptive
+//! gate could only mitigate, not remove.
+//!
+//! Determinism: `run` hands out task indices through a shared atomic
+//! counter (work stealing for balance) but reassembles results by task
+//! index, so the output is identical to a sequential pass regardless of
+//! which worker ran what.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What one `run` call produced.
+pub(crate) struct PoolRun<T> {
+    /// Per-task results, in task order (independent of worker scheduling).
+    pub results: Vec<T>,
+    /// Per participating worker slot: `(slot, tasks_run, busy_time)`.
+    pub workers: Vec<(usize, usize, Duration)>,
+}
+
+/// A fixed-size pool of detached worker threads fed over a channel.
+pub(crate) struct WorkerPool {
+    /// Hangs up (terminating the workers) when dropped.
+    sender: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+    dispatches: AtomicU64,
+    /// Pool constructions observed (1 per pool lifetime); folded into run
+    /// stats and reset, so a stratum sees only its own share.
+    pub respawns: AtomicU64,
+    /// Dispatches that reused the already-running workers.
+    pub reuses: AtomicU64,
+}
+
+impl WorkerPool {
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let handles = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Take the lock only to pull the next job, then run it
+                    // unlocked so workers execute in parallel.
+                    let job = rx.lock().expect("pool receiver lock poisoned").recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return, // sender dropped: shut down
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            threads,
+            dispatches: AtomicU64::new(0),
+            respawns: AtomicU64::new(1),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `f(0..n)` across the pool and blocks until every task is done.
+    ///
+    /// At most `threads` workers participate; each pulls task indices from
+    /// a shared counter until none remain. Must only be called from outside
+    /// the pool (a job dispatching into its own pool would deadlock); the
+    /// engine guarantees this by only fanning out from the stratum loop's
+    /// thread. Panics in `f` are caught per worker and re-raised here after
+    /// all participants have finished.
+    pub fn run<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> PoolRun<T> {
+        if self.dispatches.fetch_add(1, Ordering::Relaxed) > 0 {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let participants = self.threads.min(n).max(1);
+        let next = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        type WorkerOut<T> = (usize, usize, Duration, Vec<(usize, T)>);
+        let collected: Mutex<Vec<WorkerOut<T>>> = Mutex::new(Vec::with_capacity(participants));
+        let latch = (Mutex::new(0usize), Condvar::new());
+
+        {
+            let sender = self
+                .sender
+                .lock()
+                .expect("pool sender lock poisoned")
+                .as_ref()
+                .expect("pool sender alive while pool exists")
+                .clone();
+            for slot in 0..participants {
+                let refs = (&f, &next, &panicked, &collected, &latch);
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let (f, next, panicked, collected, latch) = refs;
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let start = Instant::now();
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        (slot, local.len(), start.elapsed(), local)
+                    }));
+                    match out {
+                        Ok(res) => collected
+                            .lock()
+                            .expect("pool results lock poisoned")
+                            .push(res),
+                        Err(_) => panicked.store(true, Ordering::SeqCst),
+                    }
+                    let mut finished = latch.0.lock().expect("pool latch lock poisoned");
+                    *finished += 1;
+                    latch.1.notify_all();
+                });
+                // SAFETY: the job borrows `f`, the counters, and the result
+                // sink from this stack frame. `run` blocks on the latch
+                // below until every dispatched job has signalled completion
+                // (the latch bump runs even when `f` panics, via
+                // `catch_unwind`), so all borrows end before this frame
+                // returns and the lifetime erasure can never dangle.
+                let job: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                        job,
+                    )
+                };
+                sender.send(job).expect("worker pool threads alive");
+            }
+        }
+
+        let mut finished = latch.0.lock().expect("pool latch lock poisoned");
+        while *finished < participants {
+            finished = latch.1.wait(finished).expect("pool latch lock poisoned");
+        }
+        drop(finished);
+        if panicked.load(Ordering::SeqCst) {
+            panic!("worker pool task panicked");
+        }
+
+        let mut per_worker = collected.into_inner().expect("pool results lock poisoned");
+        per_worker.sort_by_key(|&(slot, _, _, _)| slot);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut workers = Vec::with_capacity(per_worker.len());
+        for (slot, tasks, busy, local) in per_worker {
+            workers.push((slot, tasks, busy));
+            for (i, value) in local {
+                slots[i] = Some(value);
+            }
+        }
+        PoolRun {
+            results: slots
+                .into_iter()
+                .map(|v| v.expect("every task index produces exactly one result"))
+                .collect(),
+            workers,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Ok(mut sender) = self.sender.lock() {
+            *sender = None; // hang up: workers exit on RecvError
+        }
+        if let Ok(mut handles) = self.handles.lock() {
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4);
+        let run = pool.run(100, |i| i * 2);
+        assert_eq!(run.results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let tasks: usize = run.workers.iter().map(|&(_, t, _)| t).sum();
+        assert_eq!(tasks, 100);
+    }
+
+    #[test]
+    fn pool_reuse_is_counted() {
+        let pool = WorkerPool::new(2);
+        pool.run(4, |i| i);
+        pool.run(4, |i| i);
+        pool.run(4, |i| i);
+        assert_eq!(pool.respawns.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.reuses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn single_task_still_runs() {
+        let pool = WorkerPool::new(3);
+        let run = pool.run(1, |i| i + 42);
+        assert_eq!(run.results, vec![42]);
+    }
+
+    #[test]
+    fn borrows_from_the_caller_frame_are_safe() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<usize> = (0..64).collect();
+        let run = pool.run(8, |i| data[i * 8]);
+        assert_eq!(run.results, vec![0, 8, 16, 24, 32, 40, 48, 56]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker pool task panicked")]
+    fn worker_panics_propagate() {
+        let pool = WorkerPool::new(2);
+        pool.run(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

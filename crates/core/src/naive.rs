@@ -15,9 +15,11 @@
 //! grounding at every time point until fixpoint.
 
 use crate::analysis::{check_program, Stratification};
-use crate::ast::{AggFn, Atom, CmpOp, Expr, HeadOp, Literal, MetricAtom, Program, Rule, Term};
+use crate::ast::{AggFn, Atom, HeadOp, Literal, MetricAtom, Program, Rule, Term};
 use crate::database::Database;
-use crate::engine::eval_expr_public as eval_expr;
+use crate::engine::apply_constraint_row;
+use crate::engine::cost::NoCardinalities;
+use crate::engine::plan::{build_plan, PlanConfig, RulePlan, StepKind};
 use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
@@ -124,10 +126,11 @@ pub fn naive_materialize(
         }
         for (pred, rules) in groups {
             let (fun, pos) = rules[0].head.aggregate.expect("aggregate rule");
+            let plans: Vec<RulePlan> = rules.iter().map(|r| oracle_plan(r)).collect();
             for t in t_min..=t_max {
                 let mut contribs: Vec<(Vec<Value>, Value)> = Vec::new();
-                for rule in &rules {
-                    for b in satisfy_body(rule, &interp, t)? {
+                for (rule, plan) in rules.iter().zip(&plans) {
+                    for b in satisfy_body(rule, plan, &interp, t)? {
                         let mut key = Vec::new();
                         for (i, term) in rule.head.atom.args.iter().enumerate() {
                             if i != pos {
@@ -165,12 +168,14 @@ pub fn naive_materialize(
             }
         }
 
-        // Normal rules: exhaustive fixpoint.
+        // Normal rules: exhaustive fixpoint. Plans are input-independent
+        // (the oracle uses no cardinalities), so compile once per stratum.
+        let plans: Vec<RulePlan> = normal.iter().map(|r| oracle_plan(r)).collect();
         loop {
             let mut changed = false;
-            for rule in &normal {
+            for (rule, plan) in normal.iter().zip(&plans) {
                 for t in t_min..=t_max {
-                    for b in satisfy_body(rule, &interp, t)? {
+                    for b in satisfy_body(rule, plan, &interp, t)? {
                         let tuple: Vec<Value> = rule
                             .head
                             .atom
@@ -257,36 +262,64 @@ fn closed_int_bounds(rho: &MetricInterval) -> Result<(i64, i64)> {
     }
 }
 
-/// All bindings making the body true at time `t`.
-fn satisfy_body(rule: &Rule, interp: &NaiveInterpretation, t: i64) -> Result<Vec<Bindings>> {
-    let mut acc: Vec<Bindings> = vec![Bindings::new()];
-    let n = rule.body.len();
-    let mut done = vec![false; n];
+/// Compiles the oracle's physical plan for one rule: no cost model, no
+/// indexes — the same step schedule the engine produces with reordering
+/// disabled, so both drivers execute one plan semantics.
+fn oracle_plan(rule: &Rule) -> RulePlan {
+    let cfg = PlanConfig {
+        cost_based: false,
+        index_joins: false,
+        time_index: false,
+    };
+    build_plan(rule, None, &cfg, &NoCardinalities)
+}
 
-    // Positives first (with eager constraint scheduling), then negations.
-    #[allow(clippy::needless_range_loop)] // index drives both body and done
-    for i in 0..n {
-        if let Literal::Pos(m) = &rule.body[i] {
-            let mut out = Vec::new();
-            for b in acc {
-                out.extend(sat_matom(m, interp, t, &b)?);
+/// All bindings making the body true at time `t`, by executing the rule's
+/// compiled [`RulePlan`] against the brute-force interpretation.
+fn satisfy_body(
+    rule: &Rule,
+    plan: &RulePlan,
+    interp: &NaiveInterpretation,
+    t: i64,
+) -> Result<Vec<Bindings>> {
+    let mut acc: Vec<Bindings> = vec![Bindings::new()];
+    for step in &plan.steps {
+        match &step.kind {
+            StepKind::Join { .. } => {
+                let Literal::Pos(m) = &rule.body[step.literal] else {
+                    unreachable!("join step points at a positive literal");
+                };
+                let mut out = Vec::new();
+                for b in acc {
+                    out.extend(sat_matom(m, interp, t, &b)?);
+                }
+                acc = dedup(out);
+                if acc.is_empty() && !plan.has_unschedulable {
+                    return Ok(vec![]);
+                }
             }
-            acc = dedup(out);
-            done[i] = true;
-            run_constraints(rule, &mut acc, &mut done)?;
-            if acc.is_empty() {
-                return Ok(vec![]);
+            StepKind::Constraint { mode: Some(mode) } => {
+                let Literal::Constraint(lhs, op, rhs) = &rule.body[step.literal] else {
+                    unreachable!("constraint step points at a constraint literal");
+                };
+                let mut out = Vec::with_capacity(acc.len());
+                for b in acc {
+                    if let Some(b2) = apply_constraint_row(b, lhs, *op, rhs, *mode)? {
+                        out.push(b2);
+                    }
+                }
+                acc = out;
             }
-        }
-    }
-    run_constraints(rule, &mut acc, &mut done)?;
-    #[allow(clippy::needless_range_loop)] // index drives both body and done
-    for i in 0..n {
-        if done[i] {
-            continue;
-        }
-        match &rule.body[i] {
-            Literal::Neg(m) => {
+            StepKind::Constraint { mode: None } => {
+                return Err(Error::Unsafe(format!(
+                    "constraint `{}` could not be scheduled",
+                    rule.body[step.literal]
+                )))
+            }
+            StepKind::Negation => {
+                let Literal::Neg(m) = &rule.body[step.literal] else {
+                    unreachable!("negation step points at a negated literal");
+                };
                 let mut out = Vec::new();
                 for b in acc {
                     if sat_matom(m, interp, t, &b)?.is_empty() {
@@ -294,101 +327,12 @@ fn satisfy_body(rule: &Rule, interp: &NaiveInterpretation, t: i64) -> Result<Vec
                     }
                 }
                 acc = out;
-                done[i] = true;
             }
-            Literal::Constraint(..) => {
-                return Err(Error::Unsafe(format!(
-                    "constraint `{}` could not be scheduled",
-                    rule.body[i]
-                )))
-            }
-            Literal::Pos(_) => unreachable!("positives handled first"),
         }
     }
     Ok(acc)
 }
 
-fn run_constraints(rule: &Rule, acc: &mut Vec<Bindings>, done: &mut [bool]) -> Result<()> {
-    loop {
-        let bound: HashSet<Symbol> = match acc.first() {
-            Some(b) => b.keys().copied().collect(),
-            None => return Ok(()),
-        };
-        let mut progressed = false;
-        #[allow(clippy::needless_range_loop)] // index drives both body and done
-        for i in 0..rule.body.len() {
-            if done[i] {
-                continue;
-            }
-            if let Literal::Constraint(lhs, op, rhs) = &rule.body[i] {
-                let lv = lhs.variables();
-                let rv = rhs.variables();
-                let l_bound = lv.iter().all(|v| bound.contains(v));
-                let r_bound = rv.iter().all(|v| bound.contains(v));
-                let mut out = Vec::new();
-                if l_bound && r_bound {
-                    for b in acc.iter() {
-                        if check_cmp(lhs, *op, rhs, b)? {
-                            out.push(b.clone());
-                        }
-                    }
-                } else if *op == CmpOp::Eq && assignable(lhs, &bound).is_some() && r_bound {
-                    let var = assignable(lhs, &bound).expect("checked");
-                    for b in acc.iter() {
-                        let mut b2 = b.clone();
-                        b2.insert(var, eval_expr(rhs, b)?);
-                        out.push(b2);
-                    }
-                } else if *op == CmpOp::Eq && assignable(rhs, &bound).is_some() && l_bound {
-                    let var = assignable(rhs, &bound).expect("checked");
-                    for b in acc.iter() {
-                        let mut b2 = b.clone();
-                        b2.insert(var, eval_expr(lhs, b)?);
-                        out.push(b2);
-                    }
-                } else {
-                    continue;
-                }
-                *acc = out;
-                done[i] = true;
-                progressed = true;
-            }
-        }
-        if !progressed {
-            return Ok(());
-        }
-    }
-}
-
-fn assignable(e: &Expr, bound: &HashSet<Symbol>) -> Option<Symbol> {
-    match e {
-        Expr::Term(Term::Var(v)) if !bound.contains(v) => Some(*v),
-        _ => None,
-    }
-}
-
-fn check_cmp(lhs: &Expr, op: CmpOp, rhs: &Expr, b: &Bindings) -> Result<bool> {
-    let l = eval_expr(lhs, b)?;
-    let r = eval_expr(rhs, b)?;
-    Ok(match op {
-        CmpOp::Eq => l.semantic_eq(&r),
-        CmpOp::Ne => !l.semantic_eq(&r),
-        _ => {
-            let ord = l
-                .semantic_cmp(&r)
-                .ok_or_else(|| Error::Eval(format!("cannot compare {l} and {r}")))?;
-            match op {
-                CmpOp::Lt => ord.is_lt(),
-                CmpOp::Le => ord.is_le(),
-                CmpOp::Gt => ord.is_gt(),
-                CmpOp::Ge => ord.is_ge(),
-                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
-            }
-        }
-    })
-}
-
-/// Bindings extending `b` that satisfy a metric atom at time `t`.
 fn sat_matom(
     m: &MetricAtom,
     interp: &NaiveInterpretation,

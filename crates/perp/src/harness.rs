@@ -70,7 +70,7 @@ pub fn run_datalog_with(
     mode: TimelineMode,
     semi_naive: bool,
 ) -> Result<DatalogRun, HarnessError> {
-    run_datalog_configured(trace, params, mode, semi_naive, 1)
+    run_datalog_configured(trace, params, mode, true, semi_naive, 1)
 }
 
 /// Like [`run_datalog`] with an explicit evaluation thread count.
@@ -80,13 +80,25 @@ pub fn run_datalog_threaded(
     mode: TimelineMode,
     threads: usize,
 ) -> Result<DatalogRun, HarnessError> {
-    run_datalog_configured(trace, params, mode, true, threads)
+    run_datalog_configured(trace, params, mode, true, true, threads)
+}
+
+/// Like [`run_datalog`] with cost-based join reordering toggled
+/// (the `--no-reorder` ablation).
+pub fn run_datalog_reordered(
+    trace: &Trace,
+    params: &MarketParams,
+    mode: TimelineMode,
+    cost_based_reorder: bool,
+) -> Result<DatalogRun, HarnessError> {
+    run_datalog_configured(trace, params, mode, cost_based_reorder, true, 1)
 }
 
 fn run_datalog_configured(
     trace: &Trace,
     params: &MarketParams,
     mode: TimelineMode,
+    cost_based_reorder: bool,
     semi_naive: bool,
     threads: usize,
 ) -> Result<DatalogRun, HarnessError> {
@@ -94,6 +106,7 @@ fn run_datalog_configured(
     let program = build_program(params, mode)?;
     let encoded = encode_trace(trace, mode);
     let config = ReasonerConfig {
+        cost_based_reorder,
         semi_naive,
         ..ReasonerConfig::default()
             .with_horizon(encoded.horizon.0, encoded.horizon.1)
