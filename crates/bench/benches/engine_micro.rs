@@ -245,6 +245,51 @@ fn bench_windowed_join(c: &mut Bench) {
     group.finish();
 }
 
+/// Span-profiler overhead on the join-heavy workload: the same
+/// materialization with no recorder, with a recorder attached (spans
+/// written to per-lane buffers), and the export step on its own. The
+/// `profiled` variant bounds the per-span cost in context; `disabled`
+/// is the baseline that must stay unaffected.
+fn bench_profiling_overhead(c: &mut Bench) {
+    let src = "linked(X, Z) :- r(X, K), s(K, Z).\n\
+               closed(X, Z) :- linked(X, Z), r(Z, K2), s(K2, X).";
+    let program = parse_program(src).unwrap();
+    let mut db = Database::new();
+    for i in 0..600i64 {
+        db.assert_at("r", &[Value::Int(i), Value::Int(i % 40)], i % 8);
+        db.assert_at("s", &[Value::Int(i % 40), Value::Int(i)], i % 8);
+    }
+
+    let run = |profiler: Option<chronolog_obs::SpanRecorder>, db: &Database| {
+        let config = ReasonerConfig {
+            profiler,
+            ..ReasonerConfig::default().with_horizon(0, 8)
+        };
+        Reasoner::new(program.clone(), config)
+            .unwrap()
+            .materialize(db)
+            .unwrap()
+    };
+
+    let mut group = c.group("profiling");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| b.iter(|| black_box(run(None, &db))));
+    group.bench_function("profiled", |b| {
+        b.iter(|| {
+            let rec = chronolog_obs::SpanRecorder::new();
+            black_box(run(Some(rec.clone()), &db));
+            black_box(rec.spans_recorded())
+        })
+    });
+    let rec = chronolog_obs::SpanRecorder::new();
+    run(Some(rec.clone()), &db);
+    group.bench_function("export_chrome_trace", |b| {
+        b.iter(|| black_box(rec.to_chrome_trace().to_compact()))
+    });
+    group.bench_function("export_folded", |b| b.iter(|| black_box(rec.to_folded())));
+    group.finish();
+}
+
 /// The streaming execution model vs repeated batch runs: one event per
 /// tick over the margin recursion. The warm chain advances a single
 /// `Session` (boundary-slice seeding, clone-preserved indexes); the cold
@@ -308,6 +353,7 @@ fn main() {
     bench_parser(&mut c);
     bench_small_materialization(&mut c);
     bench_join_heavy(&mut c);
+    bench_profiling_overhead(&mut c);
     bench_reorder_heavy(&mut c);
     bench_windowed_join(&mut c);
     bench_session_stream(&mut c);

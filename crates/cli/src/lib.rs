@@ -4,6 +4,7 @@
 //! chronolog check  <file>...                      validate a program
 //! chronolog run    <file>... [options]            materialize and report
 //! chronolog graph  <file>...                      dependency graph (DOT)
+//! chronolog validate-trace <file>                 check a --profile trace
 //!
 //! run options:
 //!   --horizon LO..HI      reasoning horizon (integers; default unbounded)
@@ -23,7 +24,11 @@
 //!                         rules run in textual delta-first order)
 //!   --explain-plans       print each rule's compiled physical plan with
 //!                         the chosen access paths and estimated vs. actual
-//!                         rows per step
+//!                         rows per step, plus the top planner misestimates
+//!   --profile FILE        write a Chrome trace_event JSON profile (open in
+//!                         Perfetto or chrome://tracing; one track per
+//!                         evaluation thread)
+//!   --profile-folded FILE write folded-stack lines for flamegraph tooling
 //! ```
 //!
 //! Files may mix rules and facts; `-` reads standard input.
@@ -44,7 +49,10 @@ use std::fmt::Write as _;
 /// v4 added `probed_tuples` to `totals`, the `planner` section (plan
 /// compilation counters plus per-rule plans with estimated vs. actual
 /// rows), and the `pool` section (worker-pool reuse counters).
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// v5 added `planner.misestimates` (per-plan actual-vs-estimated feedback,
+/// worst first) and `executions` / `actual_rows` to each `planner.plans`
+/// entry.
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -95,6 +103,7 @@ pub fn run_cli(
             Ok(DependencyGraph::build(&program).to_dot())
         }
         "run" => cmd_run(&it.cloned().collect::<Vec<_>>(), &read_file),
+        "validate-trace" => cmd_validate_trace(&it.cloned().collect::<Vec<_>>(), &read_file),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -102,10 +111,11 @@ pub fn run_cli(
     }
 }
 
-const USAGE: &str = "usage: chronolog <check|run|graph> <file>... [options]\n\
+const USAGE: &str = "usage: chronolog <check|run|graph|validate-trace> <file>... [options]\n\
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
-               --session  --no-time-index  --no-reorder  --explain-plans";
+               --session  --no-time-index  --no-reorder  --explain-plans\n\
+               --profile FILE  --profile-folded FILE";
 
 fn load_sources(
     paths: &mut Vec<String>,
@@ -152,6 +162,120 @@ fn cmd_check(program: &Program, facts: &[Fact]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Validates a `--profile` Chrome trace_event file: the envelope shape,
+/// required keys per event phase, and — per lane (`tid`) — that complete
+/// events are recorded with monotone end timestamps and that the recorded
+/// `depth` of every span is consistent with strict nesting inside its
+/// enclosing span. Used by CI to smoke-check profiler output.
+fn cmd_validate_trace(
+    args: &[String],
+    read_file: &impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage(
+            "validate-trace needs exactly one trace file",
+        ));
+    };
+    let text = read_file(path).map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?;
+    let trace =
+        Json::parse(&text).map_err(|e| CliError::failed(format!("{path}: invalid JSON: {e}")))?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::failed(format!("{path}: missing traceEvents array")))?;
+
+    // Gather complete ("X") events per lane, preserving file order; "M"
+    // metadata events only need a name.
+    let mut lanes: std::collections::BTreeMap<u64, Vec<(u64, u64, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut named_lanes = 0usize;
+    for (n, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .ok_or_else(|| CliError::failed(format!("{path}: event {n} missing `{key}`")))
+        };
+        let num = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| CliError::failed(format!("{path}: event {n}: `{key}` not a number")))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| CliError::failed(format!("{path}: event {n}: `ph` not a string")))?
+            .to_string();
+        num("pid")?;
+        let tid = num("tid")?;
+        match ph.as_str() {
+            "M" => {
+                field("name")?;
+                named_lanes += 1;
+            }
+            "X" => {
+                field("name")?;
+                let (ts, dur) = (num("ts")?, num("dur")?);
+                let depth = ev
+                    .get("args")
+                    .and_then(|a| a.get("depth"))
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| {
+                        CliError::failed(format!("{path}: event {n} missing args.depth"))
+                    })?;
+                lanes.entry(tid).or_default().push((ts, dur, depth));
+            }
+            other => {
+                return Err(CliError::failed(format!(
+                    "{path}: event {n}: unexpected phase `{other}`"
+                )))
+            }
+        }
+    }
+
+    let mut spans = 0usize;
+    for (tid, recs) in &lanes {
+        // Spans are appended as they close, so end timestamps must be
+        // monotone in file order within a lane.
+        for w in recs.windows(2) {
+            let (end_a, end_b) = (w[0].0 + w[0].1, w[1].0 + w[1].1);
+            if end_a > end_b {
+                return Err(CliError::failed(format!(
+                    "{path}: lane {tid}: end timestamps not monotone ({end_a} > {end_b})"
+                )));
+            }
+        }
+        // Replaying in start order, each span must sit strictly inside the
+        // span one level up (timestamps are truncated from one monotonic
+        // clock, so containment is exact).
+        let mut by_start = recs.clone();
+        by_start.sort_by_key(|&(ts, _, depth)| (ts, depth));
+        let mut stack: Vec<(u64, u64)> = Vec::new(); // (ts, end)
+        for &(ts, dur, depth) in &by_start {
+            while stack.len() as u64 > depth {
+                stack.pop();
+            }
+            if (stack.len() as u64) < depth {
+                return Err(CliError::failed(format!(
+                    "{path}: lane {tid}: span at {ts}us has depth {depth} with no parent"
+                )));
+            }
+            if let Some(&(p_ts, p_end)) = stack.last() {
+                if ts < p_ts || ts + dur > p_end {
+                    return Err(CliError::failed(format!(
+                        "{path}: lane {tid}: span [{ts}, {}]us escapes its parent [{p_ts}, {p_end}]us",
+                        ts + dur
+                    )));
+                }
+            }
+            stack.push((ts, ts + dur));
+            spans += 1;
+        }
+    }
+
+    Ok(format!(
+        "ok: {spans} spans across {} lanes ({named_lanes} named)\n",
+        lanes.len()
+    ))
+}
+
 fn cmd_run(
     args: &[String],
     read_file: &impl Fn(&str) -> std::io::Result<String>,
@@ -165,6 +289,8 @@ fn cmd_run(
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut trace_file: Option<String> = None;
+    let mut profile_file: Option<String> = None;
+    let mut profile_folded_file: Option<String> = None;
     let mut session_mode = false;
     let mut time_index = true;
     let mut cost_based_reorder = true;
@@ -186,6 +312,22 @@ fn cmd_run(
                 trace_file = Some(
                     args.get(i)
                         .ok_or_else(|| CliError::usage("--trace needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--profile" => {
+                i += 1;
+                profile_file = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--profile needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--profile-folded" => {
+                i += 1;
+                profile_folded_file = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--profile-folded needs a file path"))?
                         .clone(),
                 );
             }
@@ -253,9 +395,12 @@ fn cmd_run(
     }
 
     let tracer = trace_file.as_ref().map(|_| Tracer::new());
+    let profiler = (profile_file.is_some() || profile_folded_file.is_some())
+        .then(chronolog_obs::SpanRecorder::new);
     let mut config = ReasonerConfig {
         provenance: !explains.is_empty(),
         tracer: tracer.clone(),
+        profiler: profiler.clone(),
         threads,
         time_index,
         cost_based_reorder,
@@ -286,6 +431,14 @@ fn cmd_run(
 
     if let (Some(path), Some(tracer)) = (&trace_file, &tracer) {
         std::fs::write(path, tracer.drain_jsonl())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    }
+    if let (Some(path), Some(p)) = (&profile_file, &profiler) {
+        std::fs::write(path, p.to_chrome_trace().to_pretty())
+            .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
+    }
+    if let (Some(path), Some(p)) = (&profile_folded_file, &profiler) {
+        std::fs::write(path, p.to_folded())
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = &stats_json {
@@ -417,6 +570,21 @@ fn render_plans(out: &mut String, stats: &RunStats) {
                 out,
                 "  {:<44} est {:>6}  actual {:>6}",
                 s.desc, s.est_rows, s.actual_rows
+            );
+        }
+    }
+    let feedback = stats.plan_feedback();
+    if !feedback.is_empty() {
+        let _ = writeln!(out, "-- misestimates (worst first) --");
+        for f in feedback.iter().take(5) {
+            let variant = match f.delta_literal {
+                Some(d) => format!("delta literal {d}"),
+                None => "full".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "plan {} ({variant}): est {} rows, avg actual {:.1} over {} runs (x{:.1} off)",
+                f.label, f.est_rows, f.avg_actual_rows, f.executions, f.error_factor
             );
         }
     }
@@ -834,6 +1002,14 @@ mod tests {
         assert_eq!(err.code, 2);
         assert!(err.message.contains("--trace"), "{}", err.message);
         let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let err = run_cli(&args(&["run", "demo.dmtl", "--profile"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--profile"), "{}", err.message);
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
+        let err = run_cli(&args(&["run", "demo.dmtl", "--profile-folded"]), fs).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--profile-folded"), "{}", err.message);
+        let fs = fake_fs(&[("demo.dmtl", DEMO)]);
         let err = run_cli(&args(&["run", "demo.dmtl", "--trance", "x"]), fs).unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("unknown option"), "{}", err.message);
@@ -1032,7 +1208,10 @@ mod tests {
              join ghost(X) [scan]                         est      0  actual      0\n  \
              join e(X) [scan]                             est      1  actual      0\n\
              plan r1 (full): est 2 rows\n  \
-             join e(X) [scan]                             est      2  actual      2\n"
+             join e(X) [scan]                             est      2  actual      2\n\
+             -- misestimates (worst first) --\n\
+             plan r0 (full): est 0 rows, avg actual 0.0 over 1 runs (x1.0 off)\n\
+             plan r1 (full): est 2 rows, avg actual 2.0 over 1 runs (x1.0 off)\n"
         );
         // Ablated: textual order, nothing reordered.
         let ablated = run(&["--no-reorder"]);

@@ -230,6 +230,7 @@ mod tests {
             threads: 1,
             pool: None,
             counters: &counters,
+            profiler: None,
         };
         let rules: Vec<&Rule> = program.rules.iter().collect();
         let mut out = eval_aggregate_rules(&rules, &ctx).unwrap();

@@ -10,6 +10,7 @@ use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::Value;
+use chronolog_obs::SpanRecorder;
 use mtl_temporal::{Interval, IntervalSet};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
@@ -93,6 +94,9 @@ pub(crate) struct EvalCtx<'a> {
     pub pool: Option<&'a WorkerPool>,
     /// Join-path statistics sink.
     pub counters: &'a JoinCounters,
+    /// Span profiler for per-step and per-chunk timing; `None` (the
+    /// default) records nothing and allocates nothing.
+    pub profiler: Option<&'a SpanRecorder>,
 }
 
 impl EvalCtx<'_> {
@@ -166,8 +170,23 @@ pub(crate) fn execute_plan(
     plan: &RulePlan,
     ctx: &EvalCtx<'_>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
+    plan.note_execution();
     let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::new(), ctx.horizon_set())];
     for step in &plan.steps {
+        // One span per plan step: static names so folded stacks collapse
+        // across iterations; the literal index and row counts travel as
+        // counters.
+        let mut step_span = ctx.profiler.map(|p| {
+            let name = match &step.kind {
+                StepKind::Join { .. } => "join",
+                StepKind::Constraint { .. } => "constraint",
+                StepKind::Negation => "negate",
+            };
+            let mut s = p.span(name);
+            s.add("literal", step.literal as u64);
+            s.add("est_rows", step.est_rows);
+            s
+        });
         match &step.kind {
             StepKind::Join { .. } => {
                 let Literal::Pos(m) = &rule.body[step.literal] else {
@@ -176,6 +195,9 @@ pub(crate) fn execute_plan(
                 let use_delta = plan.delta_literal == Some(step.literal);
                 acc = join_positive(acc, m, ctx, use_delta, step.est_rows)?;
                 step.note_actual(acc.len());
+                if let Some(s) = step_span.as_mut() {
+                    s.add("rows", acc.len() as u64);
+                }
                 // An empty accumulator is absorbing for every remaining
                 // step except the unschedulable-constraint error.
                 if acc.is_empty() && !plan.has_unschedulable {
@@ -188,6 +210,9 @@ pub(crate) fn execute_plan(
                 };
                 acc = apply_constraint(acc, lhs, *op, rhs, *mode)?;
                 step.note_actual(acc.len());
+                if let Some(s) = step_span.as_mut() {
+                    s.add("rows", acc.len() as u64);
+                }
             }
             StepKind::Constraint { mode: None } => {
                 return Err(Error::Unsafe(format!(
@@ -201,6 +226,9 @@ pub(crate) fn execute_plan(
                 };
                 acc = apply_negation(acc, m, ctx)?;
                 step.note_actual(acc.len());
+                if let Some(s) = step_span.as_mut() {
+                    s.add("rows", acc.len() as u64);
+                }
             }
         }
     }
@@ -414,7 +442,19 @@ fn join_positive(
     if let (Some(pool), true) = (ctx.pool, ctx.threads > 1 && enough_work) {
         let chunk_size = acc.len().div_ceil(ctx.threads);
         let chunks: Vec<&[(Bindings, IntervalSet)]> = acc.chunks(chunk_size).collect();
-        let run = pool.run(chunks.len(), |i| join_chunk(chunks[i], m, ctx, use_delta));
+        let run = pool.run(chunks.len(), |i| {
+            // On a worker lane: probe spans land on the worker's own track.
+            let mut chunk_span = ctx.profiler.map(|p| {
+                let mut s = p.span("join chunk");
+                s.add("bindings", chunks[i].len() as u64);
+                s
+            });
+            let r = join_chunk(chunks[i], m, ctx, use_delta);
+            if let (Some(s), Ok(rows)) = (chunk_span.as_mut(), &r) {
+                s.add("rows", rows.len() as u64);
+            }
+            r
+        });
         let mut out = Vec::new();
         for r in run.results {
             out.extend(r?);
@@ -809,6 +849,7 @@ mod tests {
             threads: 1,
             pool: None,
             counters: &counters,
+            profiler: None,
         };
         eval_body(&rule, &ctx, None).unwrap()
     }
@@ -895,6 +936,7 @@ mod tests {
             threads: 1,
             pool: None,
             counters: &counters,
+            profiler: None,
         };
         assert!(eval_body(&rule, &ctx, None).is_err());
     }
@@ -974,6 +1016,7 @@ mod tests {
                     threads: 1,
                     pool: None,
                     counters: &counters,
+                    profiler: None,
                 };
                 eval_body(&rule, &ctx, None).unwrap()
             };

@@ -26,7 +26,7 @@ use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
-use chronolog_obs::{Json, Tracer};
+use chronolog_obs::{Json, SpanRecorder, Tracer};
 use eval::{delta_eligible, execute_plan, EvalCtx, JoinCounters};
 use mtl_temporal::{Interval, IntervalSet};
 use pool::WorkerPool;
@@ -61,6 +61,11 @@ pub struct ReasonerConfig {
     /// When set, the engine emits structured events (stratum/iteration
     /// boundaries, fixpoint deltas) into this bounded buffer.
     pub tracer: Option<Tracer>,
+    /// When set, the engine records hierarchical timing spans
+    /// (materialize → stratum → iteration → rule → join step) into this
+    /// recorder, one lane per evaluating thread. `None` (the default)
+    /// costs one `Option` check per site and allocates no spans.
+    pub profiler: Option<SpanRecorder>,
     /// Worker threads for stratum evaluation (rule fan-out and the binding
     /// fan-out inside skewed joins). `1` is fully sequential; any value
     /// produces bit-identical output, derivation counts, and provenance —
@@ -92,6 +97,7 @@ impl Default for ReasonerConfig {
             semi_naive: true,
             provenance: false,
             tracer: None,
+            profiler: None,
             threads: 1,
             index_joins: true,
             time_index: true,
@@ -244,6 +250,68 @@ pub struct RunStats {
     pub workers: Vec<WorkerStats>,
 }
 
+/// Actual-vs-estimated row accounting for one executed plan variant: the
+/// observability half of planner runtime feedback. A later pass can feed
+/// `error_factor` back into the planner's `distinct` estimates; until
+/// then it surfaces as `planner.misestimates` in `--stats-json` and the
+/// "top misestimates" block of `--explain-plans`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanFeedback {
+    /// Rule index in the program.
+    pub rule: usize,
+    /// Rule label (or `r{idx}`).
+    pub label: String,
+    /// Delta-restricted literal of the variant, if any.
+    pub delta_literal: Option<usize>,
+    /// Times the plan executed.
+    pub executions: u64,
+    /// Planner-estimated bindings out of the join pipeline per execution.
+    pub est_rows: u64,
+    /// Accumulated observed bindings across executions.
+    pub actual_rows: u64,
+    /// `actual_rows / executions` (0 when never executed).
+    pub avg_actual_rows: f64,
+    /// Symmetric misestimation ratio `max(f, 1/f)` with
+    /// `f = (avg_actual + 1) / (est + 1)`; `1.0` is a perfect estimate,
+    /// and over- and under-estimates of the same magnitude score equally.
+    pub error_factor: f64,
+}
+
+impl RunStats {
+    /// Per-plan actual-vs-estimated feedback, worst misestimate first
+    /// (ties broken by rule index then delta literal, so the order is
+    /// deterministic across runs).
+    pub fn plan_feedback(&self) -> Vec<PlanFeedback> {
+        let mut out: Vec<PlanFeedback> = self
+            .plan_explains
+            .iter()
+            .filter(|p| p.executions > 0)
+            .map(|p| {
+                let avg = p.actual_rows as f64 / p.executions as f64;
+                let f = (avg + 1.0) / (p.est_rows as f64 + 1.0);
+                PlanFeedback {
+                    rule: p.rule,
+                    label: p.label.clone(),
+                    delta_literal: p.delta_literal,
+                    executions: p.executions,
+                    est_rows: p.est_rows,
+                    actual_rows: p.actual_rows,
+                    avg_actual_rows: avg,
+                    error_factor: f.max(1.0 / f),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.error_factor
+                .partial_cmp(&a.error_factor)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.rule.cmp(&b.rule))
+                .then(a.delta_literal.cmp(&b.delta_literal))
+        });
+        out
+    }
+}
+
 impl RunStats {
     /// The stats as a JSON object with `totals`, `strata`, and `rules`
     /// sections — the stable payload of `--stats-json` reports (see
@@ -336,6 +404,8 @@ impl RunStats {
                         ),
                         ("reordered", Json::from(p.reordered)),
                         ("estimated_rows", Json::from(p.est_rows)),
+                        ("executions", Json::from(p.executions)),
+                        ("actual_rows", Json::from(p.actual_rows)),
                         (
                             "steps",
                             Json::Arr(
@@ -355,12 +425,33 @@ impl RunStats {
                 })
                 .collect(),
         );
+        let misestimates = Json::Arr(
+            self.plan_feedback()
+                .into_iter()
+                .map(|f| {
+                    Json::from_pairs([
+                        ("rule", Json::from(f.rule)),
+                        ("label", Json::from(f.label.as_str())),
+                        (
+                            "delta_literal",
+                            Json::from(f.delta_literal.map_or(-1i64, |d| d as i64)),
+                        ),
+                        ("executions", Json::from(f.executions)),
+                        ("estimated_rows", Json::from(f.est_rows)),
+                        ("actual_rows", Json::from(f.actual_rows)),
+                        ("avg_actual_rows", Json::from(f.avg_actual_rows)),
+                        ("error_factor", Json::from(f.error_factor)),
+                    ])
+                })
+                .collect(),
+        );
         let planner = Json::from_pairs([
             ("plans_built", Json::from(self.plans_built)),
             ("replans", Json::from(self.replans)),
             ("reorders_applied", Json::from(self.reorders_applied)),
             ("estimated_rows", Json::from(self.planner_estimated_rows)),
             ("actual_rows", Json::from(self.planner_actual_rows)),
+            ("misestimates", misestimates),
             ("plans", plans),
         ]);
         let pool = Json::from_pairs([
@@ -472,6 +563,7 @@ impl Reasoner {
 
     /// Materializes all consequences of the program over `input`.
     pub fn materialize(&self, input: &Database) -> Result<Materialization> {
+        let _mat_span = self.config.profiler.as_ref().map(|p| p.span("materialize"));
         let start = Instant::now();
         let mut total = input.clone();
         let mut provenance = self.config.provenance.then(ProvenanceLog::default);
@@ -577,6 +669,13 @@ impl Reasoner {
         seed: Option<&Database>,
         mut collected: Option<&mut Database>,
     ) -> Result<usize> {
+        // Opened before the wall-clock so the span always contains the
+        // measured stratum wall time (span dur ≥ `StratumStats::wall`).
+        let mut stratum_span = self
+            .config
+            .profiler
+            .as_ref()
+            .map(|p| p.span(format!("stratum {stratum}")));
         let stratum_start = Instant::now();
         let evals_before = stats.rule_evaluations;
         let mut stratum_tuples = 0usize;
@@ -627,6 +726,7 @@ impl Reasoner {
                 threads: 1,
                 pool: None,
                 counters: &counters,
+                profiler: self.config.profiler.as_ref(),
             };
             let derived = aggregate::eval_aggregate_rules(&rules, &ctx)?;
             stats.rule_evaluations += indices.len();
@@ -730,6 +830,14 @@ impl Reasoner {
         // fixed either way — only where the work runs.
         let mut last_eval_wall = Duration::ZERO;
         loop {
+            // One span per fixpoint iteration. The name is not indexed so
+            // folded stacks collapse all iterations into one frame; the
+            // index travels as a counter instead.
+            let mut iter_span = self.config.profiler.as_ref().map(|p| {
+                let mut s = p.span("iteration");
+                s.add("iteration", iteration as u64);
+                s
+            });
             if iteration >= self.config.max_iterations {
                 return Err(Error::BudgetExceeded(format!(
                     "stratum exceeded {} iterations (unbounded temporal recursion? \
@@ -834,6 +942,21 @@ impl Reasoner {
                 let plan_cache = &plan_cache;
                 fan_out(tasks.len(), pool_threads, pool, &mut stats.workers, |i| {
                     let (rule_idx, delta_literal) = tasks[i];
+                    // One span per rule evaluation. When the rule fan-out
+                    // dispatches to the pool this runs on a worker thread,
+                    // so the span lands on that worker's own lane.
+                    let mut rule_span = self.config.profiler.as_ref().map(|p| {
+                        let rule = &self.program.rules[rule_idx];
+                        let name = match &rule.label {
+                            Some(l) => format!("rule {l}"),
+                            None => format!("rule r{rule_idx}"),
+                        };
+                        let mut s = p.span(name);
+                        if let Some(d) = delta_literal {
+                            s.add("delta_literal", d as u64);
+                        }
+                        s
+                    });
                     let ctx = EvalCtx {
                         total: total_snapshot,
                         delta: delta_literal.is_some().then_some(delta_base),
@@ -846,12 +969,16 @@ impl Reasoner {
                         // pool dispatch always comes from this thread.
                         pool: if inner_threads > 1 { pool } else { None },
                         counters: &counters,
+                        profiler: self.config.profiler.as_ref(),
                     };
                     let rule_plan = plan_cache
                         .get(&(rule_idx, delta_literal))
                         .expect("plan compiled before dispatch");
                     let eval_start = Instant::now();
                     let r = execute_plan(&self.program.rules[rule_idx], rule_plan, &ctx);
+                    if let (Some(s), Ok(rows)) = (rule_span.as_mut(), &r) {
+                        s.add("derivations", rows.len() as u64);
+                    }
                     (r, eval_start.elapsed())
                 })
             };
@@ -915,6 +1042,10 @@ impl Reasoner {
                 stats.rules[rule_idx].wall += merge_start.elapsed();
             }
 
+            if let Some(s) = iter_span.as_mut() {
+                s.add("delta_tuples", next_delta.tuple_count() as u64);
+                s.add("grew", grew as u64);
+            }
             if let Some(tracer) = &self.config.tracer {
                 tracer.emit(
                     "iteration",
@@ -1003,6 +1134,11 @@ impl Reasoner {
             }
         }
 
+        if let Some(s) = stratum_span.as_mut() {
+            s.add("iterations", (iteration + 1) as u64);
+            s.add("tuples_derived", stratum_tuples as u64);
+            s.add("components_added", stratum_components as u64);
+        }
         let wall = stratum_start.elapsed();
         stats.strata.push(StratumStats {
             stratum,

@@ -138,6 +138,16 @@ pub(crate) struct RulePlan {
     pub has_unschedulable: bool,
     /// Hash over coarse input cardinalities; see [`fingerprint`].
     pub fingerprint: u64,
+    /// Times this plan has been executed (relaxed: statistics). Divides
+    /// the steps' accumulated `actual_rows` back into per-execution
+    /// averages for the misestimate report.
+    pub executions: AtomicU64,
+}
+
+impl RulePlan {
+    pub(crate) fn note_execution(&self) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Hash over the body's predicates and power-of-two-bucketed relation
@@ -437,6 +447,7 @@ pub(crate) fn build_plan(
         reordered,
         has_unschedulable,
         fingerprint: fingerprint(rule, delta_literal, cards),
+        executions: AtomicU64::new(0),
     }
 }
 
@@ -454,6 +465,12 @@ pub struct PlanExplain {
     pub reordered: bool,
     /// Estimated bindings out of the join pipeline.
     pub est_rows: u64,
+    /// Times this plan executed.
+    pub executions: u64,
+    /// Accumulated bindings out of the join pipeline across executions
+    /// (the last join step's observed accumulator total; equals
+    /// `executions` seed rows for join-free plans).
+    pub actual_rows: u64,
     /// Steps in execution order.
     pub steps: Vec<PlanStepExplain>,
 }
@@ -501,12 +518,23 @@ pub(crate) fn explain(rule_idx: usize, label: &str, rule: &Rule, plan: &RulePlan
             }
         })
         .collect();
+    let executions = plan.executions.load(Ordering::Relaxed);
+    // Bindings out of the join pipeline: the accumulated rows after the
+    // last join step. A join-free plan seeds one row per execution.
+    let actual_rows = plan
+        .steps
+        .iter()
+        .rev()
+        .find(|s| matches!(s.kind, StepKind::Join { .. }))
+        .map_or(executions, |s| s.actual_rows.load(Ordering::Relaxed));
     PlanExplain {
         rule: rule_idx,
         label: label.to_string(),
         delta_literal: plan.delta_literal,
         reordered: plan.reordered,
         est_rows: plan.est_total,
+        executions,
+        actual_rows,
         steps,
     }
 }

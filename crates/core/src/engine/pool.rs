@@ -45,17 +45,22 @@ impl WorkerPool {
         let (tx, rx) = channel::<Job>();
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
         let handles = (0..threads)
-            .map(|_| {
+            .map(|i| {
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // Take the lock only to pull the next job, then run it
-                    // unlocked so workers execute in parallel.
-                    let job = rx.lock().expect("pool receiver lock poisoned").recv();
-                    match job {
-                        Ok(job) => job(),
-                        Err(_) => return, // sender dropped: shut down
-                    }
-                })
+                // Named threads so profiler lanes and debugger output
+                // identify workers (`worker-0` .. `worker-{n-1}`).
+                std::thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only to pull the next job, then run
+                        // it unlocked so workers execute in parallel.
+                        let job = rx.lock().expect("pool receiver lock poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // sender dropped: shut down
+                        }
+                    })
+                    .expect("spawn pool worker thread")
             })
             .collect();
         WorkerPool {

@@ -148,6 +148,12 @@ impl Session {
     }
 
     fn run_advance(&mut self, t: Rational) -> Result<()> {
+        let mut advance_span = self
+            .reasoner
+            .config()
+            .profiler
+            .as_ref()
+            .map(|p| p.span("advance"));
         let started = std::time::Instant::now();
         self.reasoner.init_rule_stats(&mut self.stats);
         let from = self.now;
@@ -214,6 +220,10 @@ impl Session {
             }
         }
         self.now = t;
+        if let Some(s) = advance_span.as_mut() {
+            s.add("pending", pending_count as u64);
+            s.add("seed_tuples", seed_tuples as u64);
+        }
         let latency = started.elapsed();
         self.stats.derived_tuples += self
             .total

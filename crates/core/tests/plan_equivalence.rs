@@ -171,7 +171,7 @@ fn reordered_plans_are_equivalent_on_random_programs() {
 
 #[test]
 fn reordered_plans_are_equivalent_on_the_corpus() {
-    for name in ["fibonacci", "funding", "margin", "sla"] {
+    for name in ["fibonacci", "funding", "margin", "netting", "sla"] {
         let path = format!("{}/../../corpus/{name}.dmtl", env!("CARGO_MANIFEST_DIR"));
         let src = std::fs::read_to_string(&path).unwrap();
         let (program, facts) = parse_source(&src).unwrap();

@@ -1,0 +1,86 @@
+//! The span profiler must be a pure observer.
+//!
+//! Two guarantees are pinned here: with no recorder configured the engine
+//! starts zero spans (the instrumentation is dormant, not merely cheap),
+//! and attaching a recorder changes nothing about what is derived — the
+//! materialized database is byte-identical with profiling on or off.
+
+use chronolog_core::{parse_source, Database, Reasoner, ReasonerConfig};
+use chronolog_obs::{spans_started, SpanRecorder};
+
+fn corpus() -> Vec<(&'static str, String)> {
+    ["fibonacci", "funding", "margin", "netting", "sla"]
+        .into_iter()
+        .map(|name| {
+            let path = format!("{}/../../corpus/{name}.dmtl", env!("CARGO_MANIFEST_DIR"));
+            let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            (name, src)
+        })
+        .collect()
+}
+
+fn materialize(src: &str, profiler: Option<SpanRecorder>, threads: usize) -> String {
+    let (program, facts) = parse_source(src).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts);
+    Reasoner::new(
+        program,
+        ReasonerConfig {
+            profiler,
+            threads,
+            ..ReasonerConfig::default().with_horizon(0, 40)
+        },
+    )
+    .unwrap()
+    .materialize(&db)
+    .unwrap()
+    .database
+    .to_facts_text()
+}
+
+/// One test function on purpose: the zero-overhead check reads the
+/// process-global span counter, so it must not race with a concurrently
+/// running profiled test in the same binary.
+#[test]
+fn profiling_is_dormant_when_off_and_invisible_when_on() {
+    // Off: not a single span may be started anywhere in the engine.
+    let mut baseline = Vec::new();
+    let before = spans_started();
+    for (name, src) in corpus() {
+        baseline.push((name, materialize(&src, None, 1)));
+        baseline.push((name, materialize(&src, None, 4)));
+    }
+    assert_eq!(
+        spans_started() - before,
+        0,
+        "unprofiled runs must not start spans"
+    );
+
+    // On: identical derivations, and the recorder actually saw the run.
+    let mut profiled = Vec::new();
+    for (name, src) in corpus() {
+        for threads in [1, 4] {
+            let recorder = SpanRecorder::new();
+            profiled.push((name, materialize(&src, Some(recorder.clone()), threads)));
+            assert!(
+                recorder.spans_recorded() > 0,
+                "{name}: profiled run ({threads} threads) recorded no spans"
+            );
+            assert_eq!(recorder.dropped(), 0, "{name}: spans dropped");
+            let lanes = recorder.lanes();
+            assert!(
+                lanes
+                    .iter()
+                    .any(|(_, records)| records.iter().any(|r| r.name == "materialize")),
+                "{name}: missing materialize root span"
+            );
+        }
+    }
+    for (i, (name, off_text)) in baseline.iter().enumerate() {
+        let (_, on_text) = &profiled[i];
+        assert_eq!(
+            off_text, on_text,
+            "{name}: derived facts differ with profiling enabled"
+        );
+    }
+}

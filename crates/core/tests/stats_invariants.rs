@@ -7,11 +7,12 @@
 //! the corpus programs and the random-program generator's fact shapes.
 
 use chronolog_core::{parse_source, Database, Reasoner, ReasonerConfig, RunStats};
+use chronolog_obs::SpanRecorder;
 
 /// Every checked-in corpus program, with a horizon wide enough to cover
 /// its inline facts.
 fn corpus() -> Vec<(&'static str, String, i64, i64)> {
-    ["fibonacci", "funding", "margin", "sla"]
+    ["fibonacci", "funding", "margin", "netting", "sla"]
         .into_iter()
         .map(|name| {
             let path = format!("{}/../../corpus/{name}.dmtl", env!("CARGO_MANIFEST_DIR"));
@@ -310,6 +311,81 @@ fn worker_pool_spawns_at_most_once_per_run() {
             "{name}: sequential run spawned a pool"
         );
         assert_eq!(seq.pool_reuses, 0, "{name}: sequential run reused a pool");
+    }
+}
+
+/// Profiler spans and stats wall clocks measure the same run, so they must
+/// agree: each `stratum {i}` span brackets that stratum's timed section
+/// (span duration >= reported `wall_us`, within µs-truncation slack), and
+/// on every lane the root-level spans run serially, so their summed
+/// duration cannot exceed the run's total elapsed time.
+#[test]
+fn profiler_spans_tie_out_against_stratum_walls() {
+    for (name, src, lo, hi) in corpus() {
+        for threads in [1, 4] {
+            let (program, facts) = parse_source(&src).unwrap();
+            let mut db = Database::new();
+            db.extend_facts(&facts);
+            let recorder = SpanRecorder::new();
+            let stats = Reasoner::new(
+                program,
+                ReasonerConfig {
+                    threads,
+                    profiler: Some(recorder.clone()),
+                    ..ReasonerConfig::default().with_horizon(lo, hi)
+                },
+            )
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .stats;
+
+            let lanes = recorder.lanes();
+            let span_dur = |target: &str| -> Option<u64> {
+                lanes
+                    .iter()
+                    .flat_map(|(_, records)| records.iter())
+                    .find(|r| r.name == target)
+                    .map(|r| r.dur_us)
+            };
+            for s in &stats.strata {
+                let dur = span_dur(&format!("stratum {}", s.stratum))
+                    .unwrap_or_else(|| panic!("{name}: no span for stratum {}", s.stratum));
+                // The span opens before the stratum wall clock starts and
+                // closes after it stops; truncating both endpoints to whole
+                // µs can shave at most 1 µs off either side.
+                assert!(
+                    dur + 2 >= s.wall.as_micros() as u64,
+                    "{name} ({threads} threads): stratum {} span {}us shorter than wall {}us",
+                    s.stratum,
+                    dur,
+                    s.wall.as_micros() as u64
+                );
+            }
+            // The `materialize` span brackets the whole run (it opens
+            // before and closes after the `elapsed` timer), so it both
+            // dominates the reported elapsed time and bounds every lane.
+            let mat_us = span_dur("materialize").expect("materialize root span");
+            assert!(
+                mat_us + 2 >= stats.elapsed.as_micros() as u64,
+                "{name} ({threads} threads): materialize span {}us shorter than elapsed {:?}",
+                mat_us,
+                stats.elapsed
+            );
+            for (lane, records) in &lanes {
+                let roots: Vec<_> = records.iter().filter(|r| r.depth == 0).collect();
+                let sum: u64 = roots.iter().map(|r| r.dur_us).sum();
+                // Root spans on one lane never overlap (one thread runs
+                // them back to back) and all fall inside the materialize
+                // window, so their sum is bounded by it (1 µs truncation
+                // slack per span).
+                assert!(
+                    sum <= mat_us + roots.len() as u64,
+                    "{name} ({threads} threads): lane {lane} root spans sum to {sum}us \
+                     but materialize took {mat_us}us"
+                );
+            }
+        }
     }
 }
 

@@ -12,6 +12,8 @@
 //! * [`json`] — [`Json`] value, compact/pretty writers, a strict parser.
 //! * [`metrics`] — [`Counter`], [`Gauge`], [`Histogram`], [`Registry`].
 //! * [`trace`] — [`Tracer`], a bounded ring of [`TraceEvent`]s, JSONL out.
+//! * [`span`] — [`SpanRecorder`], hierarchical timing with per-thread
+//!   lanes, Chrome `trace_event` and folded-flamegraph export.
 //! * [`rng`] — [`SmallRng`], a seeded SplitMix64 generator.
 
 #![warn(missing_docs)]
@@ -19,9 +21,11 @@
 pub mod json;
 pub mod metrics;
 pub mod rng;
+pub mod span;
 pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use rng::SmallRng;
+pub use span::{spans_started, SpanGuard, SpanRecord, SpanRecorder};
 pub use trace::{TraceEvent, Tracer};

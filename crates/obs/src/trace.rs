@@ -10,7 +10,7 @@
 use crate::json::Json;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// One structured event: a name, a timestamp relative to tracer creation,
@@ -72,7 +72,10 @@ impl Tracer {
     /// Records one event.
     pub fn emit(&self, name: &'static str, fields: Vec<(&'static str, Json)>) {
         let ts_us = self.0.start.elapsed().as_micros() as u64;
-        let mut buf = self.0.buf.lock().expect("tracer poisoned");
+        // Recover rather than panic if another engine thread panicked while
+        // holding the ring: the queued events are still structurally valid,
+        // and tracing must never cascade one thread's failure into others.
+        let mut buf = self.0.buf.lock().unwrap_or_else(PoisonError::into_inner);
         if buf.len() == self.0.capacity {
             buf.pop_front();
             self.0.dropped.fetch_add(1, Ordering::Relaxed);
@@ -91,7 +94,11 @@ impl Tracer {
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.0.buf.lock().expect("tracer poisoned").len()
+        self.0
+            .buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` iff no events are buffered.
@@ -104,7 +111,7 @@ impl Tracer {
         self.0
             .buf
             .lock()
-            .expect("tracer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect()
     }
@@ -167,6 +174,23 @@ mod tests {
         for line in &lines {
             Json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn poisoned_tracer_keeps_working() {
+        let t = Tracer::new();
+        t.emit("before", vec![]);
+        let t2 = t.clone();
+        // Panic while holding the ring lock to poison the mutex.
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = t2.0.buf.lock().unwrap();
+            panic!("poison the tracer");
+        });
+        t.emit("after", vec![]);
+        assert_eq!(t.len(), 2);
+        let evs = t.drain();
+        assert_eq!(evs[0].name, "before");
+        assert_eq!(evs[1].name, "after");
     }
 
     #[test]

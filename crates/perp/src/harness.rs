@@ -70,7 +70,7 @@ pub fn run_datalog_with(
     mode: TimelineMode,
     semi_naive: bool,
 ) -> Result<DatalogRun, HarnessError> {
-    run_datalog_configured(trace, params, mode, true, semi_naive, 1)
+    run_datalog_configured(trace, params, mode, true, semi_naive, 1, None)
 }
 
 /// Like [`run_datalog`] with an explicit evaluation thread count.
@@ -80,7 +80,7 @@ pub fn run_datalog_threaded(
     mode: TimelineMode,
     threads: usize,
 ) -> Result<DatalogRun, HarnessError> {
-    run_datalog_configured(trace, params, mode, true, true, threads)
+    run_datalog_configured(trace, params, mode, true, true, threads, None)
 }
 
 /// Like [`run_datalog`] with cost-based join reordering toggled
@@ -91,9 +91,22 @@ pub fn run_datalog_reordered(
     mode: TimelineMode,
     cost_based_reorder: bool,
 ) -> Result<DatalogRun, HarnessError> {
-    run_datalog_configured(trace, params, mode, cost_based_reorder, true, 1)
+    run_datalog_configured(trace, params, mode, cost_based_reorder, true, 1, None)
 }
 
+/// Like [`run_datalog`] with a span profiler attached: the recorder
+/// collects the engine's materialization spans for Chrome-trace or
+/// flamegraph export.
+pub fn run_datalog_profiled(
+    trace: &Trace,
+    params: &MarketParams,
+    mode: TimelineMode,
+    profiler: chronolog_obs::SpanRecorder,
+) -> Result<DatalogRun, HarnessError> {
+    run_datalog_configured(trace, params, mode, true, true, 1, Some(profiler))
+}
+
+#[allow(clippy::fn_params_excessive_bools)]
 fn run_datalog_configured(
     trace: &Trace,
     params: &MarketParams,
@@ -101,6 +114,7 @@ fn run_datalog_configured(
     cost_based_reorder: bool,
     semi_naive: bool,
     threads: usize,
+    profiler: Option<chronolog_obs::SpanRecorder>,
 ) -> Result<DatalogRun, HarnessError> {
     trace.validate().map_err(HarnessError::Trace)?;
     let program = build_program(params, mode)?;
@@ -108,6 +122,7 @@ fn run_datalog_configured(
     let config = ReasonerConfig {
         cost_based_reorder,
         semi_naive,
+        profiler,
         ..ReasonerConfig::default()
             .with_horizon(encoded.horizon.0, encoded.horizon.1)
             .with_threads(threads)
@@ -393,6 +408,26 @@ mod tests {
         let b = run_datalog_with(&trace, &params, TimelineMode::EventEpochs, false).unwrap();
         assert_eq!(a.run.frs, b.run.frs);
         assert_eq!(a.run.trades, b.run.trades);
+    }
+
+    #[test]
+    fn profiled_run_is_equivalent_and_records_spans() {
+        let trace = small_trace();
+        let params = MarketParams::default();
+        let plain = run_datalog(&trace, &params, TimelineMode::EventEpochs).unwrap();
+        let recorder = chronolog_obs::SpanRecorder::new();
+        let profiled =
+            run_datalog_profiled(&trace, &params, TimelineMode::EventEpochs, recorder.clone())
+                .unwrap();
+        assert_eq!(plain.run.frs, profiled.run.frs);
+        assert_eq!(plain.run.trades, profiled.run.trades);
+        assert_eq!(plain.run.final_skew, profiled.run.final_skew);
+        assert!(recorder.spans_recorded() > 0, "no spans recorded");
+        assert_eq!(recorder.dropped(), 0);
+        assert!(
+            !recorder.to_folded().trim().is_empty(),
+            "folded export empty"
+        );
     }
 
     #[test]
