@@ -347,6 +347,71 @@ fn bench_session_stream(c: &mut Bench) {
     group.finish();
 }
 
+fn bench_repair(c: &mut Bench) {
+    // Out-of-order corrections on a warm session: each iteration is a
+    // state-restoring retract + late-resubmit of one mid-history fact, so
+    // the session is identical before and after and iterations are
+    // comparable. `repair_small_cone` takes the incremental DRed path
+    // (overdelete the affected cone, rederive from the boundary);
+    // `repair_fallback_cold` forces the cold re-materialization fallback
+    // that a budget trip would also take — the gap between the two is the
+    // payoff of the incremental path.
+    let src = "isOpen(A) :- tranM(A, M).\n\
+               isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+               changeM(A) :- tranM(A, M).\n\
+               margin(A, M) :- tranM(A, M), not boxminus isOpen(A).\n\
+               margin(A, M) :- diamondminus margin(A, M), not changeM(A).";
+    let program = parse_program(src).unwrap();
+    const STEPS: i64 = 40;
+    let accounts = ["acc0", "acc1", "acc2"];
+    let build_session = |config: ReasonerConfig| {
+        let mut s = Reasoner::new(program.clone(), config)
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .unwrap();
+        for t in 1..=STEPS {
+            let acc = accounts[(t % 3) as usize];
+            s.submit(Fact::at(
+                "tranM",
+                vec![Value::sym(acc), Value::num(t as f64)],
+                t,
+            ))
+            .unwrap();
+            s.advance_to(t).unwrap();
+        }
+        s
+    };
+    // A fact near the watermark: the affected cone is a short suffix of
+    // the timeline, the case the incremental path exists for.
+    let churn = Fact::at(
+        "tranM",
+        vec![Value::sym(accounts[35 % 3]), Value::num(35.0)],
+        35,
+    );
+
+    let mut group = c.group("repair");
+    group.sample_size(10);
+    let mut warm = build_session(ReasonerConfig::default());
+    group.bench_function("repair_small_cone", |b| {
+        b.iter(|| {
+            warm.retract(churn.clone()).unwrap();
+            let report = warm.submit_late(churn.clone()).unwrap();
+            black_box(report.cone_tuples)
+        })
+    });
+    assert!(warm.stats().repairs.incremental > 0);
+    let mut cold = build_session(ReasonerConfig::default().with_repair(false));
+    group.bench_function("repair_fallback_cold", |b| {
+        b.iter(|| {
+            cold.retract(churn.clone()).unwrap();
+            let report = cold.submit_late(churn.clone()).unwrap();
+            black_box(report.cone_tuples)
+        })
+    });
+    assert!(cold.stats().repairs.fallbacks > 0);
+    group.finish();
+}
+
 fn main() {
     let mut c = Bench::from_env();
     bench_interval_sets(&mut c);
@@ -357,4 +422,5 @@ fn main() {
     bench_reorder_heavy(&mut c);
     bench_windowed_join(&mut c);
     bench_session_stream(&mut c);
+    bench_repair(&mut c);
 }

@@ -19,6 +19,17 @@
 //!   --session             stream the facts through a live session instead
 //!                         of one batch materialization (requires --horizon;
 //!                         the output must be byte-identical to the batch)
+//!   --stream FILE         apply a correction stream to the session after
+//!                         the facts are staged (requires --session). One
+//!                         command per line: `advance T` moves the
+//!                         watermark, `retract <fact>.` removes a base
+//!                         fact, a bare `<fact>.` is submitted (late facts
+//!                         trigger an incremental repair). `#`/`%` lines
+//!                         and blanks are skipped.
+//!   --no-repair           disable incremental repair: every out-of-order
+//!                         correction falls back to cold re-materialization
+//!   --repair-budget N     max tuples the repair cone may touch before
+//!                         falling back to cold re-materialization
 //!   --no-time-index       disable the sorted-endpoint time index (ablation)
 //!   --no-reorder          disable cost-based join reordering (ablation;
 //!                         rules run in textual delta-first order)
@@ -52,7 +63,10 @@ use std::fmt::Write as _;
 /// v5 added `planner.misestimates` (per-plan actual-vs-estimated feedback,
 /// worst first) and `executions` / `actual_rows` to each `planner.plans`
 /// entry.
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+/// v6 added the `repairs` section (out-of-order correction accounting:
+/// attempted / incremental / fallbacks / budget_trips / cone_tuples /
+/// overdeleted_components).
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -114,7 +128,8 @@ pub fn run_cli(
 const USAGE: &str = "usage: chronolog <check|run|graph|validate-trace> <file>... [options]\n\
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
-               --session  --no-time-index  --no-reorder  --explain-plans\n\
+               --session  --stream FILE  --no-repair  --repair-budget N\n\
+               --no-time-index  --no-reorder  --explain-plans\n\
                --profile FILE  --profile-folded FILE";
 
 fn load_sources(
@@ -292,6 +307,9 @@ fn cmd_run(
     let mut profile_file: Option<String> = None;
     let mut profile_folded_file: Option<String> = None;
     let mut session_mode = false;
+    let mut stream_file: Option<String> = None;
+    let mut repair = true;
+    let mut repair_budget: Option<u64> = None;
     let mut time_index = true;
     let mut cost_based_reorder = true;
     let mut explain_plans = false;
@@ -373,9 +391,29 @@ fn cmd_run(
                         .clone(),
                 );
             }
+            "--stream" => {
+                i += 1;
+                stream_file = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--stream needs a file path"))?
+                        .clone(),
+                );
+            }
+            "--repair-budget" => {
+                i += 1;
+                repair_budget = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::usage("--repair-budget needs a tuple count"))?
+                        .parse::<u64>()
+                        .map_err(|_| {
+                            CliError::usage("--repair-budget must be a non-negative integer")
+                        })?,
+                );
+            }
             "--facts" => dump_facts = true,
             "--stats" => stats = true,
             "--session" => session_mode = true,
+            "--no-repair" => repair = false,
             "--no-time-index" => time_index = false,
             "--no-reorder" => cost_based_reorder = false,
             "--explain-plans" => explain_plans = true,
@@ -393,6 +431,15 @@ fn cmd_run(
             "--explain is unavailable with --session (sessions keep no provenance)",
         ));
     }
+    if stream_file.is_some() && !session_mode {
+        return Err(CliError::usage("--stream needs --session"));
+    }
+    let stream_text = match &stream_file {
+        Some(path) => Some(
+            read_file(path).map_err(|e| CliError::failed(format!("cannot read {path}: {e}")))?,
+        ),
+        None => None,
+    };
 
     let tracer = trace_file.as_ref().map(|_| Tracer::new());
     let profiler = (profile_file.is_some() || profile_folded_file.is_some())
@@ -404,8 +451,12 @@ fn cmd_run(
         threads,
         time_index,
         cost_based_reorder,
+        repair,
         ..ReasonerConfig::default()
     };
+    if let Some(budget) = repair_budget {
+        config = config.with_repair_budget(budget);
+    }
     if let Some((lo, hi)) = horizon {
         config = config.with_horizon(lo, hi);
     }
@@ -418,7 +469,13 @@ fn cmd_run(
     let outcome = if session_mode {
         let (lo, hi) =
             horizon.ok_or_else(|| CliError::usage("--session needs --horizon LO..HI"))?;
-        Outcome::Session(Box::new(run_session(reasoner, &facts, lo, hi)?))
+        Outcome::Session(Box::new(run_session(
+            reasoner,
+            &facts,
+            lo,
+            hi,
+            stream_text.as_deref(),
+        )?))
     } else {
         let mut db = Database::new();
         db.extend_facts(&facts);
@@ -501,11 +558,17 @@ fn cmd_run(
 /// each batch, and a final advance lands on the horizon end. The resulting
 /// database must be byte-identical to the batch materialization — CI diffs
 /// the two.
+///
+/// With `--stream`, the correction stream is applied after the staged
+/// facts (so it can retract them) and before the final advance; the
+/// session then reflects the *surviving* base facts, which is what the
+/// repair-vs-cold CI job diffs against a batch run over the same set.
 fn run_session(
     reasoner: Reasoner,
     facts: &[Fact],
     lo: i64,
     hi: i64,
+    corrections: Option<&str>,
 ) -> Result<chronolog_core::Session, CliError> {
     let start = Rational::integer(lo);
     let mut initial = Database::new();
@@ -542,8 +605,81 @@ fn run_session(
         }
         session.advance_to(target.min(hi))?;
     }
+    if let Some(text) = corrections {
+        apply_stream(&mut session, text, hi)?;
+    }
     session.advance_to(hi)?;
     Ok(session)
+}
+
+/// Applies a `--stream` correction file line by line. Keywords must be
+/// followed by whitespace so predicates named `advance…`/`retract…` still
+/// parse as plain fact submissions. Every failure names the line.
+fn apply_stream(
+    session: &mut chronolog_core::Session,
+    text: &str,
+    hi: i64,
+) -> Result<(), CliError> {
+    fn keyword<'a>(line: &'a str, word: &str) -> Option<&'a str> {
+        line.strip_prefix(word)
+            .filter(|rest| rest.starts_with(char::is_whitespace))
+            .map(str::trim)
+    }
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = idx + 1;
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = keyword(line, "advance") {
+            let t: i64 = rest.parse().map_err(|_| {
+                CliError::failed(format!(
+                    "stream line {n}: `advance` needs an integer target, got `{rest}`"
+                ))
+            })?;
+            if t > hi {
+                return Err(CliError::failed(format!(
+                    "stream line {n}: advance target {t} is beyond the horizon end {hi}"
+                )));
+            }
+            session
+                .advance_to(t)
+                .map_err(|e| CliError::failed(format!("stream line {n}: {e}")))?;
+        } else if let Some(rest) = keyword(line, "retract") {
+            let fact = parse_stream_fact(rest, n)?;
+            session
+                .retract(fact)
+                .map_err(|e| CliError::failed(format!("stream line {n}: {e}")))?;
+        } else {
+            let fact = parse_stream_fact(line, n)?;
+            let future = matches!(
+                fact.interval.lo(),
+                chronolog_core::TimeBound::Finite(flo) if flo > session.now()
+            );
+            let submitted = if future {
+                session.submit(fact)
+            } else {
+                session.submit_late(fact).map(|_| ())
+            };
+            submitted.map_err(|e| CliError::failed(format!("stream line {n}: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses exactly one fact from a stream line (the trailing `.` of the
+/// fact syntax is required, exactly as in a program file).
+fn parse_stream_fact(text: &str, n: usize) -> Result<Fact, CliError> {
+    let facts = chronolog_core::parse_facts(text)
+        .map_err(|e| CliError::failed(format!("stream line {n}: {e}")))?;
+    let mut it = facts.into_iter();
+    match (it.next(), it.next()) {
+        (Some(fact), None) => Ok(fact),
+        (first, _) => Err(CliError::failed(format!(
+            "stream line {n}: expected exactly one fact, got {}",
+            if first.is_none() { "none" } else { "several" }
+        ))),
+    }
 }
 
 /// Renders the `--explain-plans` report: every compiled rule plan (one per
@@ -622,6 +758,20 @@ fn render_stats(out: &mut String, stats: &RunStats) {
             out,
             "pool: {} warm dispatches, {} spawns",
             stats.pool_reuses, stats.pool_respawns
+        );
+    }
+    if stats.repairs.attempted > 0 {
+        let r = &stats.repairs;
+        let _ = writeln!(
+            out,
+            "repairs: {} attempted ({} incremental, {} cold fallbacks, {} budget trips), \
+             {} cone tuples, {} components overdeleted",
+            r.attempted,
+            r.incremental,
+            r.fallbacks,
+            r.budget_trips,
+            r.cone_tuples,
+            r.overdeleted_components
         );
     }
     if stats.workers.len() > 1 {
@@ -723,6 +873,10 @@ pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)
     report.set(
         "pool",
         stats_json.get("pool").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "repairs",
+        stats_json.get("repairs").cloned().unwrap_or(Json::Null),
     );
     report.set("metrics", Registry::global().snapshot());
     report
@@ -1125,6 +1279,282 @@ mod tests {
         assert_eq!(batch, streamed);
         assert!(batch.contains("isOpen(acc1)@[7]"), "{batch}");
         assert!(!batch.contains("isOpen(acc1)@[8]"), "{batch}");
+    }
+
+    #[test]
+    fn stream_applies_retractions_and_late_facts() {
+        // Retract acc1's opening transaction and deliver acc3's late: the
+        // session must equal a batch run over the corrected fact set.
+        let stream = "# corrections arriving out of order\n\
+                      advance 10\n\
+                      retract tranM(acc1, 20.0)@3.\n\
+                      tranM(acc3, 7.5)@4.\n\
+                      \n\
+                      % trailing comment\n";
+        let corrected = "isOpen(A) :- tranM(A, M).\n\
+                         isOpen(A) :- boxminus isOpen(A), not withdraw(A).\n\
+                         rate(base, 0.5).\n\
+                         tranM(acc2, 5.0)@5.\n\
+                         tranM(acc3, 7.5)@4.\n\
+                         withdraw(acc1)@8.";
+        let streamed = run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--facts",
+                "--session",
+                "--stream",
+                "fix.stream",
+            ]),
+            fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", stream)]),
+        )
+        .unwrap();
+        let batch = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--facts"]),
+            fake_fs(&[("demo.dmtl", corrected)]),
+        )
+        .unwrap();
+        assert_eq!(streamed, batch);
+        assert!(!streamed.contains("isOpen(acc1)"), "{streamed}");
+        assert!(streamed.contains("isOpen(acc3)@[4"), "{streamed}");
+    }
+
+    #[test]
+    fn stream_line_errors_are_named() {
+        let run_stream = |stream: &str| {
+            run_cli(
+                &args(&[
+                    "run",
+                    "demo.dmtl",
+                    "--horizon",
+                    "0..20",
+                    "--session",
+                    "--stream",
+                    "fix.stream",
+                ]),
+                fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", stream)]),
+            )
+        };
+        // Malformed retract line: the parse error names the line.
+        let err = run_stream("retract tranM(acc1@3.\n").unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.starts_with("stream line 1:"), "{}", err.message);
+        // Retracting a fact that was never submitted is the typed
+        // UnknownFact error, not a panic.
+        let err = run_stream("advance 10\nretract tranM(ghost, 1.0)@3.\n").unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.starts_with("stream line 2:"), "{}", err.message);
+        assert!(err.message.contains("unknown fact"), "{}", err.message);
+        assert!(err.message.contains("ghost"), "{}", err.message);
+        // A late fact straddling the watermark is rejected with advice.
+        let err = run_stream("advance 10\ntranM(acc9, 1.0)@[6, 12].\n").unwrap_err();
+        assert!(
+            err.message.contains("beyond the watermark"),
+            "{}",
+            err.message
+        );
+        // Advancing backwards and past the horizon are both named.
+        let err = run_stream("advance 10\nadvance 9\n").unwrap_err();
+        assert!(
+            err.message.contains("cannot advance backwards"),
+            "{}",
+            err.message
+        );
+        let err = run_stream("advance 99\n").unwrap_err();
+        assert!(
+            err.message.contains("beyond the horizon"),
+            "{}",
+            err.message
+        );
+        // Keyword without its argument.
+        let err = run_stream("advance soon\n").unwrap_err();
+        assert!(err.message.contains("integer target"), "{}", err.message);
+    }
+
+    #[test]
+    fn stream_retract_after_advance_repairs_history() {
+        // Retract *after* the watermark has passed the fact: the repair
+        // path must rewrite already-final history.
+        let stream = "advance 15\nretract withdraw(acc1)@8.\n";
+        let streamed = run_cli(
+            &args(&[
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--facts",
+                "--session",
+                "--stream",
+                "fix.stream",
+            ]),
+            fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", stream)]),
+        )
+        .unwrap();
+        // Without the withdrawal the account stays open to the horizon
+        // (components are punctual: the recursion steps instant by instant).
+        assert!(streamed.contains("isOpen(acc1)@[9]"), "{streamed}");
+        assert!(streamed.contains("isOpen(acc1)@[20]"), "{streamed}");
+    }
+
+    #[test]
+    fn stream_fuzz_never_panics_and_errors_stay_typed() {
+        // Seeded garbage + valid lines in random interleavings: every
+        // outcome is Ok or a typed CliError naming the stream line.
+        let mut rng = chronolog_obs::SmallRng::seed_from_u64(0x57AB1E);
+        let pieces = [
+            "advance 5",
+            "advance 12",
+            "advance -3",
+            "advance",
+            "advance soon",
+            "retract tranM(acc1, 20.0)@3.",
+            "retract tranM(acc1, 20.0)@3.", // double retract: UnknownFact
+            "retract nonsense",
+            "retract",
+            "tranM(acc3, 7.5)@4.",
+            "tranM(acc4, 1.0)@[2, 18].", // straddles most watermarks
+            "withdraw(acc2)@6.",
+            "p(X :- q(X).",
+            "@@@",
+            "# comment",
+            "",
+        ];
+        for case in 0..32 {
+            let n = rng.gen_range_usize(1, 10);
+            let stream: String = (0..n)
+                .map(|_| pieces[rng.gen_range_usize(0, pieces.len())])
+                .collect::<Vec<_>>()
+                .join("\n");
+            let result = run_cli(
+                &args(&[
+                    "run",
+                    "demo.dmtl",
+                    "--horizon",
+                    "0..20",
+                    "--session",
+                    "--stream",
+                    "fix.stream",
+                ]),
+                fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", &stream)]),
+            );
+            if let Err(e) = result {
+                assert_eq!(e.code, 1, "case {case}: {stream:?} -> {}", e.message);
+                assert!(
+                    e.message.starts_with("stream line "),
+                    "case {case}: {stream:?} -> {}",
+                    e.message
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_json_v6_reports_repairs_and_budget_trips() {
+        let dir = std::env::temp_dir().join("chronolog-cli-repairs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = "advance 10\nretract tranM(acc1, 20.0)@3.\n";
+        let report_for = |extra: &[&str], name: &str| {
+            let path = dir.join(name);
+            let mut a = vec![
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--session",
+                "--stream",
+                "fix.stream",
+                "--stats-json",
+                path.to_str().unwrap(),
+            ];
+            a.extend_from_slice(extra);
+            run_cli(
+                &args(&a),
+                fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", stream)]),
+            )
+            .unwrap();
+            let report = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            std::fs::remove_file(&path).ok();
+            report
+        };
+        let get = |r: &Json, field: &str| {
+            r.get("repairs")
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing repairs.{field}"))
+        };
+        // Incremental path by default.
+        let report = report_for(&[], "repair.json");
+        assert_eq!(
+            report.get("schema_version").and_then(Json::as_u64),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(get(&report, "attempted"), 1);
+        assert_eq!(get(&report, "incremental"), 1);
+        assert_eq!(get(&report, "budget_trips"), 0);
+        assert!(get(&report, "cone_tuples") > 0);
+        // A zero budget trips on the first cone tuple and falls back.
+        let report = report_for(&["--repair-budget", "0"], "budget.json");
+        assert_eq!(get(&report, "attempted"), 1);
+        assert_eq!(get(&report, "incremental"), 0);
+        assert_eq!(get(&report, "fallbacks"), 1);
+        assert_eq!(get(&report, "budget_trips"), 1);
+        // --no-repair forces the fallback without a budget trip.
+        let report = report_for(&["--no-repair"], "norepair.json");
+        assert_eq!(get(&report, "attempted"), 1);
+        assert_eq!(get(&report, "fallbacks"), 1);
+        assert_eq!(get(&report, "budget_trips"), 0);
+    }
+
+    #[test]
+    fn stream_results_match_with_and_without_repair() {
+        let stream = "advance 10\n\
+                      retract tranM(acc1, 20.0)@3.\n\
+                      tranM(acc3, 7.5)@4.\n\
+                      advance 15\n\
+                      retract withdraw(acc1)@8.\n";
+        let run_with = |extra: &[&str]| {
+            let mut a = vec![
+                "run",
+                "demo.dmtl",
+                "--horizon",
+                "0..20",
+                "--facts",
+                "--session",
+                "--stream",
+                "fix.stream",
+            ];
+            a.extend_from_slice(extra);
+            run_cli(
+                &args(&a),
+                fake_fs(&[("demo.dmtl", STREAMABLE), ("fix.stream", stream)]),
+            )
+            .unwrap()
+        };
+        let repaired = run_with(&[]);
+        let cold = run_with(&["--no-repair"]);
+        let tripped = run_with(&["--repair-budget", "0"]);
+        assert_eq!(repaired, cold);
+        assert_eq!(repaired, tripped);
+    }
+
+    #[test]
+    fn stream_usage_errors() {
+        let err = run_cli(
+            &args(&["run", "demo.dmtl", "--horizon", "0..20", "--stream", "f"]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--session"), "{}", err.message);
+        let err = run_cli(
+            &args(&["run", "demo.dmtl", "--repair-budget", "lots"]),
+            fake_fs(&[("demo.dmtl", STREAMABLE)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--repair-budget"), "{}", err.message);
     }
 
     #[test]

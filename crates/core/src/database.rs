@@ -255,6 +255,28 @@ impl Relation {
         delta
     }
 
+    /// Removes `ivs` from a tuple's validity; returns the part actually
+    /// removed (empty when the tuple is absent or disjoint).
+    ///
+    /// The entry itself is kept even when its interval set empties out:
+    /// tuple ids stay dense and stable, so the per-position value indexes
+    /// remain exact (a probe returning an emptied tuple yields no intervals
+    /// after the caller's clip). The time index is deliberately left
+    /// untouched — its contract is over-approximation (coverage ⊇ truth),
+    /// and removal only shrinks truth, so stale entries can produce false
+    /// positives but never a missed tuple.
+    pub fn remove(&mut self, tuple: &[Value], ivs: &IntervalSet) -> IntervalSet {
+        let Some(&id) = self.ids.get(tuple) else {
+            return IntervalSet::new();
+        };
+        let entry = &mut self.entries[id as usize].1;
+        let removed = entry.intersect(ivs);
+        if !removed.is_empty() {
+            *entry = entry.difference(ivs);
+        }
+        removed
+    }
+
     /// The interval set of a tuple (empty-set view for missing tuples).
     pub fn get(&self, tuple: &[Value]) -> Option<&IntervalSet> {
         self.ids.get(tuple).map(|&id| &self.entries[id as usize].1)
@@ -465,6 +487,16 @@ impl Database {
     /// Merges `(pred, tuple)@ivs`; returns the genuinely new intervals.
     pub fn merge(&mut self, pred: Symbol, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
         self.rels.entry(pred).or_default().merge(tuple, ivs)
+    }
+
+    /// Removes `ivs` from `(pred, tuple)`'s validity; returns the part
+    /// actually removed. See [`Relation::remove`] for the index-soundness
+    /// contract (entries are kept, the time index stays over-approximate).
+    pub fn remove(&mut self, pred: Symbol, tuple: &[Value], ivs: &IntervalSet) -> IntervalSet {
+        self.rels
+            .get_mut(&pred)
+            .map(|r| r.remove(tuple, ivs))
+            .unwrap_or_default()
     }
 
     /// The interval set of a specific ground atom.
@@ -843,6 +875,98 @@ mod tests {
         for t in 0..=9 {
             assert_eq!(rel.probe_time(&Interval::at(t)), vec![0], "at t={t}");
         }
+    }
+
+    #[test]
+    fn remove_clips_exactly_and_keeps_entries() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
+        db.insert(pred, tup.clone(), Interval::closed_int(0, 10));
+        // Removing the middle leaves two components.
+        let removed = db.remove(
+            pred,
+            &tup,
+            &IntervalSet::from_interval(Interval::closed_int(4, 6)),
+        );
+        assert_eq!(removed.components(), &[Interval::closed_int(4, 6)]);
+        assert!(db.holds_at("p", &[Value::Int(1)], 3));
+        assert!(!db.holds_at("p", &[Value::Int(1)], 5));
+        assert!(db.holds_at("p", &[Value::Int(1)], 7));
+        // Disjoint removal is a no-op; unknown tuples and predicates too.
+        assert!(db
+            .remove(
+                pred,
+                &tup,
+                &IntervalSet::from_interval(Interval::closed_int(40, 60)),
+            )
+            .is_empty());
+        assert!(db
+            .remove(
+                pred,
+                &[Value::Int(9)],
+                &IntervalSet::from_interval(Interval::ALL),
+            )
+            .is_empty());
+        assert!(db
+            .remove(
+                Symbol::new("zzz"),
+                &tup,
+                &IntervalSet::from_interval(Interval::ALL),
+            )
+            .is_empty());
+        // Emptying the set keeps the entry (stable ids) but drops it from
+        // the rendered facts and the component count.
+        db.remove(pred, &tup, &IntervalSet::from_interval(Interval::ALL));
+        assert_eq!(db.tuple_count(), 1);
+        assert_eq!(db.component_count(), 0);
+        assert_eq!(db.to_facts_text(), "");
+        // The tuple can come back through the ordinary merge path.
+        let added = db.merge(
+            pred,
+            tup,
+            &IntervalSet::from_interval(Interval::closed_int(1, 2)),
+        );
+        assert!(!added.is_empty());
+        assert!(db.holds_at("p", &[Value::Int(1)], 2));
+    }
+
+    #[test]
+    fn remove_keeps_value_and_time_probes_sound() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_over("p", &[Value::sym("a")], Interval::closed_int(0, 4));
+        db.assert_over("p", &[Value::sym("b")], Interval::closed_int(10, 14));
+        // Build both index kinds, then remove tuple `a` entirely.
+        assert_eq!(
+            db.relation(pred).unwrap().probe(&[(0, Value::sym("a"))]),
+            vec![0]
+        );
+        assert_eq!(
+            db.relation(pred)
+                .unwrap()
+                .probe_time(&Interval::closed_int(0, 4)),
+            vec![0]
+        );
+        db.remove(
+            pred,
+            &[Value::sym("a")],
+            &IntervalSet::from_interval(Interval::ALL),
+        );
+        let rel = db.relation(pred).unwrap();
+        // Probes may still surface the emptied tuple (over-approximation)
+        // but its interval set is empty, so the exact clip drops it.
+        for &id in &rel.probe(&[(0, Value::sym("a"))]) {
+            assert!(rel
+                .entry(id)
+                .1
+                .intersect_interval(&Interval::closed_int(0, 4))
+                .is_empty());
+        }
+        assert_eq!(rel.probe(&[(0, Value::sym("b"))]), vec![1]);
+        assert!(rel
+            .probe_time(&Interval::closed_int(10, 14))
+            .contains(&1u32));
     }
 
     #[test]

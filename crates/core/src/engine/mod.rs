@@ -18,9 +18,9 @@ mod session;
 pub(crate) use eval::apply_constraint_row;
 pub use plan::{PlanExplain, PlanStepExplain};
 pub use provenance::{Explanation, ProvenanceLog};
-pub use session::Session;
+pub use session::{BaseEvent, RepairPath, RepairReport, Session};
 
-use crate::analysis::{check_program, Stratification};
+use crate::analysis::{check_program, DependencyGraph, Stratification};
 use crate::ast::{HeadOp, Program, Rule, Term};
 use crate::database::Database;
 use crate::error::{Error, Result};
@@ -86,6 +86,19 @@ pub struct ReasonerConfig {
     /// setting produces identical output; only the evaluation order and
     /// the access-path counters move.
     pub cost_based_reorder: bool,
+    /// Incremental repair for out-of-order session corrections
+    /// ([`Session::retract`] / [`Session::submit_late`]): overdelete the
+    /// affected temporal cone, then re-derive from the surviving base
+    /// facts. `false` forces every correction onto the cold
+    /// re-materialization fallback (the `--no-repair` ablation baseline —
+    /// identical output, different path).
+    pub repair: bool,
+    /// Budget for one repair's overdelete cone, counted in tuples whose
+    /// validity intersects the repair window. Exceeding it abandons the
+    /// incremental path and falls back to cold re-materialization from
+    /// the session's base-fact log — past this size a full rebuild is
+    /// cheaper than patching.
+    pub repair_budget: u64,
 }
 
 impl Default for ReasonerConfig {
@@ -102,6 +115,8 @@ impl Default for ReasonerConfig {
             index_joins: true,
             time_index: true,
             cost_based_reorder: true,
+            repair: true,
+            repair_budget: 50_000,
         }
     }
 }
@@ -116,6 +131,19 @@ impl ReasonerConfig {
     /// Convenience: set the evaluation worker count (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Convenience: enable or disable incremental session repair
+    /// (`false` = fallback-only, the ablation baseline).
+    pub fn with_repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Convenience: set the repair overdelete budget (tuples touched).
+    pub fn with_repair_budget(mut self, budget: u64) -> Self {
+        self.repair_budget = budget;
         self
     }
 }
@@ -184,6 +212,40 @@ pub struct WorkerStats {
     pub busy: Duration,
 }
 
+/// Statistics of the session repair path (out-of-order corrections):
+/// the `repairs` section of stats-json v6. A cold fallback still counts
+/// as one attempt, so `incremental + fallbacks == attempted`.
+#[derive(Clone, Debug, Default)]
+pub struct RepairStats {
+    /// Corrections that entered the repair path (retract, late submit,
+    /// or a combined correct — one attempt each).
+    pub attempted: u64,
+    /// Attempts completed by in-place overdelete + re-derive.
+    pub incremental: u64,
+    /// Attempts completed by cold re-materialization from the base-fact
+    /// log (budget trips, incremental errors, or repair disabled).
+    pub fallbacks: u64,
+    /// Fallbacks caused specifically by the overdelete cone exceeding
+    /// [`ReasonerConfig::repair_budget`].
+    pub budget_trips: u64,
+    /// Tuples whose validity intersected a repair window, summed over
+    /// all overdelete passes (the budgeted quantity).
+    pub cone_tuples: u64,
+    /// Interval components actually removed by overdeletion.
+    pub overdeleted_components: u64,
+}
+
+/// What one overdelete pass did (the collection feeding [`RepairStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct OverdeleteOutcome {
+    /// Tuples whose validity intersected the repair window.
+    pub cone_tuples: u64,
+    /// Interval components removed from the materialization.
+    pub removed_components: u64,
+    /// The cone exceeded the budget; nothing was removed.
+    pub budget_tripped: bool,
+}
+
 /// Statistics of one materialization run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -248,6 +310,8 @@ pub struct RunStats {
     /// Per-worker breakdown of the evaluation pool (one entry per worker,
     /// accumulated across strata and advances).
     pub workers: Vec<WorkerStats>,
+    /// Session repair-path breakdown (all zeros for batch runs).
+    pub repairs: RepairStats,
 }
 
 /// Actual-vs-estimated row accounting for one executed plan variant: the
@@ -458,6 +522,17 @@ impl RunStats {
             ("reuses", Json::from(self.pool_reuses)),
             ("respawns", Json::from(self.pool_respawns)),
         ]);
+        let repairs = Json::from_pairs([
+            ("attempted", Json::from(self.repairs.attempted)),
+            ("incremental", Json::from(self.repairs.incremental)),
+            ("fallbacks", Json::from(self.repairs.fallbacks)),
+            ("budget_trips", Json::from(self.repairs.budget_trips)),
+            ("cone_tuples", Json::from(self.repairs.cone_tuples)),
+            (
+                "overdeleted_components",
+                Json::from(self.repairs.overdeleted_components),
+            ),
+        ]);
         Json::from_pairs([
             ("totals", totals),
             ("strata", strata),
@@ -465,6 +540,7 @@ impl RunStats {
             ("workers", workers),
             ("planner", planner),
             ("pool", pool),
+            ("repairs", repairs),
         ])
     }
 }
@@ -646,6 +722,135 @@ impl Reasoner {
                 stats.rules[i].stratum = stratum;
             }
         }
+    }
+
+    /// Predicates whose derivations can depend, directly or transitively,
+    /// on any of `changed` — the predicate dimension of a repair cone.
+    /// Includes the changed predicates themselves: a corrected base
+    /// predicate can carry derived intervals of its own in the
+    /// materialization (e.g. when it also appears in a rule head).
+    pub(crate) fn affected_predicates(&self, changed: &[Symbol]) -> HashSet<Symbol> {
+        let graph = DependencyGraph::build(&self.program);
+        let mut affected: HashSet<Symbol> = changed.iter().copied().collect();
+        let mut frontier: Vec<Symbol> = changed.to_vec();
+        while let Some(p) = frontier.pop() {
+            for (from, to, _) in &graph.edges {
+                if *from == p && affected.insert(*to) {
+                    frontier.push(*to);
+                }
+            }
+        }
+        affected
+    }
+
+    /// DRed-style overdeletion: within `window`, removes from `total`
+    /// every affected tuple's validity except the parts backed by a
+    /// surviving base fact. Over-approximate by design — anything still
+    /// derivable is restored by the re-derivation pass, seeded from the
+    /// surviving facts around the window.
+    ///
+    /// The budget is checked during the (read-only) collection phase, so
+    /// a tripped pass leaves `total` untouched and the caller can fall
+    /// back to cold re-materialization without repairing the repair.
+    pub(crate) fn overdelete(
+        &self,
+        total: &mut Database,
+        base: &Database,
+        affected: &HashSet<Symbol>,
+        window: Interval,
+        budget: u64,
+    ) -> OverdeleteOutcome {
+        let mut outcome = OverdeleteOutcome::default();
+        // Sorted predicate order keeps the pass deterministic (HashSet
+        // iteration is not).
+        let mut preds: Vec<Symbol> = affected.iter().copied().collect();
+        preds.sort();
+        let mut dead: Vec<(Symbol, Tuple, IntervalSet)> = Vec::new();
+        for &pred in &preds {
+            let Some(rel) = total.relation(pred) else {
+                continue;
+            };
+            for (tuple, ivs) in rel.iter() {
+                let clipped = ivs.intersect_interval(&window);
+                if clipped.is_empty() {
+                    continue;
+                }
+                outcome.cone_tuples += 1;
+                if outcome.cone_tuples > budget {
+                    outcome.budget_tripped = true;
+                    return outcome;
+                }
+                let surviving = base.intervals(pred, tuple);
+                let doomed = clipped.difference(&surviving);
+                if !doomed.is_empty() {
+                    dead.push((pred, tuple.clone(), doomed));
+                }
+            }
+        }
+        for (pred, tuple, doomed) in dead {
+            let removed = total.remove(pred, &tuple, &doomed);
+            outcome.removed_components += removed.components().len() as u64;
+        }
+        outcome
+    }
+
+    /// Re-derivation driver shared by the session's watermark advance and
+    /// the repair path: runs every stratum over `horizon`, seeding
+    /// iteration 0 with `seed` (semi-naive against the delta) and folding
+    /// each stratum's additions back into the seed so later strata see
+    /// them. Appends per-stratum iteration counts to `stats.iterations`.
+    pub(crate) fn rederive(
+        &self,
+        total: &mut Database,
+        seed: &mut Database,
+        provenance: &mut Option<ProvenanceLog>,
+        stats: &mut RunStats,
+        horizon: Interval,
+    ) -> Result<()> {
+        for (stratum, rule_indices) in self.strat.rules_by_stratum.iter().enumerate() {
+            let mut collected = Database::new();
+            let iterations = self.run_stratum(
+                stratum,
+                rule_indices,
+                total,
+                provenance,
+                stats,
+                horizon,
+                Some(seed),
+                Some(&mut collected),
+            )?;
+            stats.iterations.push(iterations);
+            for (pred, tuple, ivs) in collected.iter() {
+                seed.merge(pred, tuple.clone(), ivs);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cold re-derivation driver for the session fallback: runs every
+    /// stratum over `horizon` with no seed — a full batch fixpoint
+    /// against `total` — appending per-stratum iteration counts.
+    pub(crate) fn rematerialize(
+        &self,
+        total: &mut Database,
+        provenance: &mut Option<ProvenanceLog>,
+        stats: &mut RunStats,
+        horizon: Interval,
+    ) -> Result<()> {
+        for (stratum, rule_indices) in self.strat.rules_by_stratum.iter().enumerate() {
+            let iterations = self.run_stratum(
+                stratum,
+                rule_indices,
+                total,
+                provenance,
+                stats,
+                horizon,
+                None,
+                None,
+            )?;
+            stats.iterations.push(iterations);
+        }
+        Ok(())
     }
 
     /// Runs one stratum to fixpoint.

@@ -9,7 +9,7 @@
 //! index, so the output is identical to a sequential pass regardless of
 //! which worker ran what.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -79,15 +79,16 @@ impl WorkerPool {
     /// a shared counter until none remain. Must only be called from outside
     /// the pool (a job dispatching into its own pool would deadlock); the
     /// engine guarantees this by only fanning out from the stratum loop's
-    /// thread. Panics in `f` are caught per worker and re-raised here after
-    /// all participants have finished.
+    /// thread. Panics in `f` are caught per worker; the first panic's
+    /// payload is re-raised here (via `resume_unwind`) after all
+    /// participants have finished, so the original message survives.
     pub fn run<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> PoolRun<T> {
         if self.dispatches.fetch_add(1, Ordering::Relaxed) > 0 {
             self.reuses.fetch_add(1, Ordering::Relaxed);
         }
         let participants = self.threads.min(n).max(1);
         let next = AtomicUsize::new(0);
-        let panicked = AtomicBool::new(false);
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         type WorkerOut<T> = (usize, usize, Duration, Vec<(usize, T)>);
         let collected: Mutex<Vec<WorkerOut<T>>> = Mutex::new(Vec::with_capacity(participants));
         let latch = (Mutex::new(0usize), Condvar::new());
@@ -121,7 +122,14 @@ impl WorkerPool {
                             .lock()
                             .expect("pool results lock poisoned")
                             .push(res),
-                        Err(_) => panicked.store(true, Ordering::SeqCst),
+                        Err(payload) => {
+                            let mut first =
+                                panicked.lock().expect("pool panic payload lock poisoned");
+                            // Keep only the first payload: concurrent tasks
+                            // may all panic, but the earliest failure site is
+                            // the one worth surfacing.
+                            first.get_or_insert(payload);
+                        }
                     }
                     let mut finished = latch.0.lock().expect("pool latch lock poisoned");
                     *finished += 1;
@@ -147,8 +155,11 @@ impl WorkerPool {
             finished = latch.1.wait(finished).expect("pool latch lock poisoned");
         }
         drop(finished);
-        if panicked.load(Ordering::SeqCst) {
-            panic!("worker pool task panicked");
+        if let Some(payload) = panicked
+            .into_inner()
+            .expect("pool panic payload lock poisoned")
+        {
+            std::panic::resume_unwind(payload);
         }
 
         let mut per_worker = collected.into_inner().expect("pool results lock poisoned");
@@ -223,7 +234,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker pool task panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let pool = WorkerPool::new(2);
         pool.run(4, |i| {
@@ -232,5 +243,28 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn worker_panic_payload_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                if i == 1 {
+                    panic!("original failure at task {i}");
+                }
+                i
+            });
+        }))
+        .expect_err("the worker panic must propagate to the caller");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert_eq!(msg, "original failure at task 1");
+        // The pool stays usable after a propagated panic.
+        let run = pool.run(3, |i| i);
+        assert_eq!(run.results, vec![0, 1, 2]);
     }
 }

@@ -18,8 +18,72 @@ use crate::ast::{Literal, MetricAtom, Program};
 use crate::database::Database;
 use crate::engine::{ProvenanceLog, Reasoner, RunStats};
 use crate::error::{Error, Result};
+use crate::symbol::Symbol;
+use crate::value::Tuple;
 use crate::Fact;
-use mtl_temporal::{Interval, Rational, TimeBound};
+use mtl_temporal::{Interval, IntervalSet, Rational, TimeBound};
+
+/// One entry of the session's append-only base-fact log. Replaying the
+/// log (asserts minus retractions) reconstructs exactly the surviving
+/// base-fact set the cold-rematerialization fallback rebuilds from.
+/// Pending (not yet materialized) facts never enter the log: they are
+/// asserted when an advance drains them into the materialization, and a
+/// retraction that only cancels a queued fact leaves no trace here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaseEvent {
+    /// The fact entered the base set: genesis, the advance-time drain of
+    /// a submission, a late submit, or the replacement half of a
+    /// correction.
+    Assert(Fact),
+    /// The fact left the base set: a retraction, or the removal half of
+    /// a correction.
+    Retract(Fact),
+}
+
+/// Which path completed an out-of-order correction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairPath {
+    /// Only the pending queue (or the future) changed; the existing
+    /// materialization needed no patching.
+    Pending,
+    /// In-place DRed-style repair: overdelete the affected temporal
+    /// cone, then re-derive from the surviving base facts.
+    Incremental,
+    /// Cold re-materialization from the surviving base-fact set (budget
+    /// trip, incremental error, or repair disabled).
+    ColdFallback,
+}
+
+/// What one correction ([`Session::retract`], [`Session::submit_late`],
+/// or [`Session::correct`]) did to the materialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The path that completed the correction.
+    pub path: RepairPath,
+    /// Tuples whose validity intersected the repair window (the budgeted
+    /// quantity; zero on the non-incremental paths).
+    pub cone_tuples: u64,
+    /// Interval components removed by overdeletion.
+    pub overdeleted_components: u64,
+}
+
+/// Exact match between a correction's target and a stored fact: same
+/// predicate, same interval, and pairwise semantically equal arguments
+/// (the equivalence the database stores tuples under, so `p(2)` matches a
+/// submitted `p(2.0)`).
+fn same_fact(a: &Fact, b: &Fact) -> bool {
+    a.pred == b.pred
+        && a.interval == b.interval
+        && a.args.len() == b.args.len()
+        && a.args.iter().zip(&b.args).all(|(x, y)| x.semantic_eq(y))
+}
+
+fn unknown_fact(fact: &Fact) -> Error {
+    Error::UnknownFact(format!(
+        "{fact} does not match any surviving base fact (never submitted, \
+         already retracted, or a different interval)"
+    ))
+}
 
 /// A live, incrementally maintained materialization.
 ///
@@ -53,6 +117,15 @@ pub struct Session {
     reasoner: Reasoner,
     total: Database,
     pending: Vec<Fact>,
+    /// Surviving base facts (genesis plus drained submissions, minus
+    /// retractions), kept as the individual facts that arrived so that
+    /// overlapping submissions can be retracted one at a time without
+    /// losing the coverage the others still provide.
+    asserted: Vec<Fact>,
+    /// Append-only history of every base-set edit, in arrival order.
+    /// Invariant: folding the log (asserts minus retractions) yields
+    /// exactly `asserted`.
+    log: Vec<BaseEvent>,
     start: Rational,
     now: Rational,
     reach: Rational,
@@ -77,10 +150,25 @@ impl Reasoner {
         chronolog_obs::Registry::global()
             .counter("engine.index_rebuilds_avoided")
             .add(total.built_index_count() as u64);
+        // Genesis facts seed the base-fact log, so the cold fallback can
+        // rebuild them without the caller's original database.
+        let mut asserted = Vec::new();
+        for (pred, tuple, ivs) in initial.iter() {
+            for &interval in ivs.components() {
+                asserted.push(Fact {
+                    pred,
+                    args: tuple.to_vec(),
+                    interval,
+                });
+            }
+        }
+        let log = asserted.iter().cloned().map(BaseEvent::Assert).collect();
         let mut session = Session {
             reasoner: self,
             total,
             pending: Vec::new(),
+            asserted,
+            log,
             start,
             now: start,
             reach,
@@ -109,19 +197,143 @@ impl Session {
         &self.stats
     }
 
+    /// The append-only base-fact log: every base-set edit since genesis.
+    pub fn log(&self) -> &[BaseEvent] {
+        &self.log
+    }
+
+    /// The surviving base facts (genesis plus materialized submissions,
+    /// minus retractions), in arrival order.
+    pub fn base_facts(&self) -> &[Fact] {
+        &self.asserted
+    }
+
     /// Submits a fact that happened strictly after the watermark. It takes
-    /// effect at the next [`Session::advance_to`].
+    /// effect at the next [`Session::advance_to`]. Facts at or below the
+    /// watermark are corrections — use [`Session::submit_late`] (or
+    /// [`Session::retract`] / [`Session::correct`]) for those.
     pub fn submit(&mut self, fact: Fact) -> Result<()> {
         match fact.interval.lo() {
             TimeBound::Finite(lo) if lo > self.now => {
                 self.pending.push(fact);
                 Ok(())
             }
-            other => Err(Error::Eval(format!(
-                "session facts must start strictly after the watermark {} (got {other:?})",
-                self.now
-            ))),
+            _ => Err(Error::Watermark {
+                pred: fact.pred.to_string(),
+                interval: format!("{}", fact.interval),
+                watermark: format!("{}", self.now),
+            }),
         }
+    }
+
+    /// Retracts a base fact — queued or already materialized — and
+    /// patches the materialization. The fact must match one surviving
+    /// submission exactly (predicate, arguments, interval); to shrink an
+    /// interval, retract the original fact and late-submit the remainder.
+    pub fn retract(&mut self, fact: Fact) -> Result<RepairReport> {
+        chronolog_obs::Registry::global()
+            .counter("session.retractions")
+            .inc();
+        // A queued fact was never materialized: cancelling it is free.
+        if let Some(pos) = self.pending.iter().position(|p| same_fact(p, &fact)) {
+            self.pending.remove(pos);
+            return Ok(RepairReport {
+                path: RepairPath::Pending,
+                cone_tuples: 0,
+                overdeleted_components: 0,
+            });
+        }
+        let cut = self.remove_base_fact(&fact)?;
+        self.repair(vec![fact.pred], cut)
+    }
+
+    /// Submits a fact at or below the watermark and patches the
+    /// materialization. Facts starting strictly after the watermark are
+    /// queued exactly like [`Session::submit`]; facts straddling it
+    /// (start at or below, end beyond) are rejected — advance past the
+    /// end first, or split the fact at the watermark.
+    pub fn submit_late(&mut self, fact: Fact) -> Result<RepairReport> {
+        if matches!(fact.interval.lo(), TimeBound::Finite(lo) if lo > self.now) {
+            self.submit(fact)?;
+            return Ok(RepairReport {
+                path: RepairPath::Pending,
+                cone_tuples: 0,
+                overdeleted_components: 0,
+            });
+        }
+        chronolog_obs::Registry::global()
+            .counter("session.late_facts")
+            .inc();
+        let beyond = match fact.interval.hi() {
+            TimeBound::Finite(hi) => hi > self.now,
+            _ => true,
+        };
+        if beyond {
+            return Err(Error::Eval(format!(
+                "late fact {fact} extends beyond the watermark {}; advance \
+                 past its end first, or split it at the watermark",
+                self.now
+            )));
+        }
+        let cut = self.add_base_fact(&fact);
+        self.repair(vec![fact.pred], cut)
+    }
+
+    /// Replaces `old` with `new` in one atomic correction: both edits are
+    /// applied, then a single repair pass covers their union. `old` must
+    /// match a surviving (or queued) base fact; `new` obeys the same
+    /// rules as [`Session::submit_late`]. Validation happens before any
+    /// mutation, so an error leaves the session unchanged.
+    pub fn correct(&mut self, old: Fact, new: Fact) -> Result<RepairReport> {
+        chronolog_obs::Registry::global()
+            .counter("session.corrections")
+            .inc();
+        let old_pending = self.pending.iter().position(|p| same_fact(p, &old));
+        if old_pending.is_none() && !self.asserted.iter().any(|a| same_fact(a, &old)) {
+            return Err(unknown_fact(&old));
+        }
+        let new_is_future = matches!(new.interval.lo(), TimeBound::Finite(lo) if lo > self.now);
+        if !new_is_future {
+            let beyond = match new.interval.hi() {
+                TimeBound::Finite(hi) => hi > self.now,
+                _ => true,
+            };
+            if beyond {
+                return Err(Error::Eval(format!(
+                    "late fact {new} extends beyond the watermark {}; advance \
+                     past its end first, or split it at the watermark",
+                    self.now
+                )));
+            }
+        }
+        let mut cuts: Vec<Rational> = Vec::new();
+        let mut preds: Vec<Symbol> = Vec::new();
+        match old_pending {
+            Some(pos) => {
+                self.pending.remove(pos);
+            }
+            None => {
+                preds.push(old.pred);
+                cuts.push(self.remove_base_fact(&old)?);
+            }
+        }
+        if new_is_future {
+            self.submit(new)?;
+        } else {
+            preds.push(new.pred);
+            cuts.push(self.add_base_fact(&new));
+        }
+        let Some(&cut) = cuts.iter().min() else {
+            // Both halves only touched the pending queue.
+            return Ok(RepairReport {
+                path: RepairPath::Pending,
+                cone_tuples: 0,
+                overdeleted_components: 0,
+            });
+        };
+        preds.sort();
+        preds.dedup();
+        self.repair(preds, cut)
     }
 
     /// Advances the watermark to `t`, deriving everything in `(now, t]`.
@@ -145,6 +357,303 @@ impl Session {
         }
         self.run_advance(t)?;
         Ok(&self.total)
+    }
+
+    /// Removes one materialized base fact: drops it from the surviving
+    /// set, logs the retraction, and strips the no-longer-backed part of
+    /// its validity from the materialization. Returns the repair cut.
+    fn remove_base_fact(&mut self, fact: &Fact) -> Result<Rational> {
+        let pos = self
+            .asserted
+            .iter()
+            .position(|a| same_fact(a, fact))
+            .ok_or_else(|| unknown_fact(fact))?;
+        self.asserted.remove(pos);
+        self.log.push(BaseEvent::Retract(fact.clone()));
+        // Other surviving submissions may overlap the retracted interval;
+        // only the part no longer backed by any of them leaves the
+        // database. The within-window part would be overdeleted anyway,
+        // but the explicit removal also covers validity outside the
+        // repair window (genesis facts below the session start, or beyond
+        // the watermark), where nothing at or below `now` depends on it.
+        let mut backed = IntervalSet::new();
+        for a in &self.asserted {
+            if a.pred == fact.pred
+                && a.args.len() == fact.args.len()
+                && a.args.iter().zip(&fact.args).all(|(x, y)| x.semantic_eq(y))
+            {
+                backed.insert(a.interval);
+            }
+        }
+        let doomed = IntervalSet::from_interval(fact.interval).difference(&backed);
+        if !doomed.is_empty() {
+            let tuple: Tuple = fact.args.clone().into_boxed_slice();
+            self.total.remove(fact.pred, &tuple, &doomed);
+        }
+        Ok(self.cut_for(fact))
+    }
+
+    /// Adds one late base fact to the surviving set, the log, and the
+    /// materialization. Returns the repair cut.
+    fn add_base_fact(&mut self, fact: &Fact) -> Rational {
+        self.asserted.push(fact.clone());
+        self.log.push(BaseEvent::Assert(fact.clone()));
+        self.total.insert_fact(fact);
+        self.cut_for(fact)
+    }
+
+    /// The earliest instant whose derivations a base edit at `fact` can
+    /// affect: the fact's start, clamped to the session start (there are
+    /// no derivations below the start; look-backs below it read the
+    /// database directly and see the already-applied base edit).
+    fn cut_for(&self, fact: &Fact) -> Rational {
+        match fact.interval.lo() {
+            TimeBound::Finite(lo) => lo.max(self.start),
+            _ => self.start,
+        }
+    }
+
+    /// The surviving base-fact set as a database (what the cold fallback
+    /// rebuilds from, and what overdeletion must not remove).
+    fn surviving_base(&self) -> Database {
+        let mut base = Database::new();
+        for fact in &self.asserted {
+            base.insert_fact(fact);
+        }
+        base
+    }
+
+    /// Patches the materialization after a base edit whose cut is `cut`:
+    /// overdelete the affected cone within `[cut, now]`, then re-derive
+    /// from the surviving facts — transparently falling back to cold
+    /// re-materialization when the cone exceeds the configured budget,
+    /// when the incremental pass returns any error, or when repair is
+    /// disabled ([`ReasonerConfig::repair`]).
+    ///
+    /// [`ReasonerConfig::repair`]: crate::ReasonerConfig::repair
+    fn repair(&mut self, changed: Vec<Symbol>, cut: Rational) -> Result<RepairReport> {
+        let started = std::time::Instant::now();
+        self.reasoner.init_rule_stats(&mut self.stats);
+        self.stats.repairs.attempted += 1;
+        let registry = chronolog_obs::Registry::global();
+        registry.counter("session.repairs").inc();
+        let mut repair_span = self
+            .reasoner
+            .config()
+            .profiler
+            .as_ref()
+            .map(|p| p.span("repair"));
+
+        let report = if cut > self.now {
+            // The edit lies entirely above the watermark: in the
+            // forward-propagating fragment nothing at or below `now` can
+            // depend on it, so the base edit alone was the repair.
+            self.stats.repairs.incremental += 1;
+            RepairReport {
+                path: RepairPath::Incremental,
+                cone_tuples: 0,
+                overdeleted_components: 0,
+            }
+        } else if !self.reasoner.config().repair {
+            self.cold_rematerialize()?
+        } else {
+            match self.try_incremental(&changed, cut) {
+                Ok(Some(report)) => report,
+                Ok(None) => {
+                    // Budget trip: the collection phase left the
+                    // materialization untouched, rebuild from the log.
+                    self.stats.repairs.budget_trips += 1;
+                    registry.counter("session.repair_budget_trips").inc();
+                    self.cold_rematerialize()?
+                }
+                // Any incremental error degrades to the cold path — the
+                // overdelete may have partially applied, and the rebuild
+                // restores a consistent materialization regardless.
+                Err(_) => self.cold_rematerialize()?,
+            }
+        };
+
+        if let Some(s) = repair_span.as_mut() {
+            s.add("cone_tuples", report.cone_tuples);
+            s.add("fallback", (report.path == RepairPath::ColdFallback) as u64);
+        }
+        let latency = started.elapsed();
+        self.stats.elapsed += latency;
+        self.stats.total_components = self.total.component_count();
+        registry
+            .histogram("session.repair_latency_us")
+            .record(latency.as_micros() as u64);
+        if let Some(tracer) = &self.reasoner.config().tracer {
+            tracer.emit(
+                "repair",
+                vec![
+                    (
+                        "path",
+                        chronolog_obs::Json::from(match report.path {
+                            RepairPath::Pending => "pending",
+                            RepairPath::Incremental => "incremental",
+                            RepairPath::ColdFallback => "cold_fallback",
+                        }),
+                    ),
+                    ("cut", chronolog_obs::Json::from(format!("{cut}"))),
+                    ("cone_tuples", chronolog_obs::Json::from(report.cone_tuples)),
+                    (
+                        "overdeleted_components",
+                        chronolog_obs::Json::from(report.overdeleted_components),
+                    ),
+                    (
+                        "latency_us",
+                        chronolog_obs::Json::from(latency.as_micros() as u64),
+                    ),
+                ],
+            );
+        }
+        Ok(report)
+    }
+
+    /// The in-place repair path. `Ok(None)` means the cone exceeded the
+    /// budget (nothing was removed); an `Err` means the re-derivation
+    /// failed partway and the caller must rebuild.
+    fn try_incremental(
+        &mut self,
+        changed: &[Symbol],
+        cut: Rational,
+    ) -> Result<Option<RepairReport>> {
+        let window = Interval::new(
+            TimeBound::Finite(cut),
+            true,
+            TimeBound::Finite(self.now),
+            true,
+        )
+        .ok_or_else(|| {
+            Error::EmptyWindow(format!("repair window {cut}..{} collapsed", self.now))
+        })?;
+        let base = self.surviving_base();
+        let affected = self.reasoner.affected_predicates(changed);
+        let outcome = {
+            let mut od_span = self
+                .reasoner
+                .config()
+                .profiler
+                .as_ref()
+                .map(|p| p.span("overdelete"));
+            let budget = self.reasoner.config().repair_budget;
+            let out = self
+                .reasoner
+                .overdelete(&mut self.total, &base, &affected, window, budget);
+            if let Some(s) = od_span.as_mut() {
+                s.add("cone_tuples", out.cone_tuples);
+                s.add("removed_components", out.removed_components);
+            }
+            out
+        };
+        self.stats.repairs.cone_tuples += outcome.cone_tuples;
+        if outcome.budget_tripped {
+            return Ok(None);
+        }
+        self.stats.repairs.overdeleted_components += outcome.removed_components;
+
+        // Re-derive: seed with every surviving fact a derivation in the
+        // repair window can reach (`[cut − reach, now]` — the same
+        // boundary-slice argument as the watermark advance).
+        let window_lo = cut.checked_sub(self.reach).ok_or_else(|| {
+            Error::TimeOverflow(format!(
+                "repair seed window start {cut} - {} leaves the rational timeline",
+                self.reach
+            ))
+        })?;
+        let seed_window = Interval::new(
+            TimeBound::Finite(window_lo),
+            true,
+            TimeBound::Finite(self.now),
+            true,
+        )
+        .ok_or_else(|| {
+            Error::EmptyWindow(format!(
+                "repair seed window {window_lo}..{} collapsed",
+                self.now
+            ))
+        })?;
+        let horizon = self.session_horizon(self.now)?;
+        let mut seed = Database::new();
+        for (pred, tuple, ivs) in self.total.iter() {
+            let clipped = ivs.intersect_interval(&seed_window);
+            if !clipped.is_empty() {
+                seed.merge(pred, tuple.clone(), &clipped);
+            }
+        }
+        {
+            let mut rd_span = self
+                .reasoner
+                .config()
+                .profiler
+                .as_ref()
+                .map(|p| p.span("rederive"));
+            let mut provenance: Option<ProvenanceLog> = None;
+            self.reasoner.rederive(
+                &mut self.total,
+                &mut seed,
+                &mut provenance,
+                &mut self.stats,
+                horizon,
+            )?;
+            if let Some(s) = rd_span.as_mut() {
+                s.add("seed_tuples", seed.tuple_count() as u64);
+            }
+        }
+        self.stats.repairs.incremental += 1;
+        Ok(Some(RepairReport {
+            path: RepairPath::Incremental,
+            cone_tuples: outcome.cone_tuples,
+            overdeleted_components: outcome.removed_components,
+        }))
+    }
+
+    /// The robustness backstop: rebuilds the whole materialization from
+    /// the surviving base-fact set, exactly like a batch run over
+    /// `[start, now]`. Errors here propagate — there is nothing further
+    /// to degrade to — and leave the previous materialization in place.
+    fn cold_rematerialize(&mut self) -> Result<RepairReport> {
+        self.stats.repairs.fallbacks += 1;
+        chronolog_obs::Registry::global()
+            .counter("session.repair_fallbacks")
+            .inc();
+        let mut span = self
+            .reasoner
+            .config()
+            .profiler
+            .as_ref()
+            .map(|p| p.span("rematerialize"));
+        let horizon = self.session_horizon(self.now)?;
+        let mut total = self.surviving_base();
+        let mut provenance: Option<ProvenanceLog> = None;
+        self.reasoner
+            .rematerialize(&mut total, &mut provenance, &mut self.stats, horizon)?;
+        if let Some(s) = span.as_mut() {
+            s.add("tuples", total.tuple_count() as u64);
+        }
+        self.total = total;
+        Ok(RepairReport {
+            path: RepairPath::ColdFallback,
+            cone_tuples: 0,
+            overdeleted_components: 0,
+        })
+    }
+
+    /// The session's derivation horizon `[start, t]` as an interval.
+    fn session_horizon(&self, t: Rational) -> Result<Interval> {
+        Interval::new(
+            TimeBound::Finite(self.start),
+            true,
+            TimeBound::Finite(t),
+            true,
+        )
+        .ok_or_else(|| {
+            Error::EmptyWindow(format!(
+                "session horizon {}..{t} collapsed (target below start)",
+                self.start
+            ))
+        })
     }
 
     fn run_advance(&mut self, t: Rational) -> Result<()> {
@@ -173,7 +682,13 @@ impl Session {
             TimeBound::Finite(t),
             true,
         )
-        .expect("non-empty seed window");
+        .ok_or_else(|| {
+            Error::EmptyWindow(format!(
+                "advance seed window {window_lo}..{t} collapsed (target below \
+                 the watermark {})",
+                self.now
+            ))
+        })?;
         let mut seed = Database::new();
         for (pred, tuple, ivs) in self.total.iter() {
             let clipped = ivs.intersect_interval(&window);
@@ -188,37 +703,24 @@ impl Session {
                 fact.args.clone().into_boxed_slice(),
                 fact.interval,
             );
+            // Draining materializes the fact: it becomes part of the base
+            // set the repair paths preserve and the cold fallback replays.
+            self.asserted.push(fact.clone());
+            self.log.push(BaseEvent::Assert(fact));
         }
         let seed_tuples = seed.tuple_count();
 
-        let horizon = Interval::new(
-            TimeBound::Finite(self.start),
-            true,
-            TimeBound::Finite(t),
-            true,
-        )
-        .expect("non-empty horizon");
+        let horizon = self.session_horizon(t)?;
 
         // Each stratum's new facts also become seeds for the next stratum.
         let mut provenance: Option<ProvenanceLog> = None;
-        let strata: Vec<Vec<usize>> = self.reasoner.stratification().rules_by_stratum.clone();
-        for (stratum, rule_indices) in strata.iter().enumerate() {
-            let mut collected = Database::new();
-            let iterations = self.reasoner.run_stratum(
-                stratum,
-                rule_indices,
-                &mut self.total,
-                &mut provenance,
-                &mut self.stats,
-                horizon,
-                Some(&seed),
-                Some(&mut collected),
-            )?;
-            self.stats.iterations.push(iterations);
-            for (pred, tuple, ivs) in collected.iter() {
-                seed.merge(pred, tuple.clone(), ivs);
-            }
-        }
+        self.reasoner.rederive(
+            &mut self.total,
+            &mut seed,
+            &mut provenance,
+            &mut self.stats,
+            horizon,
+        )?;
         self.now = t;
         if let Some(s) = advance_span.as_mut() {
             s.add("pending", pending_count as u64);
@@ -484,6 +986,356 @@ mod tests {
         s.advance_to(10).unwrap();
         assert!(s.database().holds_at("h", &[Value::sym("a")], 5));
         assert!(!s.database().holds_at("h", &[Value::sym("a")], 9));
+    }
+
+    /// Cold-run oracle: materialize `facts` over `[0, hi]` with the
+    /// margin program and render the result.
+    fn cold_margin(facts: &str, hi: i64) -> String {
+        let program = parse_program(MARGIN_RULES).unwrap();
+        let mut db = Database::new();
+        db.extend_facts(&parse_facts(facts).unwrap());
+        Reasoner::new(program, ReasonerConfig::default().with_horizon(0, hi))
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .database
+            .to_facts_text()
+    }
+
+    #[test]
+    fn watermark_error_names_predicate_and_interval() {
+        let mut s = session();
+        s.advance_to(10).unwrap();
+        let err = s
+            .submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 7))
+            .unwrap_err();
+        match &err {
+            Error::Watermark {
+                pred,
+                interval,
+                watermark,
+            } => {
+                assert_eq!(pred, "tranM");
+                assert!(interval.contains('7'), "interval rendered: {interval}");
+                assert_eq!(watermark, "10");
+            }
+            other => panic!("expected Error::Watermark, got {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("tranM"), "message: {rendered}");
+    }
+
+    #[test]
+    fn retract_of_unknown_fact_is_typed() {
+        let mut s = session();
+        let err = s
+            .retract(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 5))
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownFact(_)), "got {err:?}");
+        // Same interval-mismatch case: the fact exists but over a
+        // different interval.
+        s.submit(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 3))
+            .unwrap();
+        s.advance_to(5).unwrap();
+        let err = s
+            .retract(Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 4))
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownFact(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn retract_of_pending_fact_skips_repair() {
+        let mut s = session();
+        let f = Fact::at("tranM", vec![Value::sym("a"), Value::num(9.0)], 6);
+        s.submit(f.clone()).unwrap();
+        let report = s.retract(f).unwrap();
+        assert_eq!(report.path, RepairPath::Pending);
+        assert_eq!(s.stats().repairs.attempted, 0);
+        s.advance_to(10).unwrap();
+        assert_eq!(s.database().to_facts_text(), cold_margin("", 10));
+    }
+
+    #[test]
+    fn retract_patches_to_cold_equivalent() {
+        let mut s = session();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            3,
+        ))
+        .unwrap();
+        s.advance_to(6).unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(3.0)],
+            8,
+        ))
+        .unwrap();
+        s.advance_to(12).unwrap();
+        // The first transaction turns out to be bogus: retract it.
+        let report = s
+            .retract(Fact::at(
+                "tranM",
+                vec![Value::sym("acc"), Value::num(97.0)],
+                3,
+            ))
+            .unwrap();
+        assert_eq!(report.path, RepairPath::Incremental);
+        assert!(report.cone_tuples > 0);
+        assert_eq!(
+            s.database().to_facts_text(),
+            cold_margin("tranM(acc, 3.0)@8.", 12)
+        );
+        assert_eq!(s.stats().repairs.attempted, 1);
+        assert_eq!(s.stats().repairs.incremental, 1);
+        // The session keeps working after a repair.
+        s.advance_to(15).unwrap();
+        assert_eq!(
+            s.database().to_facts_text(),
+            cold_margin("tranM(acc, 3.0)@8.", 15)
+        );
+    }
+
+    #[test]
+    fn late_submit_patches_to_cold_equivalent() {
+        let mut s = session();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(3.0)],
+            8,
+        ))
+        .unwrap();
+        s.advance_to(12).unwrap();
+        // A transaction from t=3 arrives late.
+        let report = s
+            .submit_late(Fact::at(
+                "tranM",
+                vec![Value::sym("acc"), Value::num(97.0)],
+                3,
+            ))
+            .unwrap();
+        assert_eq!(report.path, RepairPath::Incremental);
+        assert_eq!(
+            s.database().to_facts_text(),
+            cold_margin("tranM(acc, 97.0)@3.\ntranM(acc, 3.0)@8.", 12)
+        );
+    }
+
+    #[test]
+    fn late_fact_straddling_the_watermark_is_rejected() {
+        let mut s = session();
+        s.advance_to(10).unwrap();
+        let err = s
+            .submit_late(Fact::over(
+                "tranM",
+                vec![Value::sym("a"), Value::num(1.0)],
+                Interval::closed_int(5, 15),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, Error::Eval(_)), "got {err:?}");
+        // A future fact through submit_late just queues.
+        let report = s
+            .submit_late(Fact::at(
+                "tranM",
+                vec![Value::sym("a"), Value::num(1.0)],
+                12,
+            ))
+            .unwrap();
+        assert_eq!(report.path, RepairPath::Pending);
+    }
+
+    #[test]
+    fn correct_replaces_in_one_repair() {
+        let mut s = session();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            3,
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        // The amount was wrong: 97 → 42, one atomic correction.
+        let report = s
+            .correct(
+                Fact::at("tranM", vec![Value::sym("acc"), Value::num(97.0)], 3),
+                Fact::at("tranM", vec![Value::sym("acc"), Value::num(42.0)], 3),
+            )
+            .unwrap();
+        assert_eq!(report.path, RepairPath::Incremental);
+        assert_eq!(s.stats().repairs.attempted, 1);
+        assert_eq!(
+            s.database().to_facts_text(),
+            cold_margin("tranM(acc, 42.0)@3.", 10)
+        );
+        // Correcting an unknown fact errors before mutating anything.
+        let before = s.database().to_facts_text();
+        assert!(matches!(
+            s.correct(
+                Fact::at("tranM", vec![Value::sym("acc"), Value::num(1.0)], 4),
+                Fact::at("tranM", vec![Value::sym("acc"), Value::num(2.0)], 4),
+            ),
+            Err(Error::UnknownFact(_))
+        ));
+        assert_eq!(s.database().to_facts_text(), before);
+        assert_eq!(s.stats().repairs.attempted, 1);
+    }
+
+    #[test]
+    fn budget_trip_falls_back_to_cold() {
+        let program = parse_program(MARGIN_RULES).unwrap();
+        let mut s = Reasoner::new(program, ReasonerConfig::default().with_repair_budget(0))
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            3,
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        let report = s
+            .retract(Fact::at(
+                "tranM",
+                vec![Value::sym("acc"), Value::num(97.0)],
+                3,
+            ))
+            .unwrap();
+        assert_eq!(report.path, RepairPath::ColdFallback);
+        assert_eq!(s.stats().repairs.budget_trips, 1);
+        assert_eq!(s.stats().repairs.fallbacks, 1);
+        assert_eq!(s.database().to_facts_text(), cold_margin("", 10));
+    }
+
+    #[test]
+    fn repair_disabled_always_falls_back() {
+        let program = parse_program(MARGIN_RULES).unwrap();
+        let mut s = Reasoner::new(program, ReasonerConfig::default().with_repair(false))
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .unwrap();
+        s.submit(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            3,
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        s.submit_late(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(3.0)],
+            5,
+        ))
+        .unwrap();
+        s.retract(Fact::at(
+            "tranM",
+            vec![Value::sym("acc"), Value::num(97.0)],
+            3,
+        ))
+        .unwrap();
+        let r = &s.stats().repairs;
+        assert_eq!(r.attempted, 2);
+        assert_eq!(r.fallbacks, 2);
+        assert_eq!(r.incremental, 0);
+        assert_eq!(
+            s.database().to_facts_text(),
+            cold_margin("tranM(acc, 3.0)@5.", 10)
+        );
+    }
+
+    #[test]
+    fn overlapping_submissions_retract_independently() {
+        let program = parse_program("h(X) :- p(X).").unwrap();
+        let mut s = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&Database::new(), 0)
+            .unwrap();
+        s.submit(Fact::over(
+            "p",
+            vec![Value::sym("a")],
+            Interval::closed_int(1, 5),
+        ))
+        .unwrap();
+        s.submit(Fact::over(
+            "p",
+            vec![Value::sym("a")],
+            Interval::closed_int(3, 8),
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        // Retracting the second submission must keep the first's [1, 5]
+        // coverage intact even though the intervals coalesced in storage.
+        s.retract(Fact::over(
+            "p",
+            vec![Value::sym("a")],
+            Interval::closed_int(3, 8),
+        ))
+        .unwrap();
+        assert!(s.database().holds_at("h", &[Value::sym("a")], 5));
+        assert!(!s.database().holds_at("h", &[Value::sym("a")], 6));
+        // Retracting it again is an error: it no longer survives.
+        assert!(matches!(
+            s.retract(Fact::over(
+                "p",
+                vec![Value::sym("a")],
+                Interval::closed_int(3, 8),
+            )),
+            Err(Error::UnknownFact(_))
+        ));
+    }
+
+    #[test]
+    fn genesis_facts_can_be_retracted() {
+        let program = parse_program("h(X) :- p(X), rate(X, R).").unwrap();
+        let mut init = Database::new();
+        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap());
+        let mut s = Reasoner::new(program, ReasonerConfig::default())
+            .unwrap()
+            .into_session(&init, 0)
+            .unwrap();
+        s.submit(Fact::over(
+            "p",
+            vec![Value::sym("a")],
+            Interval::closed_int(3, 8),
+        ))
+        .unwrap();
+        s.advance_to(10).unwrap();
+        assert!(s.database().holds_at("h", &[Value::sym("a")], 5));
+        // Retract the rigid genesis fact (its interval is (-inf, inf)).
+        s.retract(Fact {
+            pred: crate::Symbol::new("rate"),
+            args: vec![Value::sym("a"), Value::num(0.5)],
+            interval: Interval::ALL,
+        })
+        .unwrap();
+        assert!(!s.database().holds_at("h", &[Value::sym("a")], 5));
+        assert!(!s
+            .database()
+            .holds_at("rate", &[Value::sym("a"), Value::num(0.5)], 5));
+        assert!(s.database().holds_at("p", &[Value::sym("a")], 5));
+    }
+
+    #[test]
+    fn log_replay_matches_surviving_set() {
+        let mut s = session();
+        let f1 = Fact::at("tranM", vec![Value::sym("a"), Value::num(1.0)], 2);
+        let f2 = Fact::at("tranM", vec![Value::sym("b"), Value::num(2.0)], 4);
+        s.submit(f1.clone()).unwrap();
+        s.submit(f2.clone()).unwrap();
+        s.advance_to(5).unwrap();
+        s.retract(f1.clone()).unwrap();
+        // Fold the log: asserts minus retractions == surviving base set.
+        let mut folded: Vec<Fact> = Vec::new();
+        for ev in s.log() {
+            match ev {
+                BaseEvent::Assert(f) => folded.push(f.clone()),
+                BaseEvent::Retract(f) => {
+                    let pos = folded.iter().position(|a| a == f).unwrap();
+                    folded.remove(pos);
+                }
+            }
+        }
+        assert_eq!(folded, s.base_facts());
     }
 
     #[test]

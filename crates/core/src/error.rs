@@ -27,6 +27,23 @@ pub enum Error {
     /// Temporal endpoint arithmetic overflowed the rational timeline
     /// (an operator window shifted an interval past the `i64` range).
     TimeOverflow(String),
+    /// A session fact does not start strictly after the watermark. Use
+    /// `Session::submit_late` / `Session::retract` for corrections below
+    /// the watermark.
+    Watermark {
+        /// Predicate of the offending fact.
+        pred: String,
+        /// The fact's validity interval, rendered.
+        interval: String,
+        /// The session watermark the fact collided with.
+        watermark: String,
+    },
+    /// A derivation or seed window collapsed to the empty interval
+    /// (`lo > hi` after clipping) where a non-empty one was required.
+    EmptyWindow(String),
+    /// A retraction named a fact that is not part of the session's
+    /// surviving base-fact set (never submitted, or already retracted).
+    UnknownFact(String),
 }
 
 impl Error {
@@ -49,6 +66,18 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
             Error::TimeOverflow(m) => write!(f, "temporal overflow: {m}"),
+            Error::Watermark {
+                pred,
+                interval,
+                watermark,
+            } => write!(
+                f,
+                "watermark violation: fact {pred}@{interval} does not start strictly \
+                 after the watermark {watermark} (use submit_late/retract to correct \
+                 history at or below it)"
+            ),
+            Error::EmptyWindow(m) => write!(f, "empty window: {m}"),
+            Error::UnknownFact(m) => write!(f, "unknown fact: {m}"),
         }
     }
 }

@@ -58,8 +58,9 @@ pub use ast::{
 };
 pub use database::{Database, Relation};
 pub use engine::{
-    Explanation, Materialization, PlanExplain, PlanFeedback, PlanStepExplain, ProvenanceLog,
-    Reasoner, ReasonerConfig, RuleStats, RunStats, Session, StratumStats,
+    BaseEvent, Explanation, Materialization, PlanExplain, PlanFeedback, PlanStepExplain,
+    ProvenanceLog, Reasoner, ReasonerConfig, RepairPath, RepairReport, RepairStats, RuleStats,
+    RunStats, Session, StratumStats,
 };
 pub use error::{Error, Result};
 pub use parser::{parse_facts, parse_program, parse_rule, parse_source};
