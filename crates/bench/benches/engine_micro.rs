@@ -3,7 +3,7 @@
 
 use chronolog_bench::microbench::{black_box, Bench};
 use chronolog_core::{
-    parse_program, parse_source, Database, Fact, Reasoner, ReasonerConfig, Value,
+    parse_program, parse_source, Database, Fact, Reasoner, ReasonerConfig, StorageMode, Value,
 };
 use mtl_temporal::{Interval, IntervalSet, MetricInterval, Rational};
 
@@ -92,7 +92,7 @@ fn bench_small_materialization(c: &mut Bench) {
     )
     .unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     c.bench_function("materialize_recursion_1k_steps", |b| {
         b.iter_batched(
             || {
@@ -347,6 +347,52 @@ fn bench_session_stream(c: &mut Bench) {
     group.finish();
 }
 
+/// Raw scan throughput of the two relation layouts: one full-scan rule
+/// over a 20k-tuple relation, so evaluation time is dominated by walking
+/// stored tuples. The columnar layout runs dense `u32` semantic-id
+/// compares over flat columns; the row layout unifies against boxed
+/// tuples. Alongside wall time, each layout's storage footprint is
+/// reported as `bytes_per_tuple` in the JSON report (schema v3), with the
+/// `Value` / `Interval` ABI sizes in `environment` for context.
+fn bench_columnar_scan(c: &mut Bench) {
+    // index_joins off so every lookup is a full scan of `big`; the guard
+    // `sel` relation keeps the binding count small, isolating scan cost.
+    let src = "hit(X, V) :- sel(X), big(X, V).";
+    let program = parse_program(src).unwrap();
+    const TUPLES: i64 = 20_000;
+    let mut col_db = Database::new();
+    for i in 0..TUPLES {
+        col_db.assert_at("big", &[Value::Int(i % 500), Value::Int(i)], i % 16);
+    }
+    for t in 0..16i64 {
+        col_db.assert_at("sel", &[Value::Int(7)], t);
+        col_db.assert_at("sel", &[Value::Int(333)], t);
+    }
+    let row_db = col_db.to_mode(StorageMode::Row);
+
+    let run = |row_store: bool, db: &Database| {
+        let config = ReasonerConfig {
+            index_joins: false,
+            time_index: false,
+            row_store,
+            ..ReasonerConfig::default().with_horizon(0, 16)
+        };
+        Reasoner::new(program.clone(), config)
+            .unwrap()
+            .materialize(db)
+            .unwrap()
+    };
+
+    let mut group = c.group("columnar_scan");
+    group.sample_size(10);
+    group.bench_function("columnar", |b| b.iter(|| black_box(run(false, &col_db))));
+    group.bench_function("row_store", |b| b.iter(|| black_box(run(true, &row_db))));
+    group.finish();
+    let per_tuple = |db: &Database| db.storage_bytes() as f64 / db.tuple_count().max(1) as f64;
+    c.annotate_bytes_per_tuple("columnar_scan/columnar", per_tuple(&col_db));
+    c.annotate_bytes_per_tuple("columnar_scan/row_store", per_tuple(&row_db));
+}
+
 fn bench_repair(c: &mut Bench) {
     // Out-of-order corrections on a warm session: each iteration is a
     // state-restoring retract + late-resubmit of one mid-history fact, so
@@ -392,6 +438,11 @@ fn bench_repair(c: &mut Bench) {
     let mut group = c.group("repair");
     group.sample_size(10);
     let mut warm = build_session(ReasonerConfig::default());
+    // One unmeasured cycle up front: it proves the path assertion below
+    // even when a --filter skips the timed iterations, and warms the
+    // session so the first sample is comparable to the rest.
+    warm.retract(churn.clone()).unwrap();
+    warm.submit_late(churn.clone()).unwrap();
     group.bench_function("repair_small_cone", |b| {
         b.iter(|| {
             warm.retract(churn.clone()).unwrap();
@@ -401,6 +452,8 @@ fn bench_repair(c: &mut Bench) {
     });
     assert!(warm.stats().repairs.incremental > 0);
     let mut cold = build_session(ReasonerConfig::default().with_repair(false));
+    cold.retract(churn.clone()).unwrap();
+    cold.submit_late(churn.clone()).unwrap();
     group.bench_function("repair_fallback_cold", |b| {
         b.iter(|| {
             cold.retract(churn.clone()).unwrap();
@@ -421,6 +474,12 @@ fn main() {
     bench_profiling_overhead(&mut c);
     bench_reorder_heavy(&mut c);
     bench_windowed_join(&mut c);
+    bench_columnar_scan(&mut c);
     bench_session_stream(&mut c);
     bench_repair(&mut c);
+    c.set_env("value_size_bytes", std::mem::size_of::<Value>() as u64);
+    c.set_env(
+        "interval_size_bytes",
+        std::mem::size_of::<Interval>() as u64,
+    );
 }

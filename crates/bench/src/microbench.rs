@@ -26,7 +26,12 @@ pub use std::hint::black_box;
 /// benches: [{name, median_ns, min_ns, mean_ns, iters, samples}]}`.
 /// v2 added the `environment` section (`cpus` — the parallelism available
 /// to the run, so multi-core baselines are labeled as such).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// v3 added memory-footprint reporting: caller-supplied `environment`
+/// fields (see [`Bench::set_env`]; the engine benches record the ABI
+/// sizes of `Value` and `Interval` there) and an optional per-bench
+/// `bytes_per_tuple` field (see [`Bench::annotate_bytes_per_tuple`]) for
+/// benches that measure storage footprint alongside wall time.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// One finished benchmark's timing summary (per-iteration durations).
 struct BenchResult {
@@ -36,6 +41,9 @@ struct BenchResult {
     mean: Duration,
     iters: u64,
     samples: usize,
+    /// Storage bytes per stored tuple, for benches that also measure a
+    /// memory footprint (`None` keeps the field out of the report).
+    bytes_per_tuple: Option<f64>,
 }
 
 /// Top-level harness; hand out groups or run stand-alone benchmarks.
@@ -43,6 +51,7 @@ pub struct Bench {
     filter: Option<String>,
     json_path: Option<String>,
     results: Vec<BenchResult>,
+    env: Vec<(String, u64)>,
 }
 
 impl Bench {
@@ -65,6 +74,27 @@ impl Bench {
             filter,
             json_path,
             results: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Records an extra `environment` field in the JSON report (schema
+    /// v3): machine- or build-level facts that contextualize the numbers,
+    /// e.g. struct sizes behind a `bytes_per_tuple` figure.
+    pub fn set_env(&mut self, key: &str, value: u64) {
+        if let Some(e) = self.env.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value;
+        } else {
+            self.env.push((key.to_string(), value));
+        }
+    }
+
+    /// Attaches a measured storage footprint (bytes per stored tuple) to
+    /// the named benchmark's report entry. A no-op when the benchmark was
+    /// filtered out of this run.
+    pub fn annotate_bytes_per_tuple(&mut self, name: &str, bytes_per_tuple: f64) {
+        if let Some(r) = self.results.iter_mut().find(|r| r.name == name) {
+            r.bytes_per_tuple = Some(bytes_per_tuple);
         }
     }
 
@@ -106,6 +136,9 @@ impl Bench {
             .unwrap_or(1);
         let mut environment = Json::object();
         environment.set("cpus", cpus);
+        for (k, v) in &self.env {
+            environment.set(k, *v);
+        }
         report.set("environment", environment);
         report.set(
             "benches",
@@ -113,14 +146,18 @@ impl Bench {
                 self.results
                     .iter()
                     .map(|r| {
-                        Json::from_pairs([
+                        let mut j = Json::from_pairs([
                             ("name", Json::from(r.name.as_str())),
                             ("median_ns", Json::from(r.median.as_nanos() as u64)),
                             ("min_ns", Json::from(r.min.as_nanos() as u64)),
                             ("mean_ns", Json::from(r.mean.as_nanos() as u64)),
                             ("iters", Json::from(r.iters)),
                             ("samples", Json::from(r.samples as u64)),
-                        ])
+                        ]);
+                        if let Some(bpt) = r.bytes_per_tuple {
+                            j.set("bytes_per_tuple", bpt);
+                        }
+                        j
                     })
                     .collect(),
             ),
@@ -238,6 +275,7 @@ fn run_one(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) -> Optio
         mean,
         iters,
         samples,
+        bytes_per_tuple: None,
     })
 }
 
@@ -263,6 +301,7 @@ mod tests {
             filter: filter.map(str::to_string),
             json_path: None,
             results: Vec::new(),
+            env: Vec::new(),
         }
     }
 

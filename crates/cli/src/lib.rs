@@ -33,6 +33,8 @@
 //!   --no-time-index       disable the sorted-endpoint time index (ablation)
 //!   --no-reorder          disable cost-based join reordering (ablation;
 //!                         rules run in textual delta-first order)
+//!   --row-store           store relations row-major instead of the default
+//!                         columnar layout (ablation; byte-identical output)
 //!   --explain-plans       print each rule's compiled physical plan with
 //!                         the chosen access paths and estimated vs. actual
 //!                         rows per step, plus the top planner misestimates
@@ -66,7 +68,9 @@ use std::fmt::Write as _;
 /// v6 added the `repairs` section (out-of-order correction accounting:
 /// attempted / incremental / fallbacks / budget_trips / cone_tuples /
 /// overdeleted_components).
-pub const REPORT_SCHEMA_VERSION: u64 = 6;
+/// v7 added the `storage` section (relation-storage layout, interner and
+/// arena figures, clone traffic).
+pub const REPORT_SCHEMA_VERSION: u64 = 7;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -129,7 +133,7 @@ const USAGE: &str = "usage: chronolog <check|run|graph|validate-trace> <file>...
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
                --session  --stream FILE  --no-repair  --repair-budget N\n\
-               --no-time-index  --no-reorder  --explain-plans\n\
+               --no-time-index  --no-reorder  --row-store  --explain-plans\n\
                --profile FILE  --profile-folded FILE";
 
 fn load_sources(
@@ -312,6 +316,7 @@ fn cmd_run(
     let mut repair_budget: Option<u64> = None;
     let mut time_index = true;
     let mut cost_based_reorder = true;
+    let mut row_store = false;
     let mut explain_plans = false;
 
     let mut i = 0;
@@ -416,6 +421,7 @@ fn cmd_run(
             "--no-repair" => repair = false,
             "--no-time-index" => time_index = false,
             "--no-reorder" => cost_based_reorder = false,
+            "--row-store" => row_store = true,
             "--explain-plans" => explain_plans = true,
             other if other.starts_with("--") => {
                 return Err(CliError::usage(format!("unknown option {other}")));
@@ -452,6 +458,7 @@ fn cmd_run(
         time_index,
         cost_based_reorder,
         repair,
+        row_store,
         ..ReasonerConfig::default()
     };
     if let Some(budget) = repair_budget {
@@ -478,7 +485,8 @@ fn cmd_run(
         )?))
     } else {
         let mut db = Database::new();
-        db.extend_facts(&facts);
+        db.extend_facts(&facts)
+            .map_err(|e| CliError::failed(e.to_string()))?;
         Outcome::Batch(Box::new(reasoner.materialize(&db)?))
     };
     let (database, run_stats) = match &outcome {
@@ -577,7 +585,9 @@ fn run_session(
         match fact.interval.lo() {
             chronolog_core::TimeBound::Finite(flo) if flo > start => stream.push(fact),
             _ => {
-                initial.insert_fact(fact);
+                initial
+                    .insert_fact(fact)
+                    .map_err(|e| CliError::failed(e.to_string()))?;
             }
         }
     }
@@ -774,6 +784,20 @@ fn render_stats(out: &mut String, stats: &RunStats) {
             r.overdeleted_components
         );
     }
+    let s = &stats.storage;
+    let _ = writeln!(
+        out,
+        "storage: {} layout, {} symbols + {} values interned, {} interval bytes, \
+         {} value bytes, {} column clones, arena slabs {} freed / {} reused",
+        s.mode,
+        s.interned_symbols,
+        s.interned_values,
+        s.interval_bytes,
+        s.value_bytes,
+        s.column_clones,
+        s.arena_slabs_freed,
+        s.arena_slabs_reused
+    );
     if stats.workers.len() > 1 {
         let _ = writeln!(out, "workers:");
         for w in &stats.workers {
@@ -877,6 +901,10 @@ pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)
     report.set(
         "repairs",
         stats_json.get("repairs").cloned().unwrap_or(Json::Null),
+    );
+    report.set(
+        "storage",
+        stats_json.get("storage").cloned().unwrap_or(Json::Null),
     );
     report.set("metrics", Registry::global().snapshot());
     report

@@ -3,14 +3,58 @@
 //! A database `D` in the paper is a finite set of facts `P(v̄)@ρ`; here each
 //! `(P, v̄)` maps to the coalesced [`IntervalSet`] of all its annotations,
 //! which is the canonical representation of the induced interpretation.
+//!
+//! ## Storage layouts
+//!
+//! Relations support two layouts behind one API, selected per database via
+//! [`StorageMode`]:
+//!
+//! * **Columnar** (default) — constants are interned to dense `u32` vids
+//!   (see `crate::intern`) and stored struct-of-arrays: one flat `Vec<u32>`
+//!   per argument position, plus a single interval **arena** per relation
+//!   holding every tuple's components contiguously behind `(offset, len)`
+//!   handles. Joins, value-index probes, and the time index walk flat
+//!   memory; a snapshot `clone` is a handful of column memcpys.
+//! * **Row** (`--row-store` ablation) — the historical layout: one boxed
+//!   `Tuple` and one owned [`IntervalSet`] per entry. Kept as the
+//!   bit-for-bit reference the CI ablation diff compares against.
+//!
+//! Both layouts share the same tuple-id space semantics, the same secondary
+//! value indexes, and the same time index, so candidate sets — and with
+//! them every scanned/probed/avoided counter — are identical across modes.
 
 use crate::ast::Fact;
+use crate::error::Result;
+use crate::hash::{hash_ids, FxHashMap, FxHashSet};
+use crate::intern::{self, NONE_VID};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
 use mtl_temporal::{Interval, IntervalSet, Rational};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::RwLock;
+
+/// Which physical layout a [`Database`] (and every relation it creates)
+/// uses. See the module docs; `Columnar` is the default, `Row` is the
+/// ablation baseline behind the `--row-store` flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StorageMode {
+    /// Struct-of-arrays columns of interned value ids + interval arena.
+    #[default]
+    Columnar,
+    /// Row-oriented `Vec<(Tuple, IntervalSet)>` (ablation baseline).
+    Row,
+}
+
+/// Process-wide count of flat column buffers copied by columnar
+/// `Relation::clone` (value columns + interval arena per clone). Surfaced
+/// in the stats-json `storage` section as `column_clones`.
+static COLUMN_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of column buffers memcpy'd by snapshot clones.
+pub(crate) fn column_clone_count() -> u64 {
+    COLUMN_CLONES.load(AtomicOrdering::Relaxed)
+}
 
 /// Index key of one argument value, normalized so semantically equal values
 /// (`3` and `3.0`) land in the same bucket. Numeric values key on the `f64`
@@ -44,12 +88,16 @@ impl IndexKey {
 /// in the same order a full scan would — determinism is preserved.
 #[derive(Default, Debug, Clone)]
 struct SecondaryIndexes {
-    by_pos: HashMap<usize, HashMap<IndexKey, Vec<u32>>>,
+    by_pos: FxHashMap<usize, FxHashMap<IndexKey, Vec<u32>>>,
     time: Option<TimeIndex>,
 }
 
-/// Pending-tail length at which a [`TimeIndex`] re-sorts; probes scan the
-/// tail linearly below this, so read-side calls never need a write lock.
+/// Minimum pending-tail length at which a [`TimeIndex`] merges the tail
+/// into its sorted entries; probes scan the tail linearly below this, so
+/// read-side calls never need a write lock. The effective threshold grows
+/// with the index (an eighth of the sorted run) so sustained insertion
+/// streams pay amortized-linear maintenance rather than re-merging a large
+/// run every few dozen notes.
 const TIME_INDEX_PENDING_MAX: usize = 64;
 
 /// Sorted-endpoint time index: every finite interval component of every
@@ -78,16 +126,16 @@ struct TimeIndex {
 }
 
 impl TimeIndex {
-    fn build(entries: &[(Tuple, IntervalSet)]) -> TimeIndex {
+    fn build<'a>(entries: impl Iterator<Item = (u32, &'a [Interval])>) -> TimeIndex {
         let mut idx = TimeIndex {
             entries: Vec::new(),
             pending: Vec::new(),
             unbounded: Vec::new(),
             max_len: Rational::ZERO,
         };
-        for (id, (_, ivs)) in entries.iter().enumerate() {
-            for comp in ivs.iter() {
-                idx.note(comp, id as u32);
+        for (id, comps) in entries {
+            for comp in comps {
+                idx.note(comp, id);
             }
         }
         idx.flush();
@@ -106,7 +154,7 @@ impl TimeIndex {
                     self.max_len = len;
                 }
                 self.pending.push((lo, hi, id));
-                if self.pending.len() > TIME_INDEX_PENDING_MAX {
+                if self.pending.len() > TIME_INDEX_PENDING_MAX.max(self.entries.len() / 8) {
                     self.flush();
                 }
             }
@@ -118,17 +166,40 @@ impl TimeIndex {
         }
     }
 
-    /// Merges the pending tail into the sorted entries.
+    /// Merges the pending tail into the sorted entries. Only the tail is
+    /// sorted; the runs are then stitched with a linear merge (or a plain
+    /// append when the tail lands entirely after the sorted run, the
+    /// common case for monotone streams), so a flush never re-sorts the
+    /// full index.
     fn flush(&mut self) {
-        if !self.pending.is_empty() {
-            self.entries.append(&mut self.pending);
-            self.entries.sort_unstable();
+        if self.pending.is_empty() {
+            return;
         }
+        self.pending.sort_unstable();
+        if self.entries.last() <= self.pending.first() {
+            self.entries.append(&mut self.pending);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + self.pending.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < self.pending.len() {
+            if self.entries[i] <= self.pending[j] {
+                merged.push(self.entries[i]);
+                i += 1;
+            } else {
+                merged.push(self.pending[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&self.pending[j..]);
+        self.entries = merged;
+        self.pending.clear();
     }
 
     /// Tuple ids whose indexed extent can overlap `window`, in ascending
     /// (= insertion) order, so scan determinism is preserved.
-    fn probe(&self, window: &Interval) -> Vec<u32> {
+    fn probe_into(&self, window: &Interval, ids: &mut Vec<u32>) {
         let wlo = window.lo().finite();
         let whi = window.hi().finite();
         let start = match wlo.and_then(|a| a.checked_sub(self.max_len)) {
@@ -143,7 +214,8 @@ impl TimeIndex {
         };
         let overlaps =
             |lo: Rational, hi: Rational| wlo.is_none_or(|a| hi >= a) && whi.is_none_or(|b| lo <= b);
-        let mut ids: Vec<u32> = self.unbounded.clone();
+        ids.clear();
+        ids.extend_from_slice(&self.unbounded);
         for &(lo, hi, id) in &self.entries[start..end] {
             if overlaps(lo, hi) {
                 ids.push(id);
@@ -156,21 +228,359 @@ impl TimeIndex {
         }
         ids.sort_unstable();
         ids.dedup();
-        ids
+    }
+}
+
+/// Row layout: one boxed tuple and one owned interval set per entry.
+#[derive(Default, Debug, Clone)]
+pub(crate) struct RowStore {
+    pub(crate) entries: Vec<(Tuple, IntervalSet)>,
+    ids: FxHashMap<Tuple, u32>,
+}
+
+/// Arena slab handle: `len` live components at `off`, in a slab of
+/// power-of-two capacity `cap` (0 for the never-allocated empty handle).
+#[derive(Clone, Copy, Default, Debug)]
+struct Handle {
+    off: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// The per-relation interval arena: every tuple's components live in one
+/// flat `Vec<Interval>` in power-of-two slabs. Emptied or outgrown slabs
+/// go on a per-size free list and are reused by later allocations, so
+/// repair churn (retract → re-derive) recycles space instead of leaking it.
+#[derive(Default, Clone, Debug)]
+struct Arena {
+    data: Vec<Interval>,
+    /// Free slab offsets by capacity class (index = log2 of capacity).
+    free: Vec<Vec<u32>>,
+    freed: u64,
+    reused: u64,
+}
+
+impl Arena {
+    fn alloc(&mut self, len: usize) -> Handle {
+        debug_assert!(len > 0, "empty sets use the default handle");
+        let cap = len.next_power_of_two();
+        let class = cap.trailing_zeros() as usize;
+        if let Some(off) = self.free.get_mut(class).and_then(Vec::pop) {
+            self.reused += 1;
+            return Handle {
+                off,
+                len: len as u32,
+                cap: cap as u32,
+            };
+        }
+        let off = u32::try_from(self.data.len()).expect("interval arena offset overflow");
+        // Pad the slab to its full capacity; the pad values are never read
+        // (slices stop at `len`).
+        self.data.resize(self.data.len() + cap, Interval::ALL);
+        Handle {
+            off,
+            len: len as u32,
+            cap: cap as u32,
+        }
+    }
+
+    fn release(&mut self, h: Handle) {
+        if h.cap == 0 {
+            return;
+        }
+        let class = h.cap.trailing_zeros() as usize;
+        if self.free.len() <= class {
+            self.free.resize(class + 1, Vec::new());
+        }
+        self.free[class].push(h.off);
+        self.freed += 1;
+    }
+
+    fn slice(&self, h: Handle) -> &[Interval] {
+        &self.data[h.off as usize..(h.off + h.len) as usize]
+    }
+}
+
+/// Open-addressing tuple-id table keyed by the tuples' vid columns
+/// themselves: slots hold `id + 1` (0 = empty) and key comparison reads
+/// the columns, so the table owns no keys and clones as one memcpy.
+#[derive(Default, Clone, Debug)]
+struct IdTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl IdTable {
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s => {
+                    let id = s - 1;
+                    if eq(id) {
+                        return Some(id);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts an id whose key is known absent.
+    fn insert_new(&mut self, hash: u64, id: u32, hash_of: impl Fn(u32) -> u64) {
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow(&hash_of);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = id + 1;
+        self.len += 1;
+    }
+
+    fn grow(&mut self, hash_of: impl Fn(u32) -> u64) {
+        let cap = (self.slots.len() * 2).max(16);
+        let mut slots = vec![0u32; cap];
+        let mask = cap - 1;
+        for &s in &self.slots {
+            if s != 0 {
+                let mut i = (hash_of(s - 1) as usize) & mask;
+                while slots[i] != 0 {
+                    i = (i + 1) & mask;
+                }
+                slots[i] = s;
+            }
+        }
+        self.slots = slots;
+    }
+}
+
+/// Columnar layout: interned-vid columns + interval arena (module docs).
+#[derive(Default, Debug, Clone)]
+pub(crate) struct ColumnStore {
+    /// One column per argument position up to the widest arity seen;
+    /// positions past a tuple's arity hold `NONE_VID`.
+    cols: Vec<Vec<u32>>,
+    /// Arity of each tuple.
+    lens: Vec<u32>,
+    /// Arena handle of each tuple's interval components.
+    handles: Vec<Handle>,
+    arena: Arena,
+    ids: IdTable,
+    /// Distinct semantic classes per position (exact, maintained on
+    /// insert); feeds the planner's cardinality estimates.
+    sid_seen: Vec<FxHashSet<u32>>,
+}
+
+impl ColumnStore {
+    pub(crate) fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// The full vid column for `pos`, or `None` when no stored tuple
+    /// reaches that arity. Hot loops hoist these slices once instead of
+    /// paying `vid_at`'s outer-vector lookup per candidate.
+    #[inline]
+    pub(crate) fn col(&self, pos: usize) -> Option<&[u32]> {
+        self.cols.get(pos).map(Vec::as_slice)
+    }
+
+    /// The per-tuple arity column (parallel to every vid column).
+    #[inline]
+    pub(crate) fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// The vid at `pos` of tuple `id` (`NONE_VID` past the tuple's arity).
+    #[inline]
+    pub(crate) fn vid_at(&self, pos: usize, id: u32) -> u32 {
+        match self.cols.get(pos) {
+            Some(col) => col[id as usize],
+            None => NONE_VID,
+        }
+    }
+
+    /// Arity of tuple `id`.
+    #[inline]
+    pub(crate) fn len_of(&self, id: u32) -> usize {
+        self.lens[id as usize] as usize
+    }
+
+    /// The interval components of tuple `id` (sorted, non-connected).
+    #[inline]
+    pub(crate) fn comps_of(&self, id: u32) -> &[Interval] {
+        self.arena.slice(self.handles[id as usize])
+    }
+
+    fn find_id(&self, vids: &[u32]) -> Option<u32> {
+        let h = hash_ids(vids.iter().copied());
+        self.ids.find(h, |id| {
+            self.len_of(id) == vids.len()
+                && vids
+                    .iter()
+                    .enumerate()
+                    .all(|(p, &v)| self.cols[p][id as usize] == v)
+        })
+    }
+
+    /// Looks a tuple up by value without interning anything new.
+    fn lookup(&self, tuple: &[Value]) -> Option<u32> {
+        let g = intern::read();
+        let mut vids = Vec::with_capacity(tuple.len());
+        for v in tuple {
+            vids.push(g.vid_of(v)?);
+        }
+        drop(g);
+        self.find_id(&vids)
+    }
+
+    /// Writes a component slice into a tuple's slab, growing / releasing
+    /// slabs as needed, and returns `(before, after)` component counts.
+    fn store_comps(&mut self, id: u32, comps: &[Interval]) -> (usize, usize) {
+        let h = self.handles[id as usize];
+        let before = h.len as usize;
+        let after = comps.len();
+        if after == 0 {
+            // Emptied entries give their slab back (repair churn reuses
+            // it); the id itself stays allocated — see `Relation::remove`.
+            self.arena.release(h);
+            self.handles[id as usize] = Handle::default();
+            return (before, 0);
+        }
+        if after <= h.cap as usize {
+            let off = h.off as usize;
+            self.arena.data[off..off + after].copy_from_slice(comps);
+            self.handles[id as usize].len = after as u32;
+        } else {
+            self.arena.release(h);
+            let nh = self.arena.alloc(after);
+            let off = nh.off as usize;
+            self.arena.data[off..off + after].copy_from_slice(comps);
+            self.handles[id as usize] = nh;
+        }
+        (before, after)
+    }
+}
+
+/// A borrowed tuple from either storage layout. Row tuples hand out their
+/// values directly; columnar tuples decode vids through the global
+/// interner on access (display, query, and snapshot paths — the join hot
+/// path compares interned ids and never materializes a `TupleRef`).
+#[derive(Clone, Copy)]
+pub struct TupleRef<'a>(TupleRefInner<'a>);
+
+#[derive(Clone, Copy)]
+enum TupleRefInner<'a> {
+    Row(&'a [Value]),
+    Col { store: &'a ColumnStore, id: u32 },
+}
+
+impl<'a> TupleRef<'a> {
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        match self.0 {
+            TupleRefInner::Row(t) => t.len(),
+            TupleRefInner::Col { store, id } => store.len_of(id),
+        }
+    }
+
+    /// `true` iff the tuple has no arguments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at position `i` (panics out of bounds).
+    pub fn value(&self, i: usize) -> Value {
+        match self.0 {
+            TupleRefInner::Row(t) => t[i],
+            TupleRefInner::Col { store, id } => {
+                assert!(i < store.len_of(id), "tuple position out of bounds");
+                intern::read().decode(store.vid_at(i, id))
+            }
+        }
+    }
+
+    /// All values, decoded once.
+    pub fn to_vec(&self) -> Vec<Value> {
+        match self.0 {
+            TupleRefInner::Row(t) => t.to_vec(),
+            TupleRefInner::Col { store, id } => {
+                let g = intern::read();
+                (0..store.len_of(id))
+                    .map(|p| g.decode(store.vid_at(p, id)))
+                    .collect()
+            }
+        }
+    }
+
+    /// An owned boxed tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        self.to_vec().into_boxed_slice()
+    }
+}
+
+impl fmt::Debug for TupleRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
+/// Borrowed store view for the executor's hot loops (`eval_rel` matches on
+/// this once per call and runs a layout-specialized candidate loop).
+pub(crate) enum StoreRef<'a> {
+    Row(&'a RowStore),
+    Col(&'a ColumnStore),
+}
+
+enum Store {
+    Row(RowStore),
+    Col(ColumnStore),
+}
+
+impl Store {
+    fn len(&self) -> usize {
+        match self {
+            Store::Row(s) => s.entries.len(),
+            Store::Col(s) => s.len(),
+        }
     }
 }
 
 /// All tuples of one predicate with their validity intervals.
 ///
-/// Tuples live in a dense, insertion-ordered arena (`entries`) with a
-/// hash lookup (`ids`) for exact-tuple access; value indexes hang off the
-/// side under a lock so read-only evaluation threads can build them on
-/// first use.
-#[derive(Default, Debug)]
+/// Tuples live in a dense, insertion-ordered id space with a hash lookup
+/// for exact-tuple access; value indexes hang off the side under a lock so
+/// read-only evaluation threads can build them on first use. The physical
+/// layout behind the id space is the enclosing database's [`StorageMode`].
+#[derive(Debug)]
 pub struct Relation {
-    entries: Vec<(Tuple, IntervalSet)>,
-    ids: HashMap<Tuple, u32>,
+    store: Store,
+    /// Live interval components across all tuples, maintained on every
+    /// mutation so `Database::component_count` is O(relations).
+    live_components: usize,
     indexes: RwLock<SecondaryIndexes>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Store::Row(s) => f.debug_tuple("Row").field(&s.entries.len()).finish(),
+            Store::Col(s) => f.debug_tuple("Col").field(&s.len()).finish(),
+        }
+    }
+}
+
+impl Default for Relation {
+    fn default() -> Relation {
+        Relation::with_mode(StorageMode::Columnar)
+    }
 }
 
 impl Clone for Relation {
@@ -184,75 +594,184 @@ impl Clone for Relation {
             .read()
             .expect("relation index lock poisoned")
             .clone();
+        let store = match &self.store {
+            Store::Row(s) => Store::Row(s.clone()),
+            Store::Col(s) => {
+                // Snapshot clone of a columnar relation is a flat-buffer
+                // memcpy per value column plus one for the interval arena.
+                COLUMN_CLONES.fetch_add(s.cols.len() as u64 + 1, AtomicOrdering::Relaxed);
+                Store::Col(s.clone())
+            }
+        };
         Relation {
-            entries: self.entries.clone(),
-            ids: self.ids.clone(),
+            store,
+            live_components: self.live_components,
             indexes: RwLock::new(indexes),
         }
     }
 }
 
 impl Relation {
-    /// The id of `tuple`, allocating a fresh entry (and updating any built
-    /// indexes) when unseen.
-    fn id_of(&mut self, tuple: Tuple) -> u32 {
-        if let Some(&id) = self.ids.get(&tuple) {
-            return id;
+    /// Empty relation in the given layout.
+    pub fn with_mode(mode: StorageMode) -> Relation {
+        let store = match mode {
+            StorageMode::Columnar => Store::Col(ColumnStore::default()),
+            StorageMode::Row => Store::Row(RowStore::default()),
+        };
+        Relation {
+            store,
+            live_components: 0,
+            indexes: RwLock::new(SecondaryIndexes::default()),
         }
-        let id = u32::try_from(self.entries.len()).expect("relation tuple-id overflow");
-        let indexes = self
-            .indexes
-            .get_mut()
-            .expect("relation index lock poisoned");
-        for (&pos, buckets) in indexes.by_pos.iter_mut() {
-            if let Some(v) = tuple.get(pos) {
-                buckets.entry(IndexKey::of(v)).or_default().push(id);
+    }
+
+    /// The layout this relation stores tuples in.
+    pub fn mode(&self) -> StorageMode {
+        match self.store {
+            Store::Row(_) => StorageMode::Row,
+            Store::Col(_) => StorageMode::Columnar,
+        }
+    }
+
+    pub(crate) fn store(&self) -> StoreRef<'_> {
+        match &self.store {
+            Store::Row(s) => StoreRef::Row(s),
+            Store::Col(s) => StoreRef::Col(s),
+        }
+    }
+
+    /// The id of `tuple`, allocating a fresh entry (and updating any built
+    /// indexes) when unseen. Fails only when the columnar value interner
+    /// exhausts its id space.
+    fn id_of(&mut self, tuple: &[Value]) -> Result<u32> {
+        let (id, fresh) = match &mut self.store {
+            Store::Row(s) => {
+                if let Some(&id) = s.ids.get(tuple) {
+                    (id, false)
+                } else {
+                    let id = u32::try_from(s.entries.len()).expect("relation tuple-id overflow");
+                    let boxed: Tuple = tuple.to_vec().into_boxed_slice();
+                    s.ids.insert(boxed.clone(), id);
+                    s.entries.push((boxed, IntervalSet::new()));
+                    (id, true)
+                }
+            }
+            Store::Col(s) => {
+                let mut vids = Vec::with_capacity(tuple.len());
+                for v in tuple {
+                    vids.push(intern::intern(*v)?);
+                }
+                if let Some(id) = s.find_id(&vids) {
+                    (id, false)
+                } else {
+                    let id = u32::try_from(s.len()).expect("relation tuple-id overflow");
+                    if s.cols.len() < tuple.len() {
+                        // Widest arity grew: pad new columns for old rows.
+                        s.cols
+                            .resize_with(tuple.len(), || vec![NONE_VID; id as usize]);
+                        s.sid_seen.resize_with(tuple.len(), FxHashSet::default);
+                    }
+                    let g = intern::read();
+                    for (pos, col) in s.cols.iter_mut().enumerate() {
+                        match vids.get(pos) {
+                            Some(&vid) => {
+                                col.push(vid);
+                                s.sid_seen[pos].insert(g.sid(vid));
+                            }
+                            None => col.push(NONE_VID),
+                        }
+                    }
+                    drop(g);
+                    s.lens.push(tuple.len() as u32);
+                    s.handles.push(Handle::default());
+                    let h = hash_ids(vids.iter().copied());
+                    let ColumnStore {
+                        ids, cols, lens, ..
+                    } = s;
+                    ids.insert_new(h, id, |other| {
+                        let len = lens[other as usize] as usize;
+                        hash_ids((0..len).map(|p| cols[p][other as usize]))
+                    });
+                    (id, true)
+                }
+            }
+        };
+        if fresh {
+            let indexes = self
+                .indexes
+                .get_mut()
+                .expect("relation index lock poisoned");
+            for (&pos, buckets) in indexes.by_pos.iter_mut() {
+                if let Some(v) = tuple.get(pos) {
+                    buckets.entry(IndexKey::of(v)).or_default().push(id);
+                }
             }
         }
-        self.ids.insert(tuple.clone(), id);
-        self.entries.push((tuple, IntervalSet::new()));
-        id
+        Ok(id)
+    }
+
+    /// Notes freshly added components in the time index, if built.
+    fn note_time(&mut self, delta: &IntervalSet, id: u32) {
+        if let Some(time) = self
+            .indexes
+            .get_mut()
+            .expect("relation index lock poisoned")
+            .time
+            .as_mut()
+        {
+            for comp in delta.iter() {
+                time.note(comp, id);
+            }
+        }
+    }
+
+    /// Reads a tuple's current interval set (owned; both layouts).
+    fn set_of(&self, id: u32) -> IntervalSet {
+        match &self.store {
+            Store::Row(s) => s.entries[id as usize].1.clone(),
+            Store::Col(s) => IntervalSet::from_sorted(s.comps_of(id).to_vec()),
+        }
+    }
+
+    /// Writes a tuple's interval set back, updating the live-component
+    /// count.
+    fn write_set(&mut self, id: u32, set: &IntervalSet) {
+        let (before, after) = match &mut self.store {
+            Store::Row(s) => {
+                let entry = &mut s.entries[id as usize].1;
+                let before = entry.components().len();
+                *entry = set.clone();
+                (before, set.components().len())
+            }
+            Store::Col(s) => s.store_comps(id, set.components()),
+        };
+        self.live_components = self.live_components - before + after;
     }
 
     /// Inserts an interval for a tuple; returns `true` iff the set grew.
-    pub fn insert(&mut self, tuple: Tuple, interval: Interval) -> bool {
-        let id = self.id_of(tuple);
-        let grew = self.entries[id as usize].1.insert(interval);
+    pub fn insert(&mut self, tuple: &[Value], interval: Interval) -> Result<bool> {
+        let id = self.id_of(tuple)?;
+        let mut set = self.set_of(id);
+        let grew = set.insert(interval);
         if grew {
-            if let Some(time) = self
-                .indexes
-                .get_mut()
-                .expect("relation index lock poisoned")
-                .time
-                .as_mut()
-            {
-                time.note(&interval, id);
-            }
+            self.write_set(id, &set);
+            self.note_time(&IntervalSet::from_interval(interval), id);
         }
-        grew
+        Ok(grew)
     }
 
     /// Merges an interval set for a tuple; returns the genuinely new part
     /// (empty when nothing grew).
-    pub fn merge(&mut self, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
-        let id = self.id_of(tuple);
-        let entry = &mut self.entries[id as usize].1;
-        let delta = ivs.difference(entry);
+    pub fn merge(&mut self, tuple: &[Value], ivs: &IntervalSet) -> Result<IntervalSet> {
+        let id = self.id_of(tuple)?;
+        let mut set = self.set_of(id);
+        let delta = ivs.difference(&set);
         if !delta.is_empty() {
-            entry.union_with(&delta);
-            if let Some(time) = self
-                .indexes
-                .get_mut()
-                .expect("relation index lock poisoned")
-                .time
-                .as_mut()
-            {
-                for comp in delta.iter() {
-                    time.note(comp, id);
-                }
-            }
+            set.union_with(&delta);
+            self.write_set(id, &set);
+            self.note_time(&delta, id);
         }
-        delta
+        Ok(delta)
     }
 
     /// Removes `ivs` from a tuple's validity; returns the part actually
@@ -261,47 +780,108 @@ impl Relation {
     /// The entry itself is kept even when its interval set empties out:
     /// tuple ids stay dense and stable, so the per-position value indexes
     /// remain exact (a probe returning an emptied tuple yields no intervals
-    /// after the caller's clip). The time index is deliberately left
-    /// untouched — its contract is over-approximation (coverage ⊇ truth),
-    /// and removal only shrinks truth, so stale entries can produce false
-    /// positives but never a missed tuple.
+    /// after the caller's clip). In the columnar layout the emptied tuple's
+    /// arena slab is released to a free list and reused by later merges, so
+    /// repair churn does not leak arena space. The time index is
+    /// deliberately left untouched — its contract is over-approximation
+    /// (coverage ⊇ truth), and removal only shrinks truth, so stale entries
+    /// can produce false positives but never a missed tuple.
     pub fn remove(&mut self, tuple: &[Value], ivs: &IntervalSet) -> IntervalSet {
-        let Some(&id) = self.ids.get(tuple) else {
+        let id = match &self.store {
+            Store::Row(s) => s.ids.get(tuple).copied(),
+            Store::Col(s) => s.lookup(tuple),
+        };
+        let Some(id) = id else {
             return IntervalSet::new();
         };
-        let entry = &mut self.entries[id as usize].1;
-        let removed = entry.intersect(ivs);
+        let set = self.set_of(id);
+        let removed = set.intersect(ivs);
         if !removed.is_empty() {
-            *entry = entry.difference(ivs);
+            self.write_set(id, &set.difference(ivs));
         }
         removed
     }
 
-    /// The interval set of a tuple (empty-set view for missing tuples).
-    pub fn get(&self, tuple: &[Value]) -> Option<&IntervalSet> {
-        self.ids.get(tuple).map(|&id| &self.entries[id as usize].1)
+    /// The interval components of a tuple, if present (sorted,
+    /// non-connected; empty slice for emptied-but-kept entries).
+    pub fn components_of(&self, tuple: &[Value]) -> Option<&[Interval]> {
+        match &self.store {
+            Store::Row(s) => s
+                .ids
+                .get(tuple)
+                .map(|&id| s.entries[id as usize].1.components()),
+            Store::Col(s) => s.lookup(tuple).map(|id| s.comps_of(id)),
+        }
     }
 
-    /// Iterates `(tuple, intervals)` in insertion order (deterministic).
-    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &IntervalSet)> {
-        self.entries.iter().map(|(t, ivs)| (t, ivs))
+    /// Iterates `(tuple, components)` in insertion order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (TupleRef<'_>, &[Interval])> {
+        let len = self.store.len() as u32;
+        (0..len).map(move |id| self.entry(id))
     }
 
-    /// The tuple and intervals stored under a tuple id (from
+    /// The tuple and interval components stored under a tuple id (from
     /// [`Relation::probe`]).
-    pub fn entry(&self, id: u32) -> (&Tuple, &IntervalSet) {
-        let (t, ivs) = &self.entries[id as usize];
-        (t, ivs)
+    pub fn entry(&self, id: u32) -> (TupleRef<'_>, &[Interval]) {
+        match &self.store {
+            Store::Row(s) => {
+                let (t, ivs) = &s.entries[id as usize];
+                (TupleRef(TupleRefInner::Row(t)), ivs.components())
+            }
+            Store::Col(s) => (
+                TupleRef(TupleRefInner::Col { store: s, id }),
+                s.comps_of(id),
+            ),
+        }
     }
 
     /// Number of distinct tuples.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// `true` iff the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.len() == 0
+    }
+
+    /// Live interval components across all tuples (O(1)).
+    pub(crate) fn live_component_count(&self) -> usize {
+        self.live_components
+    }
+
+    /// Bytes held by interval storage: the arena buffer (columnar) or the
+    /// per-tuple component vectors (row).
+    pub(crate) fn interval_bytes(&self) -> usize {
+        let comp = std::mem::size_of::<Interval>();
+        match &self.store {
+            Store::Row(s) => s
+                .entries
+                .iter()
+                .map(|(_, ivs)| std::mem::size_of_val(ivs.components()))
+                .sum(),
+            Store::Col(s) => s.arena.data.len() * comp,
+        }
+    }
+
+    /// Approximate bytes held by tuple-value storage (columns or rows).
+    pub(crate) fn value_bytes(&self) -> usize {
+        match &self.store {
+            Store::Row(s) => s
+                .entries
+                .iter()
+                .map(|(t, _)| t.len() * std::mem::size_of::<Value>())
+                .sum(),
+            Store::Col(s) => s.cols.iter().map(|c| c.len() * 4).sum::<usize>() + s.lens.len() * 4,
+        }
+    }
+
+    /// `(freed, reused)` arena slab counts (columnar; zeros for row).
+    pub(crate) fn arena_reuse(&self) -> (u64, u64) {
+        match &self.store {
+            Store::Row(_) => (0, 0),
+            Store::Col(s) => (s.arena.freed, s.arena.reused),
+        }
     }
 
     /// Ensures the position index for `pos` exists, building it from the
@@ -321,10 +901,26 @@ impl Relation {
         if w.by_pos.contains_key(&pos) {
             return;
         }
-        let mut buckets: HashMap<IndexKey, Vec<u32>> = HashMap::new();
-        for (id, (tuple, _)) in self.entries.iter().enumerate() {
-            if let Some(v) = tuple.get(pos) {
-                buckets.entry(IndexKey::of(v)).or_default().push(id as u32);
+        let mut buckets: FxHashMap<IndexKey, Vec<u32>> = FxHashMap::default();
+        match &self.store {
+            Store::Row(s) => {
+                for (id, (tuple, _)) in s.entries.iter().enumerate() {
+                    if let Some(v) = tuple.get(pos) {
+                        buckets.entry(IndexKey::of(v)).or_default().push(id as u32);
+                    }
+                }
+            }
+            Store::Col(s) => {
+                let g = intern::read();
+                for id in 0..s.len() as u32 {
+                    let vid = s.vid_at(pos, id);
+                    if vid != NONE_VID {
+                        buckets
+                            .entry(IndexKey::of(&g.decode(vid)))
+                            .or_default()
+                            .push(id);
+                    }
+                }
             }
         }
         w.by_pos.insert(pos, buckets);
@@ -340,24 +936,46 @@ impl Relation {
     /// maintained incrementally by [`Relation::insert`] /
     /// [`Relation::merge`].
     pub fn probe(&self, ground: &[(usize, Value)]) -> Vec<u32> {
-        for &(pos, _) in ground {
-            self.ensure_index(pos);
-        }
-        let r = self.indexes.read().expect("relation index lock poisoned");
-        let mut best: Option<&Vec<u32>> = None;
-        for (pos, v) in ground {
-            let bucket = r.by_pos[pos].get(&IndexKey::of(v));
-            match bucket {
-                // A ground position with no bucket means no tuple can match.
-                None => return Vec::new(),
-                Some(b) => {
-                    if best.is_none_or(|cur| b.len() < cur.len()) {
-                        best = Some(b);
+        let mut out = Vec::new();
+        self.probe_into(ground, &mut out);
+        out
+    }
+
+    /// [`Relation::probe`] into a reused buffer (the executor keeps one
+    /// per thread to avoid a bucket-sized allocation per lookup).
+    pub fn probe_into(&self, ground: &[(usize, Value)], out: &mut Vec<u32>) {
+        out.clear();
+        // Steady-state fast path: one read-lock acquisition covers the
+        // built-check and the bucket lookups. Only a position whose index
+        // is missing drops to the build path (once per position).
+        loop {
+            {
+                let r = self.indexes.read().expect("relation index lock poisoned");
+                if ground.iter().all(|(pos, _)| r.by_pos.contains_key(pos)) {
+                    let mut best: Option<&Vec<u32>> = None;
+                    for (pos, v) in ground {
+                        let bucket = r.by_pos[pos].get(&IndexKey::of(v));
+                        match bucket {
+                            // A ground position with no bucket means no
+                            // tuple can match.
+                            None => return,
+                            Some(b) => {
+                                if best.is_none_or(|cur| b.len() < cur.len()) {
+                                    best = Some(b);
+                                }
+                            }
+                        }
                     }
+                    if let Some(b) = best {
+                        out.extend_from_slice(b);
+                    }
+                    return;
                 }
             }
+            for &(pos, _) in ground {
+                self.ensure_index(pos);
+            }
         }
-        best.cloned().unwrap_or_default()
     }
 
     /// Ensures the time index exists, building it from the current entries
@@ -374,7 +992,17 @@ impl Relation {
         }
         let mut w = self.indexes.write().expect("relation index lock poisoned");
         if w.time.is_none() {
-            w.time = Some(TimeIndex::build(&self.entries));
+            w.time = Some(match &self.store {
+                Store::Row(s) => TimeIndex::build(
+                    s.entries
+                        .iter()
+                        .enumerate()
+                        .map(|(id, (_, ivs))| (id as u32, ivs.components())),
+                ),
+                Store::Col(s) => {
+                    TimeIndex::build((0..s.len() as u32).map(|id| (id, s.comps_of(id))))
+                }
+            });
         }
     }
 
@@ -384,6 +1012,22 @@ impl Relation {
     /// on first use; it is then maintained incrementally by
     /// [`Relation::insert`] / [`Relation::merge`] and survives cloning.
     pub fn probe_time(&self, window: &Interval) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.probe_time_into(window, &mut out);
+        out
+    }
+
+    /// [`Relation::probe_time`] into a reused buffer.
+    pub fn probe_time_into(&self, window: &Interval, out: &mut Vec<u32>) {
+        // Steady-state fast path: probe under the single read guard; only
+        // the very first call pays the build detour.
+        {
+            let r = self.indexes.read().expect("relation index lock poisoned");
+            if let Some(t) = r.time.as_ref() {
+                t.probe_into(window, out);
+                return;
+            }
+        }
         self.ensure_time_index();
         self.indexes
             .read()
@@ -391,7 +1035,7 @@ impl Relation {
             .time
             .as_ref()
             .expect("time index built above")
-            .probe(window)
+            .probe_into(window, out);
     }
 
     /// Number of built indexes (per-position value indexes + time index).
@@ -400,11 +1044,18 @@ impl Relation {
         r.by_pos.len() + usize::from(r.time.is_some())
     }
 
-    /// Number of distinct values at argument position `pos`, when the
-    /// per-position value index for `pos` has already been built. Strictly
-    /// read-only — it never triggers an index build — so the planner can
-    /// consult cardinalities without perturbing access-path counters.
+    /// Number of distinct semantic values at argument position `pos`.
+    /// Columnar relations answer exactly from their per-column interned-id
+    /// stats; row relations only know once the per-position value index
+    /// has been built. Strictly read-only — never triggers an index build —
+    /// so the planner can consult cardinalities without perturbing
+    /// access-path counters.
     pub fn distinct_count(&self, pos: usize) -> Option<usize> {
+        if let Store::Col(s) = &self.store {
+            if let Some(seen) = s.sid_seen.get(pos) {
+                return Some(seen.len());
+            }
+        }
         self.indexes
             .read()
             .expect("relation index lock poisoned")
@@ -426,56 +1077,93 @@ impl Relation {
     }
 }
 
-/// A temporal database: one [`Relation`] per predicate.
-#[derive(Clone, Default, Debug)]
+/// A temporal database: one [`Relation`] per predicate, all in the same
+/// [`StorageMode`].
+#[derive(Clone, Debug)]
 pub struct Database {
-    rels: HashMap<Symbol, Relation>,
+    rels: FxHashMap<Symbol, Relation>,
+    mode: StorageMode,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::with_mode(StorageMode::default())
+    }
 }
 
 impl Database {
-    /// Empty database.
+    /// Empty database in the default (columnar) layout.
     pub fn new() -> Database {
         Database::default()
     }
 
-    /// Inserts a parsed fact. Returns `true` iff the database grew.
-    pub fn insert_fact(&mut self, fact: &Fact) -> bool {
-        self.insert(
-            fact.pred,
-            fact.args.clone().into_boxed_slice(),
-            fact.interval,
-        )
-    }
-
-    /// Inserts facts from an iterator.
-    pub fn extend_facts<'a, I: IntoIterator<Item = &'a Fact>>(&mut self, facts: I) {
-        for f in facts {
-            self.insert_fact(f);
+    /// Empty database in an explicit layout.
+    pub fn with_mode(mode: StorageMode) -> Database {
+        Database {
+            rels: FxHashMap::default(),
+            mode,
         }
     }
 
-    /// Inserts a single `(pred, tuple)@interval`. Returns `true` iff grew.
-    pub fn insert(&mut self, pred: Symbol, tuple: Tuple, interval: Interval) -> bool {
-        self.rels.entry(pred).or_default().insert(tuple, interval)
+    /// The layout new relations are created in.
+    pub fn mode(&self) -> StorageMode {
+        self.mode
     }
 
-    /// Convenience insertion with builder-style values.
+    /// A copy of this database in `mode`: a cheap structural clone when the
+    /// mode already matches, otherwise a full re-load (indexes start cold).
+    pub fn to_mode(&self, mode: StorageMode) -> Database {
+        if self.mode == mode {
+            return self.clone();
+        }
+        let mut out = Database::with_mode(mode);
+        for (pred, tuple, comps) in self.iter() {
+            let ivs = IntervalSet::from_sorted(comps.to_vec());
+            out.merge(pred, &tuple.to_vec(), &ivs)
+                .expect("re-interning an existing database cannot overflow");
+        }
+        out
+    }
+
+    /// Inserts a parsed fact. Returns `true` iff the database grew.
+    pub fn insert_fact(&mut self, fact: &Fact) -> Result<bool> {
+        self.insert(fact.pred, &fact.args, fact.interval)
+    }
+
+    /// Inserts facts from an iterator.
+    pub fn extend_facts<'a, I: IntoIterator<Item = &'a Fact>>(&mut self, facts: I) -> Result<()> {
+        for f in facts {
+            self.insert_fact(f)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a single `(pred, tuple)@interval`. Returns `true` iff grew.
+    /// Fails only on value-interner exhaustion (columnar mode).
+    pub fn insert(&mut self, pred: Symbol, tuple: &[Value], interval: Interval) -> Result<bool> {
+        self.rel_mut(pred).insert(tuple, interval)
+    }
+
+    fn rel_mut(&mut self, pred: Symbol) -> &mut Relation {
+        let mode = self.mode;
+        self.rels
+            .entry(pred)
+            .or_insert_with(|| Relation::with_mode(mode))
+    }
+
+    /// Convenience insertion with builder-style values (panics on the
+    /// process-level interner-exhaustion limit; use [`Database::insert`]
+    /// for the fallible form).
     pub fn assert_at(&mut self, pred: &str, args: &[Value], t: i64) -> &mut Self {
-        self.insert(
-            Symbol::new(pred),
-            args.to_vec().into_boxed_slice(),
-            Interval::at(t),
-        );
+        self.insert(Symbol::new(pred), args, Interval::at(t))
+            .expect("value interner exhausted");
         self
     }
 
     /// Convenience insertion over an interval.
     pub fn assert_over(&mut self, pred: &str, args: &[Value], interval: Interval) -> &mut Self {
-        self.insert(
-            Symbol::new(pred),
-            args.to_vec().into_boxed_slice(),
-            interval,
-        );
+        self.insert(Symbol::new(pred), args, interval)
+            .expect("value interner exhausted");
         self
     }
 
@@ -485,8 +1173,13 @@ impl Database {
     }
 
     /// Merges `(pred, tuple)@ivs`; returns the genuinely new intervals.
-    pub fn merge(&mut self, pred: Symbol, tuple: Tuple, ivs: &IntervalSet) -> IntervalSet {
-        self.rels.entry(pred).or_default().merge(tuple, ivs)
+    pub fn merge(
+        &mut self,
+        pred: Symbol,
+        tuple: &[Value],
+        ivs: &IntervalSet,
+    ) -> Result<IntervalSet> {
+        self.rel_mut(pred).merge(tuple, ivs)
     }
 
     /// Removes `ivs` from `(pred, tuple)`'s validity; returns the part
@@ -503,8 +1196,8 @@ impl Database {
     pub fn intervals(&self, pred: Symbol, args: &[Value]) -> IntervalSet {
         self.rels
             .get(&pred)
-            .and_then(|r| r.get(args))
-            .cloned()
+            .and_then(|r| r.components_of(args))
+            .map(|comps| IntervalSet::from_sorted(comps.to_vec()))
             .unwrap_or_default()
     }
 
@@ -517,8 +1210,8 @@ impl Database {
     pub fn holds_at_rational(&self, pred: Symbol, args: &[Value], t: Rational) -> bool {
         self.rels
             .get(&pred)
-            .and_then(|r| r.get(args))
-            .is_some_and(|ivs| ivs.contains(t))
+            .and_then(|r| r.components_of(args))
+            .is_some_and(|comps| IntervalSet::components_contain(comps, t))
     }
 
     /// All predicates present.
@@ -526,8 +1219,8 @@ impl Database {
         self.rels.keys().copied()
     }
 
-    /// Iterates every `(pred, tuple, intervals)`.
-    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Tuple, &IntervalSet)> {
+    /// Iterates every `(pred, tuple, components)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, TupleRef<'_>, &[Interval])> {
         self.rels
             .iter()
             .flat_map(|(p, r)| r.iter().map(move |(t, ivs)| (*p, t, ivs)))
@@ -537,16 +1230,16 @@ impl Database {
     pub fn to_facts_text(&self) -> String {
         let mut lines: Vec<String> = self
             .iter()
-            .flat_map(|(p, tuple, ivs)| {
-                ivs.iter()
-                    .map(move |iv| {
-                        let args = tuple
-                            .iter()
-                            .map(|v| v.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ");
-                        format!("{p}({args})@{iv}.")
-                    })
+            .flat_map(|(p, tuple, comps)| {
+                let args = tuple
+                    .to_vec()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                comps
+                    .iter()
+                    .map(move |iv| format!("{p}({args})@{iv}."))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -567,7 +1260,8 @@ impl Database {
     /// ```
     /// use chronolog_core::{parse_facts, Atom, Database, Term, Value};
     /// let mut db = Database::new();
-    /// db.extend_facts(&parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.").unwrap());
+    /// db.extend_facts(&parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.").unwrap())
+    ///     .unwrap();
     /// let pattern = Atom::new("p", vec![Term::Val(Value::sym("a")), Term::var("N")]);
     /// let hits = db.query(&pattern, None);
     /// assert_eq!(hits.len(), 2);
@@ -581,12 +1275,13 @@ impl Database {
             return Vec::new();
         };
         let mut out = Vec::new();
-        'tuples: for (tuple, ivs) in rel.iter() {
+        'tuples: for (tuple, comps) in rel.iter() {
             if tuple.len() != pattern.args.len() {
                 continue;
             }
-            let mut bound: HashMap<Symbol, Value> = HashMap::new();
-            for (term, v) in pattern.args.iter().zip(tuple.iter()) {
+            let values = tuple.to_vec();
+            let mut bound: FxHashMap<Symbol, Value> = FxHashMap::default();
+            for (term, v) in pattern.args.iter().zip(values.iter()) {
                 match term {
                     crate::ast::Term::Val(c) => {
                         if !c.semantic_eq(v) {
@@ -602,11 +1297,11 @@ impl Database {
                 }
             }
             let clipped = match window {
-                Some(w) => ivs.intersect_interval(w),
-                None => ivs.clone(),
+                Some(w) => IntervalSet::clip_components(comps, w),
+                None => IntervalSet::from_sorted(comps.to_vec()),
             };
             if !clipped.is_empty() {
-                out.push((tuple.clone(), clipped));
+                out.push((values.into_boxed_slice(), clipped));
             }
         }
         out
@@ -617,13 +1312,14 @@ impl Database {
     pub fn from_facts_text(text: &str) -> crate::error::Result<Database> {
         let facts = crate::parser::parse_facts(text)?;
         let mut db = Database::new();
-        db.extend_facts(&facts);
+        db.extend_facts(&facts)?;
         Ok(db)
     }
 
     /// Total number of interval components (a proxy for memory footprint).
+    /// O(relations): each relation maintains its live count on mutation.
     pub fn component_count(&self) -> usize {
-        self.iter().map(|(_, _, ivs)| ivs.components().len()).sum()
+        self.rels.values().map(Relation::live_component_count).sum()
     }
 
     /// Total number of built secondary indexes across relations. A clone
@@ -631,6 +1327,31 @@ impl Database {
     /// index rebuilds the clone avoided.
     pub fn built_index_count(&self) -> usize {
         self.rels.values().map(Relation::built_index_count).sum()
+    }
+
+    /// Bytes held by interval storage across relations (the columnar
+    /// arenas, or the row layout's per-tuple component vectors).
+    pub fn interval_arena_bytes(&self) -> usize {
+        self.rels.values().map(Relation::interval_bytes).sum()
+    }
+
+    /// Approximate bytes of tuple-value + interval storage across
+    /// relations (excludes hash tables and indexes); divide by
+    /// [`Database::tuple_count`] for a bytes-per-tuple figure.
+    pub fn storage_bytes(&self) -> usize {
+        self.rels
+            .values()
+            .map(|r| r.value_bytes() + r.interval_bytes())
+            .sum()
+    }
+
+    /// `(freed, reused)` interval-arena slab counts summed over relations
+    /// (all zeros in row mode).
+    pub fn arena_reuse_counts(&self) -> (u64, u64) {
+        self.rels
+            .values()
+            .map(Relation::arena_reuse)
+            .fold((0, 0), |(f, r), (df, dr)| (f + df, r + dr))
     }
 }
 
@@ -644,338 +1365,522 @@ impl fmt::Display for Database {
 mod tests {
     use super::*;
 
+    fn both_modes() -> [Database; 2] {
+        [
+            Database::with_mode(StorageMode::Columnar),
+            Database::with_mode(StorageMode::Row),
+        ]
+    }
+
     #[test]
     fn insert_and_query() {
-        let mut db = Database::new();
-        db.assert_at("price", &[Value::num(1300.0)], 10);
-        assert!(db.holds_at("price", &[Value::num(1300.0)], 10));
-        assert!(!db.holds_at("price", &[Value::num(1300.0)], 11));
-        assert!(!db.holds_at("price", &[Value::num(9.0)], 10));
+        for mut db in both_modes() {
+            db.assert_at("price", &[Value::num(1300.0)], 10);
+            assert!(db.holds_at("price", &[Value::num(1300.0)], 10));
+            assert!(!db.holds_at("price", &[Value::num(1300.0)], 11));
+            assert!(!db.holds_at("price", &[Value::num(9.0)], 10));
+        }
     }
 
     #[test]
     fn repeated_insert_reports_growth_correctly() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
-        assert!(db.insert(pred, tup.clone(), Interval::closed_int(0, 5)));
-        assert!(!db.insert(pred, tup.clone(), Interval::closed_int(2, 4)));
-        assert!(db.insert(pred, tup, Interval::closed_int(4, 8)));
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            let tup = [Value::Int(1)];
+            assert!(db.insert(pred, &tup, Interval::closed_int(0, 5)).unwrap());
+            assert!(!db.insert(pred, &tup, Interval::closed_int(2, 4)).unwrap());
+            assert!(db.insert(pred, &tup, Interval::closed_int(4, 8)).unwrap());
+        }
     }
 
     #[test]
     fn merge_returns_only_new_part() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
-        db.insert(pred, tup.clone(), Interval::closed_int(0, 5));
-        let delta = db.merge(
-            pred,
-            tup,
-            &IntervalSet::from_interval(Interval::closed_int(3, 8)),
-        );
-        assert_eq!(
-            delta.components(),
-            &[Interval::new(
-                Rational::integer(5).into(),
-                false,
-                Rational::integer(8).into(),
-                true
-            )
-            .unwrap()]
-        );
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            let tup = [Value::Int(1)];
+            db.insert(pred, &tup, Interval::closed_int(0, 5)).unwrap();
+            let delta = db
+                .merge(
+                    pred,
+                    &tup,
+                    &IntervalSet::from_interval(Interval::closed_int(3, 8)),
+                )
+                .unwrap();
+            assert_eq!(
+                delta.components(),
+                &[Interval::new(
+                    Rational::integer(5).into(),
+                    false,
+                    Rational::integer(8).into(),
+                    true
+                )
+                .unwrap()]
+            );
+        }
     }
 
     #[test]
     fn facts_text_is_sorted_and_parseable() {
-        let mut db = Database::new();
-        db.assert_at("b", &[Value::Int(2)], 3);
-        db.assert_at("a", &[Value::sym("x")], 1);
-        let text = db.to_facts_text();
-        assert!(text.starts_with("a(x)@[1]."));
-        let reparsed = crate::parser::parse_facts(&text).unwrap();
-        assert_eq!(reparsed.len(), 2);
+        for mut db in both_modes() {
+            db.assert_at("b", &[Value::Int(2)], 3);
+            db.assert_at("a", &[Value::sym("x")], 1);
+            let text = db.to_facts_text();
+            assert!(text.starts_with("a(x)@[1]."));
+            let reparsed = crate::parser::parse_facts(&text).unwrap();
+            assert_eq!(reparsed.len(), 2);
+        }
     }
 
     #[test]
     fn query_patterns() {
-        let mut db = Database::new();
-        db.extend_facts(
-            &crate::parser::parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.\nq(a)@1.").unwrap(),
-        );
-        use crate::ast::{Atom, Term};
-        // All p-tuples.
-        let all = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("Y")]), None);
-        assert_eq!(all.len(), 3);
-        // Constant filter.
-        let a_only = db.query(
-            &Atom::new("p", vec![Term::Val(Value::sym("a")), Term::var("Y")]),
-            None,
-        );
-        assert_eq!(a_only.len(), 2);
-        // Repeated variable: p(X, X) matches nothing here.
-        let diag = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("X")]), None);
-        assert!(diag.is_empty());
-        // Window restriction.
-        let windowed = db.query(
-            &Atom::new("p", vec![Term::var("X"), Term::var("Y")]),
-            Some(&Interval::closed_int(4, 5)),
-        );
-        assert_eq!(windowed.len(), 2);
-        // Unknown predicate.
-        assert!(db.query(&Atom::new("zzz", vec![]), None).is_empty());
+        for mut db in both_modes() {
+            db.extend_facts(
+                &crate::parser::parse_facts("p(a, 1)@3.\np(a, 2)@5.\np(b, 1)@4.\nq(a)@1.").unwrap(),
+            )
+            .unwrap();
+            use crate::ast::{Atom, Term};
+            // All p-tuples.
+            let all = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("Y")]), None);
+            assert_eq!(all.len(), 3);
+            // Constant filter.
+            let a_only = db.query(
+                &Atom::new("p", vec![Term::Val(Value::sym("a")), Term::var("Y")]),
+                None,
+            );
+            assert_eq!(a_only.len(), 2);
+            // Repeated variable: p(X, X) matches nothing here.
+            let diag = db.query(&Atom::new("p", vec![Term::var("X"), Term::var("X")]), None);
+            assert!(diag.is_empty());
+            // Window restriction.
+            let windowed = db.query(
+                &Atom::new("p", vec![Term::var("X"), Term::var("Y")]),
+                Some(&Interval::closed_int(4, 5)),
+            );
+            assert_eq!(windowed.len(), 2);
+            // Unknown predicate.
+            assert!(db.query(&Atom::new("zzz", vec![]), None).is_empty());
+        }
     }
 
     #[test]
     fn snapshot_roundtrip() {
-        let mut db = Database::new();
-        db.extend_facts(
-            &crate::parser::parse_facts(
-                "margin(acc1, 97.5)@[3, 9].\nprice(1330.0)@4.\nflag(true).",
+        for mut db in both_modes() {
+            db.extend_facts(
+                &crate::parser::parse_facts(
+                    "margin(acc1, 97.5)@[3, 9].\nprice(1330.0)@4.\nflag(true).",
+                )
+                .unwrap(),
             )
-            .unwrap(),
-        );
-        let text = db.to_facts_text();
-        let back = Database::from_facts_text(&text).unwrap();
-        assert_eq!(back.to_facts_text(), text);
+            .unwrap();
+            let text = db.to_facts_text();
+            let back = Database::from_facts_text(&text).unwrap();
+            assert_eq!(back.to_facts_text(), text);
+        }
     }
 
     #[test]
     fn probe_finds_semantic_matches_in_scan_order() {
-        let mut db = Database::new();
-        db.extend_facts(
-            &crate::parser::parse_facts(
-                "p(a, 1)@0.\np(b, 2)@1.\np(a, 3.0)@2.\np(c, 1.0)@3.\np(a, 2)@4.",
+        for mut db in both_modes() {
+            db.extend_facts(
+                &crate::parser::parse_facts(
+                    "p(a, 1)@0.\np(b, 2)@1.\np(a, 3.0)@2.\np(c, 1.0)@3.\np(a, 2)@4.",
+                )
+                .unwrap(),
             )
-            .unwrap(),
-        );
-        let rel = db.relation(Symbol::new("p")).unwrap();
-        // Probe on position 0 = a.
-        let ids = rel.probe(&[(0, Value::sym("a"))]);
-        let tuples: Vec<&Tuple> = ids.iter().map(|&id| rel.entry(id).0).collect();
-        assert_eq!(tuples.len(), 3);
-        // Insertion (scan) order preserved.
-        assert_eq!(tuples[0][1], Value::Int(1));
-        assert_eq!(tuples[1][1], Value::num(3.0));
-        assert_eq!(tuples[2][1], Value::Int(2));
-        // Numeric buckets are semantic: Int 1 and Num 1.0 share one.
-        let ids = rel.probe(&[(1, Value::num(1.0))]);
-        assert_eq!(ids.len(), 2);
-        let ids = rel.probe(&[(1, Value::Int(3))]);
-        assert_eq!(ids.len(), 1);
-        // Most selective position wins: (a, 3.0) → bucket of size 1.
-        let ids = rel.probe(&[(0, Value::sym("a")), (1, Value::Int(3))]);
-        assert_eq!(ids.len(), 1);
-        // A ground value with no bucket short-circuits to no candidates.
-        assert!(rel.probe(&[(0, Value::sym("zzz"))]).is_empty());
+            .unwrap();
+            let rel = db.relation(Symbol::new("p")).unwrap();
+            // Probe on position 0 = a.
+            let ids = rel.probe(&[(0, Value::sym("a"))]);
+            assert_eq!(ids.len(), 3);
+            // Insertion (scan) order preserved.
+            assert_eq!(rel.entry(ids[0]).0.value(1), Value::Int(1));
+            assert_eq!(rel.entry(ids[1]).0.value(1), Value::num(3.0));
+            assert_eq!(rel.entry(ids[2]).0.value(1), Value::Int(2));
+            // Numeric buckets are semantic: Int 1 and Num 1.0 share one.
+            let ids = rel.probe(&[(1, Value::num(1.0))]);
+            assert_eq!(ids.len(), 2);
+            let ids = rel.probe(&[(1, Value::Int(3))]);
+            assert_eq!(ids.len(), 1);
+            // Most selective position wins: (a, 3.0) → bucket of size 1.
+            let ids = rel.probe(&[(0, Value::sym("a")), (1, Value::Int(3))]);
+            assert_eq!(ids.len(), 1);
+            // A ground value with no bucket short-circuits to no candidates.
+            assert!(rel.probe(&[(0, Value::sym("zzz"))]).is_empty());
+        }
     }
 
     #[test]
     fn probe_indexes_stay_fresh_under_inserts_and_merges() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        db.assert_at("p", &[Value::sym("a"), Value::Int(1)], 0);
-        // Build the index...
-        assert_eq!(
-            db.relation(pred)
-                .unwrap()
-                .probe(&[(0, Value::sym("a"))])
-                .len(),
-            1
-        );
-        // ...then grow the relation through both mutation paths.
-        db.assert_at("p", &[Value::sym("a"), Value::Int(2)], 1);
-        db.merge(
-            pred,
-            vec![Value::sym("a"), Value::num(2.0)].into_boxed_slice(),
-            &IntervalSet::from_interval(Interval::at(2)),
-        );
-        let rel = db.relation(pred).unwrap();
-        assert_eq!(rel.probe(&[(0, Value::sym("a"))]).len(), 3);
-        // Int 2 and Num 2.0 are distinct tuples but share a value bucket.
-        assert_eq!(rel.probe(&[(1, Value::Int(2))]).len(), 2);
-        // Cloning keeps both built position indexes warm...
-        let mut cloned = rel.clone();
-        assert_eq!(cloned.built_index_count(), 2);
-        assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 3);
-        // ...and the carried-over index stays fresh under further growth.
-        cloned.insert(
-            vec![Value::sym("a"), Value::Int(9)].into_boxed_slice(),
-            Interval::at(5),
-        );
-        assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 4);
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            db.assert_at("p", &[Value::sym("a"), Value::Int(1)], 0);
+            // Build the index...
+            assert_eq!(
+                db.relation(pred)
+                    .unwrap()
+                    .probe(&[(0, Value::sym("a"))])
+                    .len(),
+                1
+            );
+            // ...then grow the relation through both mutation paths.
+            db.assert_at("p", &[Value::sym("a"), Value::Int(2)], 1);
+            db.merge(
+                pred,
+                &[Value::sym("a"), Value::num(2.0)],
+                &IntervalSet::from_interval(Interval::at(2)),
+            )
+            .unwrap();
+            let rel = db.relation(pred).unwrap();
+            assert_eq!(rel.probe(&[(0, Value::sym("a"))]).len(), 3);
+            // Int 2 and Num 2.0 are distinct tuples but share a value bucket.
+            assert_eq!(rel.probe(&[(1, Value::Int(2))]).len(), 2);
+            // Cloning keeps both built position indexes warm...
+            let mut cloned = rel.clone();
+            assert_eq!(cloned.built_index_count(), 2);
+            assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 3);
+            // ...and the carried-over index stays fresh under further growth.
+            cloned
+                .insert(&[Value::sym("a"), Value::Int(9)], Interval::at(5))
+                .unwrap();
+            assert_eq!(cloned.probe(&[(0, Value::sym("a"))]).len(), 4);
+        }
     }
 
     #[test]
     fn time_probe_overlaps_only_window() {
-        let mut db = Database::new();
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 4));
-        db.assert_over("p", &[Value::Int(1)], Interval::closed_int(10, 12));
-        db.assert_over("p", &[Value::Int(2)], Interval::closed_int(20, 24));
-        db.assert_over(
-            "p",
-            &[Value::Int(3)],
-            Interval::from_instant(Rational::integer(100)),
-        );
-        let rel = db.relation(Symbol::new("p")).unwrap();
-        // Unbounded tuple 3 is always a candidate; exact clipping is the
-        // caller's job.
-        assert_eq!(rel.probe_time(&Interval::closed_int(11, 21)), vec![1, 2, 3]);
-        assert_eq!(rel.probe_time(&Interval::closed_int(5, 9)), vec![3]);
-        assert_eq!(
-            rel.probe_time(&Interval::closed_int(0, 100)),
-            vec![0, 1, 2, 3]
-        );
+        for mut db in both_modes() {
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 4));
+            db.assert_over("p", &[Value::Int(1)], Interval::closed_int(10, 12));
+            db.assert_over("p", &[Value::Int(2)], Interval::closed_int(20, 24));
+            db.assert_over(
+                "p",
+                &[Value::Int(3)],
+                Interval::from_instant(Rational::integer(100)),
+            );
+            let rel = db.relation(Symbol::new("p")).unwrap();
+            // Unbounded tuple 3 is always a candidate; exact clipping is the
+            // caller's job.
+            assert_eq!(rel.probe_time(&Interval::closed_int(11, 21)), vec![1, 2, 3]);
+            assert_eq!(rel.probe_time(&Interval::closed_int(5, 9)), vec![3]);
+            assert_eq!(
+                rel.probe_time(&Interval::closed_int(0, 100)),
+                vec![0, 1, 2, 3]
+            );
+        }
     }
 
     #[test]
     fn time_index_stays_fresh_under_growth_and_clone() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 2));
-        // Build the index, then grow through both mutation paths.
-        assert_eq!(
-            db.relation(pred)
-                .unwrap()
-                .probe_time(&Interval::closed_int(0, 100))
-                .len(),
-            1
-        );
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(50, 52));
-        db.merge(
-            pred,
-            vec![Value::Int(1)].into_boxed_slice(),
-            &IntervalSet::from_interval(Interval::closed_int(60, 61)),
-        );
-        let rel = db.relation(pred).unwrap();
-        assert_eq!(rel.probe_time(&Interval::closed_int(49, 70)), vec![0, 1]);
-        assert_eq!(rel.probe_time(&Interval::closed_int(0, 3)), vec![0]);
-        assert!(rel.probe_time(&Interval::closed_int(10, 20)).is_empty());
-        // The clone carries the index and keeps patching it.
-        let mut cloned = rel.clone();
-        assert_eq!(cloned.built_index_count(), 1);
-        cloned.insert(
-            vec![Value::Int(2)].into_boxed_slice(),
-            Interval::closed_int(15, 16),
-        );
-        assert_eq!(cloned.probe_time(&Interval::closed_int(10, 20)), vec![2]);
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 2));
+            // Build the index, then grow through both mutation paths.
+            assert_eq!(
+                db.relation(pred)
+                    .unwrap()
+                    .probe_time(&Interval::closed_int(0, 100))
+                    .len(),
+                1
+            );
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(50, 52));
+            db.merge(
+                pred,
+                &[Value::Int(1)],
+                &IntervalSet::from_interval(Interval::closed_int(60, 61)),
+            )
+            .unwrap();
+            let rel = db.relation(pred).unwrap();
+            assert_eq!(rel.probe_time(&Interval::closed_int(49, 70)), vec![0, 1]);
+            assert_eq!(rel.probe_time(&Interval::closed_int(0, 3)), vec![0]);
+            assert!(rel.probe_time(&Interval::closed_int(10, 20)).is_empty());
+            // The clone carries the index and keeps patching it.
+            let mut cloned = rel.clone();
+            assert_eq!(cloned.built_index_count(), 1);
+            cloned
+                .insert(&[Value::Int(2)], Interval::closed_int(15, 16))
+                .unwrap();
+            assert_eq!(cloned.probe_time(&Interval::closed_int(10, 20)), vec![2]);
+        }
     }
 
     #[test]
     fn time_probe_never_misses_after_coalescing() {
         // Coalescing leaves stale sub-entries behind; they may only add
         // false positives, never hide a tuple.
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 1));
-        db.relation(pred).unwrap().probe_time(&Interval::at(0)); // build
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(3, 9));
-        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(1, 3)); // glue
-        let rel = db.relation(pred).unwrap();
-        for t in 0..=9 {
-            assert_eq!(rel.probe_time(&Interval::at(t)), vec![0], "at t={t}");
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 1));
+            db.relation(pred).unwrap().probe_time(&Interval::at(0)); // build
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(3, 9));
+            db.assert_over("p", &[Value::Int(0)], Interval::closed_int(1, 3)); // glue
+            let rel = db.relation(pred).unwrap();
+            for t in 0..=9 {
+                assert_eq!(rel.probe_time(&Interval::at(t)), vec![0], "at t={t}");
+            }
         }
     }
 
     #[test]
     fn remove_clips_exactly_and_keeps_entries() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        let tup: Tuple = vec![Value::Int(1)].into_boxed_slice();
-        db.insert(pred, tup.clone(), Interval::closed_int(0, 10));
-        // Removing the middle leaves two components.
-        let removed = db.remove(
-            pred,
-            &tup,
-            &IntervalSet::from_interval(Interval::closed_int(4, 6)),
-        );
-        assert_eq!(removed.components(), &[Interval::closed_int(4, 6)]);
-        assert!(db.holds_at("p", &[Value::Int(1)], 3));
-        assert!(!db.holds_at("p", &[Value::Int(1)], 5));
-        assert!(db.holds_at("p", &[Value::Int(1)], 7));
-        // Disjoint removal is a no-op; unknown tuples and predicates too.
-        assert!(db
-            .remove(
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            let tup = [Value::Int(1)];
+            db.insert(pred, &tup, Interval::closed_int(0, 10)).unwrap();
+            // Removing the middle leaves two components.
+            let removed = db.remove(
                 pred,
                 &tup,
-                &IntervalSet::from_interval(Interval::closed_int(40, 60)),
-            )
-            .is_empty());
-        assert!(db
-            .remove(
-                pred,
-                &[Value::Int(9)],
-                &IntervalSet::from_interval(Interval::ALL),
-            )
-            .is_empty());
-        assert!(db
-            .remove(
-                Symbol::new("zzz"),
-                &tup,
-                &IntervalSet::from_interval(Interval::ALL),
-            )
-            .is_empty());
-        // Emptying the set keeps the entry (stable ids) but drops it from
-        // the rendered facts and the component count.
-        db.remove(pred, &tup, &IntervalSet::from_interval(Interval::ALL));
-        assert_eq!(db.tuple_count(), 1);
-        assert_eq!(db.component_count(), 0);
-        assert_eq!(db.to_facts_text(), "");
-        // The tuple can come back through the ordinary merge path.
-        let added = db.merge(
-            pred,
-            tup,
-            &IntervalSet::from_interval(Interval::closed_int(1, 2)),
-        );
-        assert!(!added.is_empty());
-        assert!(db.holds_at("p", &[Value::Int(1)], 2));
+                &IntervalSet::from_interval(Interval::closed_int(4, 6)),
+            );
+            assert_eq!(removed.components(), &[Interval::closed_int(4, 6)]);
+            assert!(db.holds_at("p", &[Value::Int(1)], 3));
+            assert!(!db.holds_at("p", &[Value::Int(1)], 5));
+            assert!(db.holds_at("p", &[Value::Int(1)], 7));
+            // Disjoint removal is a no-op; unknown tuples and predicates too.
+            assert!(db
+                .remove(
+                    pred,
+                    &tup,
+                    &IntervalSet::from_interval(Interval::closed_int(40, 60)),
+                )
+                .is_empty());
+            assert!(db
+                .remove(
+                    pred,
+                    &[Value::Int(9)],
+                    &IntervalSet::from_interval(Interval::ALL),
+                )
+                .is_empty());
+            assert!(db
+                .remove(
+                    Symbol::new("zzz"),
+                    &tup,
+                    &IntervalSet::from_interval(Interval::ALL),
+                )
+                .is_empty());
+            // Emptying the set keeps the entry (stable ids) but drops it
+            // from the rendered facts and the component count.
+            db.remove(pred, &tup, &IntervalSet::from_interval(Interval::ALL));
+            assert_eq!(db.tuple_count(), 1);
+            assert_eq!(db.component_count(), 0);
+            assert_eq!(db.to_facts_text(), "");
+            // The tuple can come back through the ordinary merge path.
+            let added = db
+                .merge(
+                    pred,
+                    &tup,
+                    &IntervalSet::from_interval(Interval::closed_int(1, 2)),
+                )
+                .unwrap();
+            assert!(!added.is_empty());
+            assert!(db.holds_at("p", &[Value::Int(1)], 2));
+        }
     }
 
     #[test]
     fn remove_keeps_value_and_time_probes_sound() {
-        let mut db = Database::new();
-        let pred = Symbol::new("p");
-        db.assert_over("p", &[Value::sym("a")], Interval::closed_int(0, 4));
-        db.assert_over("p", &[Value::sym("b")], Interval::closed_int(10, 14));
-        // Build both index kinds, then remove tuple `a` entirely.
-        assert_eq!(
-            db.relation(pred).unwrap().probe(&[(0, Value::sym("a"))]),
-            vec![0]
-        );
-        assert_eq!(
-            db.relation(pred)
-                .unwrap()
-                .probe_time(&Interval::closed_int(0, 4)),
-            vec![0]
-        );
-        db.remove(
-            pred,
-            &[Value::sym("a")],
-            &IntervalSet::from_interval(Interval::ALL),
-        );
-        let rel = db.relation(pred).unwrap();
-        // Probes may still surface the emptied tuple (over-approximation)
-        // but its interval set is empty, so the exact clip drops it.
-        for &id in &rel.probe(&[(0, Value::sym("a"))]) {
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            db.assert_over("p", &[Value::sym("a")], Interval::closed_int(0, 4));
+            db.assert_over("p", &[Value::sym("b")], Interval::closed_int(10, 14));
+            // Build both index kinds, then remove tuple `a` entirely.
+            assert_eq!(
+                db.relation(pred).unwrap().probe(&[(0, Value::sym("a"))]),
+                vec![0]
+            );
+            assert_eq!(
+                db.relation(pred)
+                    .unwrap()
+                    .probe_time(&Interval::closed_int(0, 4)),
+                vec![0]
+            );
+            db.remove(
+                pred,
+                &[Value::sym("a")],
+                &IntervalSet::from_interval(Interval::ALL),
+            );
+            let rel = db.relation(pred).unwrap();
+            // Probes may still surface the emptied tuple (over-approximation)
+            // but its interval set is empty, so the exact clip drops it.
+            for &id in &rel.probe(&[(0, Value::sym("a"))]) {
+                assert!(
+                    IntervalSet::clip_components(rel.entry(id).1, &Interval::closed_int(0, 4))
+                        .is_empty()
+                );
+            }
+            assert_eq!(rel.probe(&[(0, Value::sym("b"))]), vec![1]);
             assert!(rel
-                .entry(id)
-                .1
-                .intersect_interval(&Interval::closed_int(0, 4))
-                .is_empty());
+                .probe_time(&Interval::closed_int(10, 14))
+                .contains(&1u32));
         }
-        assert_eq!(rel.probe(&[(0, Value::sym("b"))]), vec![1]);
-        assert!(rel
-            .probe_time(&Interval::closed_int(10, 14))
-            .contains(&1u32));
     }
 
     #[test]
     fn counts() {
+        for mut db in both_modes() {
+            db.assert_at("p", &[Value::Int(1)], 0);
+            db.assert_at("p", &[Value::Int(1)], 2); // second component
+            db.assert_at("p", &[Value::Int(2)], 0);
+            assert_eq!(db.tuple_count(), 2);
+            assert_eq!(db.component_count(), 3);
+        }
+    }
+
+    #[test]
+    fn row_and_columnar_agree_everywhere() {
+        let facts = crate::parser::parse_facts(
+            "p(a, 1)@[0, 5].\np(a, 2.0)@3.\np(b, 2)@[1, 4].\nq(1.0)@2.\nq(1)@7.\nr(true, x)@[2, 9].",
+        )
+        .unwrap();
+        let mut col = Database::with_mode(StorageMode::Columnar);
+        let mut row = Database::with_mode(StorageMode::Row);
+        col.extend_facts(&facts).unwrap();
+        row.extend_facts(&facts).unwrap();
+        assert_eq!(col.to_facts_text(), row.to_facts_text());
+        assert_eq!(col.tuple_count(), row.tuple_count());
+        assert_eq!(col.component_count(), row.component_count());
+        let pred = Symbol::new("p");
+        let (c, r) = (col.relation(pred).unwrap(), row.relation(pred).unwrap());
+        assert_eq!(
+            c.probe(&[(0, Value::sym("a"))]),
+            r.probe(&[(0, Value::sym("a"))])
+        );
+        assert_eq!(
+            c.probe(&[(1, Value::num(2.0))]),
+            r.probe(&[(1, Value::num(2.0))])
+        );
+        assert_eq!(
+            c.probe_time(&Interval::closed_int(0, 2)),
+            r.probe_time(&Interval::closed_int(0, 2))
+        );
+        // Mode conversion round-trips byte-identically.
+        assert_eq!(
+            col.to_mode(StorageMode::Row).to_facts_text(),
+            col.to_facts_text()
+        );
+        assert_eq!(
+            row.to_mode(StorageMode::Columnar).to_facts_text(),
+            row.to_facts_text()
+        );
+    }
+
+    #[test]
+    fn columnar_ids_are_stable_across_clone() {
         let mut db = Database::new();
-        db.assert_at("p", &[Value::Int(1)], 0);
-        db.assert_at("p", &[Value::Int(1)], 2); // second component
-        db.assert_at("p", &[Value::Int(2)], 0);
-        assert_eq!(db.tuple_count(), 2);
-        assert_eq!(db.component_count(), 3);
+        db.assert_over("p", &[Value::sym("a"), Value::Int(1)], Interval::at(0));
+        db.assert_over("p", &[Value::sym("b"), Value::num(1.0)], Interval::at(1));
+        let rel = db.relation(Symbol::new("p")).unwrap();
+        let ids = rel.probe(&[(1, Value::Int(1))]);
+        assert_eq!(ids, vec![0, 1]);
+        let values: Vec<Vec<Value>> = ids.iter().map(|&id| rel.entry(id).0.to_vec()).collect();
+        let cloned = rel.clone();
+        // Same ids decode to the same values after cloning: vids are
+        // global, the clone shares the id space.
+        for (&id, vals) in ids.iter().zip(&values) {
+            assert_eq!(&cloned.entry(id).0.to_vec(), vals);
+            assert_eq!(cloned.entry(id).1, rel.entry(id).1);
+        }
+    }
+
+    #[test]
+    fn arena_reuses_slabs_released_by_remove() {
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_over("p", &[Value::Int(0)], Interval::closed_int(0, 10));
+        let bytes_before = db.interval_arena_bytes();
+        // Churn: empty the tuple, then refill it, many times over. Without
+        // slab reuse every refill would extend the arena.
+        for round in 0..64 {
+            db.remove(
+                pred,
+                &[Value::Int(0)],
+                &IntervalSet::from_interval(Interval::ALL),
+            );
+            db.merge(
+                pred,
+                &[Value::Int(0)],
+                &IntervalSet::from_interval(Interval::closed_int(round, round + 10)),
+            )
+            .unwrap();
+        }
+        let (freed, reused) = db.arena_reuse_counts();
+        assert!(
+            freed >= 64,
+            "every emptied slab is released (freed={freed})"
+        );
+        assert!(reused >= 64, "released slabs are reused (reused={reused})");
+        assert_eq!(
+            db.interval_arena_bytes(),
+            bytes_before,
+            "steady-state churn does not grow the arena"
+        );
+    }
+
+    #[test]
+    fn interned_ids_are_stable_across_relation_clone() {
+        // The id-stability contract: cloning a relation (or the database
+        // holding it) copies the `u32` columns verbatim — the clone's ids
+        // decode through the same global interner, so no re-interning, no
+        // remapping, and bit-identical column contents.
+        let mut db = Database::new();
+        let pred = Symbol::new("p");
+        db.assert_over(
+            "p",
+            &[Value::Int(3), Value::num(3.0)],
+            Interval::closed_int(0, 5),
+        );
+        db.assert_over(
+            "p",
+            &[Value::num(2.5), Value::Int(7)],
+            Interval::closed_int(1, 4),
+        );
+        let clone = db.clone();
+        let (orig, copy) = (db.relation(pred).unwrap(), clone.relation(pred).unwrap());
+        assert_eq!(orig.len(), copy.len());
+        let (Store::Col(a), Store::Col(b)) = (&orig.store, &copy.store) else {
+            panic!("default layout is columnar");
+        };
+        for id in 0..orig.len() as u32 {
+            assert_eq!(a.len_of(id), b.len_of(id));
+            for pos in 0..a.len_of(id) {
+                assert_eq!(
+                    a.vid_at(pos, id),
+                    b.vid_at(pos, id),
+                    "clone must not remap interned ids"
+                );
+            }
+        }
+        // Interning new values after the clone does not disturb either
+        // copy: ids are append-only and process-global.
+        let before = crate::intern::interned_value_count();
+        db.assert_over(
+            "p",
+            &[Value::Int(-12345), Value::Int(-54321)],
+            Interval::at(9),
+        );
+        assert!(crate::intern::interned_value_count() > before);
+        assert_eq!(
+            clone.relation(pred).unwrap().len(),
+            2,
+            "clone is unaffected by post-clone inserts"
+        );
+    }
+
+    #[test]
+    fn mixed_arity_tuples_coexist() {
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            db.insert(pred, &[Value::Int(1)], Interval::at(0)).unwrap();
+            db.insert(pred, &[Value::Int(1), Value::Int(2)], Interval::at(1))
+                .unwrap();
+            let rel = db.relation(pred).unwrap();
+            assert_eq!(rel.len(), 2);
+            assert_eq!(rel.entry(0).0.len(), 1);
+            assert_eq!(rel.entry(1).0.len(), 2);
+            assert_eq!(rel.entry(1).0.value(1), Value::Int(2));
+            assert!(db.holds_at("p", &[Value::Int(1)], 0));
+            assert!(db.holds_at("p", &[Value::Int(1), Value::Int(2)], 1));
+            assert!(!db.holds_at("p", &[Value::Int(1), Value::Int(2)], 0));
+        }
     }
 }

@@ -219,7 +219,7 @@ mod tests {
     fn run_agg(rules_src: &str, facts: &str) -> Vec<(Tuple, Interval)> {
         let program = parse_program(rules_src).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         let counters = crate::engine::eval::JoinCounters::default();
         let ctx = EvalCtx {
             total: &db,

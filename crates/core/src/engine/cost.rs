@@ -1,17 +1,22 @@
 //! Cardinality estimation for the physical planner.
 //!
-//! Estimates are derived from *live* relation sizes and — when a value
-//! index already exists — per-position distinct counts. Reads are strictly
-//! read-only: the planner never forces an index build, it only consults
-//! whatever the evaluation paths have already built. Unknown quantities
-//! fall back to conservative defaults, so a cold start plans like the old
-//! interpretive order and only deviates once the statistics justify it.
+//! Estimates are derived from *live* relation sizes and per-position
+//! distinct counts. Columnar relations maintain distinct interned-id
+//! (semantic-class) counts per column as tuples are inserted, so the
+//! planner gets exact distincts for free; row relations only expose a
+//! distinct count once a value index for that position exists. Reads are
+//! strictly read-only: the planner never forces an index build, it only
+//! consults whatever the storage layer and evaluation paths have already
+//! built. Unknown quantities fall back to conservative defaults, so a cold
+//! start plans like the old interpretive order and only deviates once the
+//! statistics justify it.
 
 use crate::database::Database;
 use crate::symbol::Symbol;
 
-/// Assumed distinct values per argument position when no value index has
-/// been built yet. Deliberately small: it keeps the estimated selectivity
+/// Assumed distinct values per argument position when the storage layer
+/// has no count yet (row layout before any value index). Deliberately
+/// small: it keeps the estimated selectivity
 /// of a bound position modest, so cold plans only reorder on large size
 /// differences (which are reliable even without distinct counts).
 const DEFAULT_DISTINCT: usize = 8;
@@ -22,8 +27,9 @@ pub(crate) trait CardinalitySource {
     fn relation_size(&self, pred: Symbol) -> usize;
     /// Number of distinct tuples of `pred` in the current delta.
     fn delta_size(&self, pred: Symbol) -> usize;
-    /// Distinct values at argument position `pos`, when already known
-    /// (i.e. a value index for that position has been built).
+    /// Distinct values at argument position `pos`, when already known:
+    /// columnar relations track per-column distinct semantic ids on
+    /// insert, row relations report once a value index has been built.
     fn distinct_at(&self, pred: Symbol, pos: usize) -> Option<usize>;
 }
 

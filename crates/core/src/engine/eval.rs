@@ -6,22 +6,25 @@
 //! points at which the whole conjunction holds.
 
 use crate::ast::{Atom, CmpOp, Expr, Literal, MetricAtom, Rule, Term};
-use crate::database::Database;
+use crate::database::{Database, StoreRef};
 use crate::error::{Error, Result};
+use crate::hash::FxHashMap;
+use crate::intern::{self, NONE_VID};
 use crate::symbol::Symbol;
 use crate::value::Value;
 use chronolog_obs::SpanRecorder;
 use mtl_temporal::{Interval, IntervalSet};
 use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use super::cost::NoCardinalities;
 use super::plan::{build_plan, ConstraintMode, PlanConfig, RulePlan, StepKind};
 use super::pool::WorkerPool;
 
-/// A variable assignment.
-pub(crate) type Bindings = HashMap<Symbol, Value>;
+/// A variable assignment. Fx-hashed: binding maps are cloned once per
+/// emitted tuple, which makes rehash speed a join-throughput term.
+pub(crate) type Bindings = FxHashMap<Symbol, Value>;
 
 /// Relations smaller than this are scanned directly: probing (and possibly
 /// building) an index costs more than walking a handful of tuples.
@@ -171,7 +174,7 @@ pub(crate) fn execute_plan(
     ctx: &EvalCtx<'_>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     plan.note_execution();
-    let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::new(), ctx.horizon_set())];
+    let mut acc: Vec<(Bindings, IntervalSet)> = vec![(Bindings::default(), ctx.horizon_set())];
     for step in &plan.steps {
         // One span per plan step: static names so folded stacks collapse
         // across iterations; the literal index and row counts travel as
@@ -621,6 +624,22 @@ fn eval_matom_masked(
     }
 }
 
+/// Reused per-thread probe buffers: `eval_rel` runs once per accumulated
+/// binding, so a fresh `Vec` per ground-position list and candidate set
+/// would put an allocator round-trip on the innermost join loop.
+#[derive(Default)]
+struct ProbeScratch {
+    ground: Vec<(usize, Value)>,
+    value: Vec<u32>,
+    time: Vec<u32>,
+    both: Vec<u32>,
+}
+
+thread_local! {
+    static PROBE_SCRATCH: std::cell::Cell<ProbeScratch> =
+        std::cell::Cell::new(ProbeScratch::default());
+}
+
 /// Base-relation lookup with unification and optional `@T` time capture.
 ///
 /// When the atom has arguments that are ground under the current binding,
@@ -647,15 +666,20 @@ fn eval_rel(
         return Ok(vec![]);
     };
 
+    // On the (cold) error paths below the scratch is simply dropped and
+    // the thread-local reverts to empty defaults — correct, just without
+    // capacity reuse.
+    let mut scr = PROBE_SCRATCH.take();
+
     // Argument positions that are ground under the current binding.
-    let mut ground: Vec<(usize, Value)> = Vec::new();
+    scr.ground.clear();
     if ctx.index_joins && rel.len() >= INDEX_MIN_TUPLES {
         for (i, t) in atom.args.iter().enumerate() {
             match t {
-                Term::Val(c) => ground.push((i, *c)),
+                Term::Val(c) => scr.ground.push((i, *c)),
                 Term::Var(x) => {
                     if let Some(v) = binding.get(x) {
-                        ground.push((i, *v));
+                        scr.ground.push((i, *v));
                     }
                 }
             }
@@ -663,86 +687,53 @@ fn eval_rel(
     }
     let use_time = ctx.time_index && mask.is_some() && rel.len() >= INDEX_MIN_TUPLES;
 
-    let mut out = Vec::new();
-    let mut emit = |tuple: &crate::value::Tuple, ivs: &IntervalSet| -> Result<()> {
-        let Some(b2) = unify(atom, tuple, binding) else {
-            return Ok(());
-        };
-        // Clip lazily: the unmasked path borrows the stored set and only
-        // clones if the tuple is actually emitted (hot-path clone fix).
-        let clipped: Cow<'_, IntervalSet> = match &mask {
-            Some(w) => Cow::Owned(ivs.intersect_interval(w)),
-            None => Cow::Borrowed(ivs),
-        };
-        if clipped.is_empty() {
-            return Ok(());
-        }
-        match atom.time_var {
-            None => out.push((b2, clipped.into_owned())),
-            Some(tv) => {
-                // The capture refers to the base fact's own time points, so
-                // the fact must be punctual (event-style predicates are).
-                let points = clipped.punctual_points().ok_or_else(|| {
-                    Error::Eval(format!(
-                        "time capture @{tv} on non-punctual fact {}{:?}",
-                        atom.pred, tuple
-                    ))
-                })?;
-                for p in points {
-                    let tval = Value::from_time(p);
-                    match b2.get(&tv) {
-                        Some(existing) if !existing.semantic_eq(&tval) => continue,
-                        _ => {}
-                    }
-                    let mut b3 = b2.clone();
-                    b3.insert(tv, tval);
-                    out.push((b3, IntervalSet::from_interval(Interval::point(p))));
-                }
-            }
-        }
-        Ok(())
-    };
-
-    if ground.is_empty() && !use_time {
+    // Candidate selection is shared across storage layouts: both modes see
+    // the same index buckets and bump the same counters, so the
+    // scanned + probed + avoided invariants hold bit-for-bit under
+    // `--row-store`. `None` means full scan.
+    let candidates: Option<&[u32]> = if scr.ground.is_empty() && !use_time {
         JoinCounters::bump(&ctx.counters.full_scans, 1);
         JoinCounters::bump(&ctx.counters.scanned_tuples, rel.len() as u64);
-        for (tuple, ivs) in rel.iter() {
-            emit(tuple, ivs)?;
-        }
+        None
     } else {
         // Value probe, time probe, or both: both candidate lists come back
         // in ascending id (= insertion) order, so their intersection visits
         // tuples in scan order and determinism is preserved.
-        let candidates = match (ground.is_empty(), use_time) {
-            (false, false) => rel.probe(&ground),
+        let candidates: &[u32] = match (scr.ground.is_empty(), use_time) {
+            (false, false) => {
+                rel.probe_into(&scr.ground, &mut scr.value);
+                &scr.value
+            }
             (true, true) => {
                 let w = mask.as_ref().expect("use_time implies a mask");
-                let time_cands = rel.probe_time(w);
+                rel.probe_time_into(w, &mut scr.time);
                 JoinCounters::bump(&ctx.counters.time_index_probes, 1);
                 JoinCounters::bump(
                     &ctx.counters.interval_clips_avoided,
-                    (rel.len() - time_cands.len()) as u64,
+                    (rel.len() - scr.time.len()) as u64,
                 );
-                time_cands
+                &scr.time
             }
             (false, true) => {
-                let value_cands = rel.probe(&ground);
-                if value_cands.is_empty() {
-                    // Nothing to narrow: skip the time probe entirely, so
-                    // an empty value bucket neither builds the time index
-                    // nor re-counts its pending tail against the clip
-                    // counters.
-                    value_cands
+                rel.probe_into(&scr.ground, &mut scr.value);
+                if scr.value.len() <= rel.len() / 8 {
+                    // A small (or empty) value bucket: clipping a handful
+                    // of candidates directly is cheaper than walking the
+                    // time index's window range (which costs a sort of
+                    // every overlapping id); skipping also means an empty
+                    // bucket neither builds the time index nor re-counts
+                    // its pending tail against the clip counters.
+                    &scr.value
                 } else {
                     let w = mask.as_ref().expect("use_time implies a mask");
-                    let time_cands = rel.probe_time(w);
+                    rel.probe_time_into(w, &mut scr.time);
                     JoinCounters::bump(&ctx.counters.time_index_probes, 1);
-                    let both = intersect_sorted(&value_cands, &time_cands);
+                    intersect_sorted_into(&scr.value, &scr.time, &mut scr.both);
                     JoinCounters::bump(
                         &ctx.counters.interval_clips_avoided,
-                        (value_cands.len() - both.len()) as u64,
+                        (scr.value.len() - scr.both.len()) as u64,
                     );
-                    both
+                    &scr.both
                 }
             }
             (true, false) => unreachable!("handled by the full-scan branch"),
@@ -753,17 +744,202 @@ fn eval_rel(
             &ctx.counters.index_scan_avoided,
             (rel.len() - candidates.len()) as u64,
         );
-        for id in candidates {
-            let (tuple, ivs) = rel.entry(id);
-            emit(tuple, ivs)?;
+        Some(candidates)
+    };
+
+    let mut out = Vec::new();
+    match rel.store() {
+        StoreRef::Row(s) => {
+            let mut emit = |tuple: &crate::value::Tuple, ivs: &IntervalSet| -> Result<()> {
+                let Some(b2) = unify(atom, tuple, binding) else {
+                    return Ok(());
+                };
+                // Clip lazily: the unmasked path borrows the stored set and
+                // only clones if the tuple is actually emitted.
+                let clipped: Cow<'_, IntervalSet> = match &mask {
+                    Some(w) => Cow::Owned(ivs.intersect_interval(w)),
+                    None => Cow::Borrowed(ivs),
+                };
+                if clipped.is_empty() {
+                    return Ok(());
+                }
+                match atom.time_var {
+                    None => out.push((b2, clipped.into_owned())),
+                    Some(tv) => {
+                        // The capture refers to the base fact's own time
+                        // points, so the fact must be punctual.
+                        let points = clipped.punctual_points().ok_or_else(|| {
+                            Error::Eval(format!(
+                                "time capture @{tv} on non-punctual fact {}{:?}",
+                                atom.pred, tuple
+                            ))
+                        })?;
+                        for p in points {
+                            let tval = Value::from_time(p);
+                            match b2.get(&tv) {
+                                Some(existing) if !existing.semantic_eq(&tval) => continue,
+                                _ => {}
+                            }
+                            let mut b3 = b2.clone();
+                            b3.insert(tv, tval);
+                            out.push((b3, IntervalSet::from_interval(Interval::point(p))));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            match candidates {
+                None => {
+                    for (tuple, ivs) in &s.entries {
+                        emit(tuple, ivs)?;
+                    }
+                }
+                Some(c) => {
+                    for &id in c {
+                        let (tuple, ivs) = &s.entries[id as usize];
+                        emit(tuple, ivs)?;
+                    }
+                }
+            }
+        }
+        StoreRef::Col(s) => {
+            // Columnar unification: compile the atom's argument pattern into
+            // per-position checks ONCE, then run every candidate through
+            // dense `u32` semantic-id compares — no per-tuple Value
+            // materialization, no hashing. One interner read guard covers
+            // the whole loop.
+            enum Chk<'c> {
+                /// Stored value's semantic class must equal this id. A
+                /// constant absent from the interner gets the `NONE_VID`
+                /// sentinel, which matches nothing — the loop still visits
+                /// every candidate so counters stay identical to row mode.
+                Sid { col: &'c [u32], sid: u32 },
+                /// Repeated fresh variable: positions must agree pairwise.
+                Repeat { col: &'c [u32], first: &'c [u32] },
+                /// First occurrence of a fresh variable: bind on success.
+                Bind { col: &'c [u32], var: Symbol },
+            }
+            let g = intern::read();
+            let arity = atom.args.len();
+            // Column slices are hoisted into the checks once: the visit loop
+            // then runs on flat `&[u32]` indexing with no outer-vector
+            // lookups. A missing column means no stored tuple reaches this
+            // arity, so nothing can match and the visit loop is skipped
+            // outright (candidate counters were already charged above).
+            let mut checks: Vec<Chk> = Vec::with_capacity(arity);
+            let mut unmatchable = false;
+            for (i, t) in atom.args.iter().enumerate() {
+                let Some(col) = s.col(i) else {
+                    unmatchable = true;
+                    break;
+                };
+                match t {
+                    Term::Val(c) => checks.push(Chk::Sid {
+                        col,
+                        sid: g.sid_of(c).unwrap_or(NONE_VID),
+                    }),
+                    Term::Var(x) => {
+                        if let Some(v) = binding.get(x) {
+                            checks.push(Chk::Sid {
+                                col,
+                                sid: g.sid_of(v).unwrap_or(NONE_VID),
+                            });
+                        } else if let Some(first) = atom.args[..i].iter().position(|t2| t2 == t) {
+                            checks.push(Chk::Repeat {
+                                col,
+                                first: s.col(first).expect("earlier position has a column"),
+                            });
+                        } else {
+                            checks.push(Chk::Bind { col, var: *x });
+                        }
+                    }
+                }
+            }
+            let lens = s.lens();
+            let arity_u32 = arity as u32;
+            let mut visit = |id: u32| -> Result<()> {
+                if lens[id as usize] != arity_u32 {
+                    return Ok(());
+                }
+                for c in &checks {
+                    match *c {
+                        Chk::Sid { col, sid } => {
+                            if g.sid(col[id as usize]) != sid {
+                                return Ok(());
+                            }
+                        }
+                        Chk::Repeat { col, first } => {
+                            if g.sid(col[id as usize]) != g.sid(first[id as usize]) {
+                                return Ok(());
+                            }
+                        }
+                        Chk::Bind { .. } => {}
+                    }
+                }
+                let comps = s.comps_of(id);
+                let clipped = match &mask {
+                    Some(w) => IntervalSet::clip_components(comps, w),
+                    None => IntervalSet::from_sorted(comps.to_vec()),
+                };
+                if clipped.is_empty() {
+                    return Ok(());
+                }
+                let mut b2 = binding.clone();
+                for c in &checks {
+                    if let Chk::Bind { col, var } = *c {
+                        b2.entry(var).or_insert_with(|| g.decode(col[id as usize]));
+                    }
+                }
+                match atom.time_var {
+                    None => out.push((b2, clipped)),
+                    Some(tv) => {
+                        let points = clipped.punctual_points().ok_or_else(|| {
+                            let vals: Vec<Value> =
+                                (0..arity).map(|p| g.decode(s.vid_at(p, id))).collect();
+                            Error::Eval(format!(
+                                "time capture @{tv} on non-punctual fact {}{:?}",
+                                atom.pred,
+                                vals.into_boxed_slice()
+                            ))
+                        })?;
+                        for p in points {
+                            let tval = Value::from_time(p);
+                            match b2.get(&tv) {
+                                Some(existing) if !existing.semantic_eq(&tval) => continue,
+                                _ => {}
+                            }
+                            let mut b3 = b2.clone();
+                            b3.insert(tv, tval);
+                            out.push((b3, IntervalSet::from_interval(Interval::point(p))));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            if !unmatchable {
+                match candidates {
+                    None => {
+                        for id in 0..s.len() as u32 {
+                            visit(id)?;
+                        }
+                    }
+                    Some(c) => {
+                        for &id in c {
+                            visit(id)?;
+                        }
+                    }
+                }
+            }
         }
     }
+    PROBE_SCRATCH.set(scr);
     Ok(out)
 }
 
-/// Intersection of two ascending-sorted id lists, preserving order.
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Intersection of two ascending-sorted id lists into a reused buffer,
+/// preserving order.
+fn intersect_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -776,7 +952,6 @@ fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
             }
         }
     }
-    out
 }
 
 /// Unifies an atom's argument pattern with a ground tuple under a binding.
@@ -832,7 +1007,7 @@ mod tests {
 
     fn ctx_db(facts: &str) -> Database {
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         db
     }
 
@@ -967,7 +1142,7 @@ mod tests {
 
     #[test]
     fn expr_integer_exactness() {
-        let b = Bindings::new();
+        let b = Bindings::default();
         let e = crate::parser::parse_rule("h(X) :- p(Y), X = 6 / 3.").unwrap();
         drop(e);
         assert_eq!(

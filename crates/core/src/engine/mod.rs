@@ -99,6 +99,12 @@ pub struct ReasonerConfig {
     /// the session's base-fact log — past this size a full rebuild is
     /// cheaper than patching.
     pub repair_budget: u64,
+    /// Store relations as row-major `(tuple, interval set)` entries instead
+    /// of the default columnar layout (interned `u32` value columns plus an
+    /// interval arena) — the `--row-store` ablation baseline. Either layout
+    /// produces byte-identical facts, counters, and provenance; only memory
+    /// traffic and clone cost move.
+    pub row_store: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -117,6 +123,7 @@ impl Default for ReasonerConfig {
             cost_based_reorder: true,
             repair: true,
             repair_budget: 50_000,
+            row_store: false,
         }
     }
 }
@@ -145,6 +152,22 @@ impl ReasonerConfig {
     pub fn with_repair_budget(mut self, budget: u64) -> Self {
         self.repair_budget = budget;
         self
+    }
+
+    /// Convenience: select the row-major relation layout (`true` is the
+    /// `--row-store` ablation baseline; `false` the columnar default).
+    pub fn with_row_store(mut self, row_store: bool) -> Self {
+        self.row_store = row_store;
+        self
+    }
+
+    /// The relation storage layout this configuration selects.
+    pub(crate) fn storage_mode(&self) -> crate::database::StorageMode {
+        if self.row_store {
+            crate::database::StorageMode::Row
+        } else {
+            crate::database::StorageMode::Columnar
+        }
     }
 }
 
@@ -312,6 +335,37 @@ pub struct RunStats {
     pub workers: Vec<WorkerStats>,
     /// Session repair-path breakdown (all zeros for batch runs).
     pub repairs: RepairStats,
+    /// Relation-storage breakdown (interning, arena, clone traffic).
+    pub storage: StorageStats,
+}
+
+/// Relation-storage statistics: what the columnar layout interns and
+/// allocates. The interner and symbol counts are process-global (interning
+/// is shared across databases); the byte and clone figures are snapshots
+/// taken when the run's stats were captured.
+#[derive(Clone, Debug, Default)]
+pub struct StorageStats {
+    /// Storage layout of the run (`"columnar"` or `"row"`).
+    pub mode: String,
+    /// Distinct predicate/constant/variable names interned process-wide.
+    pub interned_symbols: usize,
+    /// Distinct constant values interned process-wide (columnar ids).
+    pub interned_values: usize,
+    /// Bytes held by the result database's interval storage (arena slabs
+    /// for columnar relations, per-tuple `IntervalSet`s for row ones).
+    pub interval_bytes: usize,
+    /// Bytes held by the result database's value storage (`u32` columns
+    /// for columnar relations, boxed tuples for row ones).
+    pub value_bytes: usize,
+    /// Arena slabs released by `Relation::remove` emptying a tuple
+    /// (result database, cumulative over its relations' lifetimes).
+    pub arena_slabs_freed: u64,
+    /// Freed arena slabs later reused by another tuple's intervals.
+    pub arena_slabs_reused: u64,
+    /// Flat column vectors copied by database clones, process-wide — the
+    /// columnar snapshot cost (row-store clones copy per-tuple boxes
+    /// instead and don't count here).
+    pub column_clones: u64,
 }
 
 /// Actual-vs-estimated row accounting for one executed plan variant: the
@@ -533,6 +587,25 @@ impl RunStats {
                 Json::from(self.repairs.overdeleted_components),
             ),
         ]);
+        let storage = Json::from_pairs([
+            ("mode", Json::from(self.storage.mode.as_str())),
+            (
+                "interned_symbols",
+                Json::from(self.storage.interned_symbols),
+            ),
+            ("interned_values", Json::from(self.storage.interned_values)),
+            ("interval_bytes", Json::from(self.storage.interval_bytes)),
+            ("value_bytes", Json::from(self.storage.value_bytes)),
+            (
+                "arena_slabs_freed",
+                Json::from(self.storage.arena_slabs_freed),
+            ),
+            (
+                "arena_slabs_reused",
+                Json::from(self.storage.arena_slabs_reused),
+            ),
+            ("column_clones", Json::from(self.storage.column_clones)),
+        ]);
         Json::from_pairs([
             ("totals", totals),
             ("strata", strata),
@@ -541,6 +614,7 @@ impl RunStats {
             ("planner", planner),
             ("pool", pool),
             ("repairs", repairs),
+            ("storage", storage),
         ])
     }
 }
@@ -641,7 +715,9 @@ impl Reasoner {
     pub fn materialize(&self, input: &Database) -> Result<Materialization> {
         let _mat_span = self.config.profiler.as_ref().map(|p| p.span("materialize"));
         let start = Instant::now();
-        let mut total = input.clone();
+        // Same-mode inputs clone structurally (columnar: flat column
+        // memcpys plus an index patch); a mode mismatch re-loads.
+        let mut total = input.to_mode(self.config.storage_mode());
         let mut provenance = self.config.provenance.then(ProvenanceLog::default);
         let mut stats = RunStats::default();
         // Cloning preserves already-built secondary indexes: every index the
@@ -680,6 +756,7 @@ impl Reasoner {
         stats.derived_tuples = total.tuple_count().saturating_sub(input_tuples);
         stats.total_components = total.component_count();
         stats.elapsed = start.elapsed();
+        capture_storage_stats(&total, &mut stats);
         if let Some(tracer) = &self.config.tracer {
             tracer.emit(
                 "materialize_end",
@@ -771,7 +848,7 @@ impl Reasoner {
                 continue;
             };
             for (tuple, ivs) in rel.iter() {
-                let clipped = ivs.intersect_interval(&window);
+                let clipped = IntervalSet::clip_components(ivs, &window);
                 if clipped.is_empty() {
                     continue;
                 }
@@ -780,10 +857,11 @@ impl Reasoner {
                     outcome.budget_tripped = true;
                     return outcome;
                 }
-                let surviving = base.intervals(pred, tuple);
+                let owned = tuple.to_vec();
+                let surviving = base.intervals(pred, &owned);
                 let doomed = clipped.difference(&surviving);
                 if !doomed.is_empty() {
-                    dead.push((pred, tuple.clone(), doomed));
+                    dead.push((pred, owned.into_boxed_slice(), doomed));
                 }
             }
         }
@@ -808,7 +886,7 @@ impl Reasoner {
         horizon: Interval,
     ) -> Result<()> {
         for (stratum, rule_indices) in self.strat.rules_by_stratum.iter().enumerate() {
-            let mut collected = Database::new();
+            let mut collected = Database::with_mode(self.config.storage_mode());
             let iterations = self.run_stratum(
                 stratum,
                 rule_indices,
@@ -821,7 +899,11 @@ impl Reasoner {
             )?;
             stats.iterations.push(iterations);
             for (pred, tuple, ivs) in collected.iter() {
-                seed.merge(pred, tuple.clone(), ivs);
+                seed.merge(
+                    pred,
+                    &tuple.to_vec(),
+                    &IntervalSet::from_sorted(ivs.to_vec()),
+                )?;
             }
         }
         Ok(())
@@ -954,9 +1036,9 @@ impl Reasoner {
                 stats.rules[lead].components_emitted += ivs.components().len();
                 let is_new = total
                     .relation(*pred)
-                    .and_then(|r| r.get(&tuple))
-                    .is_none_or(|ivs| ivs.is_empty());
-                let added = total.merge(*pred, tuple.clone(), &ivs);
+                    .and_then(|r| r.components_of(&tuple))
+                    .is_none_or(|c| c.is_empty());
+                let added = total.merge(*pred, &tuple, &ivs)?;
                 if !added.is_empty() {
                     if is_new {
                         stats.rules[lead].tuples_derived += 1;
@@ -965,7 +1047,7 @@ impl Reasoner {
                     stats.rules[lead].components_added += added.components().len();
                     stratum_components += added.components().len();
                     if let Some(acc) = collected.as_deref_mut() {
-                        acc.merge(*pred, tuple.clone(), &added);
+                        acc.merge(*pred, &tuple, &added)?;
                     }
                     if let Some(log) = provenance {
                         log.record(lead, *pred, tuple, added, Vec::new());
@@ -1025,7 +1107,7 @@ impl Reasoner {
         let mut reorders_applied = 0u64;
         let mut planner_estimated_rows = 0u64;
         let mut planner_actual_rows = 0u64;
-        let mut prev_delta = Database::new();
+        let mut prev_delta = Database::with_mode(self.config.storage_mode());
         let mut iteration = 0usize;
         // Adaptive parallelism gate: an iteration only pays for worker
         // threads when the *previous* iteration's evaluation was expensive
@@ -1058,7 +1140,7 @@ impl Reasoner {
                     self.config.max_components
                 )));
             }
-            let mut next_delta = Database::new();
+            let mut next_delta = Database::with_mode(self.config.storage_mode());
             let mut grew = false;
 
             // Which evaluations to run this iteration, flattened into a
@@ -1221,9 +1303,9 @@ impl Reasoner {
                     stats.rules[rule_idx].components_emitted += out.components().len();
                     let is_new = total
                         .relation(rule.head.atom.pred)
-                        .and_then(|r| r.get(&tuple))
-                        .is_none_or(|ivs| ivs.is_empty());
-                    let added = total.merge(rule.head.atom.pred, tuple.clone(), &out);
+                        .and_then(|r| r.components_of(&tuple))
+                        .is_none_or(|c| c.is_empty());
+                    let added = total.merge(rule.head.atom.pred, &tuple, &out)?;
                     if !added.is_empty() {
                         grew = true;
                         let rstats = &mut stats.rules[rule_idx];
@@ -1233,9 +1315,9 @@ impl Reasoner {
                         }
                         rstats.components_added += added.components().len();
                         stratum_components += added.components().len();
-                        next_delta.merge(rule.head.atom.pred, tuple.clone(), &added);
+                        next_delta.merge(rule.head.atom.pred, &tuple, &added)?;
                         if let Some(acc) = collected.as_deref_mut() {
-                            acc.merge(rule.head.atom.pred, tuple.clone(), &added);
+                            acc.merge(rule.head.atom.pred, &tuple, &added)?;
                         }
                         if let Some(log) = provenance {
                             let b: Vec<(Symbol, Value)> =
@@ -1413,6 +1495,26 @@ fn apply_head_op(op: &HeadOp, ivs: &IntervalSet) -> Result<IntervalSet> {
     out.map_err(Error::from)
 }
 
+/// Snapshots the relation-storage figures for one run: interner/symbol
+/// table sizes (process-global), the result database's byte footprint, its
+/// cumulative arena reuse counts, and the process-wide column-clone count.
+pub(crate) fn capture_storage_stats(db: &Database, stats: &mut RunStats) {
+    let (freed, reused) = db.arena_reuse_counts();
+    stats.storage = StorageStats {
+        mode: match db.mode() {
+            crate::database::StorageMode::Columnar => "columnar".to_string(),
+            crate::database::StorageMode::Row => "row".to_string(),
+        },
+        interned_symbols: Symbol::interned_count(),
+        interned_values: crate::intern::interned_value_count(),
+        interval_bytes: db.interval_arena_bytes(),
+        value_bytes: db.storage_bytes().saturating_sub(db.interval_arena_bytes()),
+        arena_slabs_freed: freed,
+        arena_slabs_reused: reused,
+        column_clones: crate::database::column_clone_count(),
+    };
+}
+
 fn ground_head(rule: &Rule, binding: &eval::Bindings) -> Result<Tuple> {
     rule.head
         .atom
@@ -1439,7 +1541,7 @@ mod tests {
     fn run(rules: &str, facts: &str, horizon: (i64, i64)) -> Database {
         let program = parse_program(rules).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         let reasoner = Reasoner::new(
             program,
             ReasonerConfig::default().with_horizon(horizon.0, horizon.1),
@@ -1546,7 +1648,7 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("q(a)@0.").unwrap());
+        db.extend_facts(&parse_facts("q(a)@0.").unwrap()).unwrap();
         let reasoner = Reasoner::new(
             program,
             ReasonerConfig {
@@ -1569,7 +1671,7 @@ mod tests {
         let facts = "tranM(x, 1)@0.\ntranM(y, 2)@3.\nwithdraw(x)@6.";
         let program = parse_program(rules).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         let mk = |semi| {
             Reasoner::new(
                 program.clone(),
@@ -1592,7 +1694,7 @@ mod tests {
     fn stats_are_populated() {
         let program = parse_program("h(A) :- p(A).").unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("p(x)@1.").unwrap());
+        db.extend_facts(&parse_facts("p(x)@1.").unwrap()).unwrap();
         let m = Reasoner::new(program, ReasonerConfig::default())
             .unwrap()
             .materialize(&db)

@@ -257,7 +257,8 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("tranM(acc, 20)@3.").unwrap());
+        db.extend_facts(&parse_facts("tranM(acc, 20)@3.").unwrap())
+            .unwrap();
         let m = Reasoner::new(
             program.clone(),
             ReasonerConfig {
@@ -283,7 +284,7 @@ mod tests {
     fn explain_returns_none_when_fact_absent() {
         let program = parse_program("h(A) :- p(A).").unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("p(x)@1.").unwrap());
+        db.extend_facts(&parse_facts("p(x)@1.").unwrap()).unwrap();
         let m = Reasoner::new(
             program.clone(),
             ReasonerConfig {

@@ -142,7 +142,7 @@ impl Reasoner {
     pub fn into_session(self, initial: &Database, start: i64) -> Result<Session> {
         let reach = program_reach(self.program())?;
         let start = Rational::integer(start);
-        let total = initial.clone();
+        let total = initial.to_mode(self.config().storage_mode());
         let mut stats = RunStats::default();
         // The clone carries the initial database's built indexes with it, so
         // the session never rebuilds them.
@@ -154,7 +154,7 @@ impl Reasoner {
         // rebuild them without the caller's original database.
         let mut asserted = Vec::new();
         for (pred, tuple, ivs) in initial.iter() {
-            for &interval in ivs.components() {
+            for &interval in ivs {
                 asserted.push(Fact {
                     pred,
                     args: tuple.to_vec(),
@@ -398,7 +398,9 @@ impl Session {
     fn add_base_fact(&mut self, fact: &Fact) -> Rational {
         self.asserted.push(fact.clone());
         self.log.push(BaseEvent::Assert(fact.clone()));
-        self.total.insert_fact(fact);
+        self.total
+            .insert_fact(fact)
+            .expect("value interner exhausted");
         self.cut_for(fact)
     }
 
@@ -416,9 +418,9 @@ impl Session {
     /// The surviving base-fact set as a database (what the cold fallback
     /// rebuilds from, and what overdeletion must not remove).
     fn surviving_base(&self) -> Database {
-        let mut base = Database::new();
+        let mut base = Database::with_mode(self.reasoner.config().storage_mode());
         for fact in &self.asserted {
-            base.insert_fact(fact);
+            base.insert_fact(fact).expect("value interner exhausted");
         }
         base
     }
@@ -480,6 +482,7 @@ impl Session {
         let latency = started.elapsed();
         self.stats.elapsed += latency;
         self.stats.total_components = self.total.component_count();
+        super::capture_storage_stats(&self.total, &mut self.stats);
         registry
             .histogram("session.repair_latency_us")
             .record(latency.as_micros() as u64);
@@ -575,11 +578,11 @@ impl Session {
             ))
         })?;
         let horizon = self.session_horizon(self.now)?;
-        let mut seed = Database::new();
+        let mut seed = Database::with_mode(self.reasoner.config().storage_mode());
         for (pred, tuple, ivs) in self.total.iter() {
-            let clipped = ivs.intersect_interval(&seed_window);
+            let clipped = IntervalSet::clip_components(ivs, &seed_window);
             if !clipped.is_empty() {
-                seed.merge(pred, tuple.clone(), &clipped);
+                seed.merge(pred, &tuple.to_vec(), &clipped)?;
             }
         }
         {
@@ -689,20 +692,16 @@ impl Session {
                 self.now
             ))
         })?;
-        let mut seed = Database::new();
+        let mut seed = Database::with_mode(self.reasoner.config().storage_mode());
         for (pred, tuple, ivs) in self.total.iter() {
-            let clipped = ivs.intersect_interval(&window);
+            let clipped = IntervalSet::clip_components(ivs, &window);
             if !clipped.is_empty() {
-                seed.merge(pred, tuple.clone(), &clipped);
+                seed.merge(pred, &tuple.to_vec(), &clipped)?;
             }
         }
         for fact in self.pending.drain(..) {
-            self.total.insert_fact(&fact);
-            seed.insert(
-                fact.pred,
-                fact.args.clone().into_boxed_slice(),
-                fact.interval,
-            );
+            self.total.insert_fact(&fact)?;
+            seed.insert(fact.pred, &fact.args, fact.interval)?;
             // Draining materializes the fact: it becomes part of the base
             // set the repair paths preserve and the cold fallback replays.
             self.asserted.push(fact.clone());
@@ -733,6 +732,7 @@ impl Session {
             .saturating_sub(tuples_before + pending_count);
         self.stats.elapsed += latency;
         self.stats.total_components = self.total.component_count();
+        super::capture_storage_stats(&self.total, &mut self.stats);
 
         // Tick-latency histogram and watermark-lag gauge: always cheap
         // enough to record (atomics), named under `session.*` in the global
@@ -879,7 +879,8 @@ mod tests {
         let mut db = Database::new();
         db.extend_facts(
             &parse_facts("tranM(acc, 97.0)@9.\ntranM(acc, 3.0)@10.\nwithdraw(acc)@15.").unwrap(),
-        );
+        )
+        .unwrap();
         let batch = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20))
             .unwrap()
             .materialize(&db)
@@ -972,7 +973,8 @@ mod tests {
     fn rigid_genesis_facts_extend_with_the_watermark() {
         let program = parse_program("h(X) :- p(X), rate(X, R).").unwrap();
         let mut init = Database::new();
-        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap());
+        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap())
+            .unwrap();
         let mut s = Reasoner::new(program, ReasonerConfig::default())
             .unwrap()
             .into_session(&init, 0)
@@ -993,7 +995,7 @@ mod tests {
     fn cold_margin(facts: &str, hi: i64) -> String {
         let program = parse_program(MARGIN_RULES).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         Reasoner::new(program, ReasonerConfig::default().with_horizon(0, hi))
             .unwrap()
             .materialize(&db)
@@ -1288,7 +1290,8 @@ mod tests {
     fn genesis_facts_can_be_retracted() {
         let program = parse_program("h(X) :- p(X), rate(X, R).").unwrap();
         let mut init = Database::new();
-        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap());
+        init.extend_facts(&parse_facts("rate(a, 0.5).").unwrap())
+            .unwrap();
         let mut s = Reasoner::new(program, ReasonerConfig::default())
             .unwrap()
             .into_session(&init, 0)
@@ -1348,7 +1351,8 @@ mod tests {
         )
         .unwrap();
         let mut init = Database::new();
-        init.extend_facts(&parse_facts("startSkew(0)@0.").unwrap());
+        init.extend_facts(&parse_facts("startSkew(0)@0.").unwrap())
+            .unwrap();
         let mut s = Reasoner::new(program.clone(), ReasonerConfig::default())
             .unwrap()
             .into_session(&init, 0)
@@ -1365,7 +1369,8 @@ mod tests {
         let mut db = Database::new();
         db.extend_facts(
             &parse_facts("startSkew(0)@0.\nmodPos(a, 5)@2.\nmodPos(b, -2)@4.").unwrap(),
-        );
+        )
+        .unwrap();
         let batch = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 6))
             .unwrap()
             .materialize(&db)

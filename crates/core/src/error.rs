@@ -44,6 +44,10 @@ pub enum Error {
     /// A retraction named a fact that is not part of the session's
     /// surviving base-fact set (never submitted, or already retracted).
     UnknownFact(String),
+    /// The value interner ran out of dense `u32` ids for distinct constants
+    /// (columnar storage interns every constant; more than ~4 billion
+    /// distinct constants exhausts the id space).
+    InternerOverflow(String),
 }
 
 impl Error {
@@ -78,6 +82,7 @@ impl fmt::Display for Error {
             ),
             Error::EmptyWindow(m) => write!(f, "empty window: {m}"),
             Error::UnknownFact(m) => write!(f, "unknown fact: {m}"),
+            Error::InternerOverflow(m) => write!(f, "interner overflow: {m}"),
         }
     }
 }

@@ -21,7 +21,7 @@
 //! .unwrap();
 //!
 //! let mut db = Database::new();
-//! db.extend_facts(&facts);
+//! db.extend_facts(&facts).unwrap();
 //!
 //! let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20)).unwrap();
 //! let out = reasoner.materialize(&db).unwrap();
@@ -46,6 +46,8 @@ pub mod ast;
 pub mod database;
 pub mod engine;
 pub mod error;
+mod hash;
+mod intern;
 pub mod lexer;
 pub mod naive;
 pub mod parser;
@@ -56,7 +58,7 @@ pub use analysis::{DependencyGraph, EdgeKind, Stratification};
 pub use ast::{
     AggFn, Atom, CmpOp, Expr, Fact, Head, HeadOp, Literal, MetricAtom, Program, Rule, Term,
 };
-pub use database::{Database, Relation};
+pub use database::{Database, Relation, StorageMode, TupleRef};
 pub use engine::{
     BaseEvent, Explanation, Materialization, PlanExplain, PlanFeedback, PlanStepExplain,
     ProvenanceLog, Reasoner, ReasonerConfig, RepairPath, RepairReport, RepairStats, RuleStats,

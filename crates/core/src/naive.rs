@@ -23,10 +23,10 @@ use crate::engine::plan::{build_plan, PlanConfig, RulePlan, StepKind};
 use crate::error::{Error, Result};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
-use mtl_temporal::{MetricInterval, TimeBound};
+use mtl_temporal::{IntervalSet, MetricInterval, TimeBound};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-type Bindings = HashMap<Symbol, Value>;
+type Bindings = crate::hash::FxHashMap<Symbol, Value>;
 
 /// Brute-force interpretation: per (pred, tuple), the set of integer times.
 #[derive(Default)]
@@ -102,14 +102,13 @@ pub fn naive_materialize(
 
     // Load punctual EDB facts.
     for (pred, tuple, ivs) in input.iter() {
-        let points = ivs
-            .punctual_points()
+        let points = IntervalSet::punctual_points_of(ivs)
             .ok_or_else(|| Error::Eval("naive oracle requires punctual facts".to_string()))?;
         for p in points {
             let t = p
                 .as_integer()
                 .ok_or_else(|| Error::Eval("naive oracle requires integer times".to_string()))?;
-            interp.insert(pred, tuple.clone(), t);
+            interp.insert(pred, tuple.to_tuple(), t);
         }
     }
 
@@ -282,7 +281,7 @@ fn satisfy_body(
     interp: &NaiveInterpretation,
     t: i64,
 ) -> Result<Vec<Bindings>> {
-    let mut acc: Vec<Bindings> = vec![Bindings::new()];
+    let mut acc: Vec<Bindings> = vec![Bindings::default()];
     for step in &plan.steps {
         match &step.kind {
             StepKind::Join { .. } => {
@@ -489,7 +488,7 @@ mod tests {
     fn run(rules: &str, facts: &str, span: (i64, i64)) -> NaiveInterpretation {
         let program = parse_program(rules).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts(facts).unwrap());
+        db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
         naive_materialize(&program, &db, span.0, span.1).unwrap()
     }
 
@@ -534,11 +533,12 @@ mod tests {
     fn rejects_unsupported_fragment() {
         let program = parse_program("h(A) :- boxminus[0, 2] p(A).").unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("p(x)@5.").unwrap());
+        db.extend_facts(&parse_facts("p(x)@5.").unwrap()).unwrap();
         assert!(naive_materialize(&program, &db, 0, 10).is_err());
         let program = parse_program("h(A) :- p(A).").unwrap();
         let mut db = Database::new();
-        db.extend_facts(&parse_facts("p(x)@[0, 5].").unwrap());
+        db.extend_facts(&parse_facts("p(x)@[0, 5].").unwrap())
+            .unwrap();
         assert!(naive_materialize(&program, &db, 0, 10).is_err());
     }
 

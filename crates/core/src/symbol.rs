@@ -46,6 +46,11 @@ impl Symbol {
     pub fn as_str(&self) -> String {
         interner().lock().expect("interner poisoned").strings[self.0 as usize].clone()
     }
+
+    /// Number of distinct strings interned so far (stats-json `storage`).
+    pub(crate) fn interned_count() -> usize {
+        interner().lock().expect("interner poisoned").strings.len()
+    }
 }
 
 impl fmt::Debug for Symbol {

@@ -10,7 +10,7 @@ use chronolog_core::{
 fn run(rules: &str, facts: &str, horizon: (i64, i64)) -> Database {
     let program = parse_program(rules).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&parse_facts(facts).unwrap());
+    db.extend_facts(&parse_facts(facts).unwrap()).unwrap();
     Reasoner::new(
         program,
         ReasonerConfig::default().with_horizon(horizon.0, horizon.1),
@@ -111,7 +111,8 @@ fn materialization_is_idempotent() {
                  pair(A, B) :- isOpen(A), isOpen(B).";
     let program = parse_program(rules).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&parse_facts("tranM(x, 1)@0.\ntranM(y, 2)@3.").unwrap());
+    db.extend_facts(&parse_facts("tranM(x, 1)@0.\ntranM(y, 2)@3.").unwrap())
+        .unwrap();
     let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 10)).unwrap();
     let once = reasoner.materialize(&db).unwrap().database;
     let twice = reasoner.materialize(&once).unwrap();
@@ -134,7 +135,8 @@ fn horizon_clips_propagation_but_reads_outside_edb() {
 fn rational_interval_facts_flow_through() {
     let program = parse_program("h(X) :- boxminus[0.5, 1.5] p(X).").unwrap();
     let mut db = Database::new();
-    db.extend_facts(&parse_facts("p(a)@[0, 3].").unwrap());
+    db.extend_facts(&parse_facts("p(a)@[0, 3].").unwrap())
+        .unwrap();
     let out = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 10))
         .unwrap()
         .materialize(&db)
@@ -152,7 +154,8 @@ fn rational_interval_facts_flow_through() {
 fn unbounded_horizon_with_nonrecursive_program_terminates() {
     let program = parse_program("h(X) :- p(X), q(X).").unwrap();
     let mut db = Database::new();
-    db.extend_facts(&parse_facts("p(a)@[0, inf).\nq(a)@[5, 10].").unwrap());
+    db.extend_facts(&parse_facts("p(a)@[0, inf).\nq(a)@[5, 10].").unwrap())
+        .unwrap();
     let out = Reasoner::new(program, ReasonerConfig::default())
         .unwrap()
         .materialize(&db)
@@ -178,7 +181,7 @@ fn aggregate_with_head_operator() {
 fn budget_errors_are_descriptive() {
     let program = parse_program("p(X) :- q(X).\np(X) :- boxminus p(X).").unwrap();
     let mut db = Database::new();
-    db.extend_facts(&parse_facts("q(a)@0.").unwrap());
+    db.extend_facts(&parse_facts("q(a)@0.").unwrap()).unwrap();
     let err = Reasoner::new(
         program,
         ReasonerConfig {

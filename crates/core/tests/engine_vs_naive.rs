@@ -3,7 +3,9 @@
 //! family of structurally diverse programs stimulated with random facts.
 
 use chronolog_core::naive::naive_materialize;
-use chronolog_core::{parse_program, Database, Rational, Reasoner, ReasonerConfig, Symbol, Value};
+use chronolog_core::{
+    parse_program, Database, IntervalSet, Rational, Reasoner, ReasonerConfig, Symbol, Value,
+};
 use chronolog_obs::SmallRng;
 
 const T_MIN: i64 = 0;
@@ -127,10 +129,9 @@ fn engine_text(db: &Database) -> String {
     let mut lines = Vec::new();
     for (pred, tuple, ivs) in db.iter() {
         for t in T_MIN..=T_MAX {
-            if ivs.contains(Rational::integer(t)) {
-                let args = tuple
-                    .iter()
-                    .map(|v| v.to_string())
+            if IntervalSet::components_contain(ivs, Rational::integer(t)) {
+                let args = (0..tuple.len())
+                    .map(|i| tuple.value(i).to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
                 lines.push(format!("{pred}({args})@{t}"));

@@ -11,7 +11,7 @@ const HUGE: &str = "9223372036854775000";
 fn run(src: &str) -> Result<(), Error> {
     let (program, facts) = parse_source(src).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     Reasoner::new(program, ReasonerConfig::default())?
         .materialize(&db)
         .map(|_| ())
@@ -40,7 +40,7 @@ fn in_range_windows_still_work_near_the_extremes() {
     let src = format!("h(X) :- diamondminus[0, 5] p(X).\np(a)@{HUGE}.");
     let (program, facts) = parse_source(&src).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     let m = Reasoner::new(program, ReasonerConfig::default())
         .unwrap()
         .materialize(&db)

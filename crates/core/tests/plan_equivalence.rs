@@ -11,7 +11,8 @@
 
 use chronolog_core::naive::naive_materialize;
 use chronolog_core::{
-    parse_program, parse_source, Database, Program, Rational, Reasoner, ReasonerConfig, Value,
+    parse_program, parse_source, Database, IntervalSet, Program, Rational, Reasoner,
+    ReasonerConfig, Value,
 };
 use chronolog_obs::SmallRng;
 
@@ -116,10 +117,9 @@ fn engine_grid_text(program: &Program, db: &Database) -> String {
     let mut lines = Vec::new();
     for (pred, tuple, ivs) in m.database.iter() {
         for t in T_MIN..=T_MAX {
-            if ivs.contains(Rational::integer(t)) {
-                let args = tuple
-                    .iter()
-                    .map(|v| v.to_string())
+            if IntervalSet::components_contain(ivs, Rational::integer(t)) {
+                let args = (0..tuple.len())
+                    .map(|i| tuple.value(i).to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
                 lines.push(format!("{pred}({args})@{t}"));
@@ -145,6 +145,8 @@ fn check_case(program_src: &str, trace: &Trace, label: &str) {
     );
     let threaded = materialize_text(&program, &db, |c| c.threads = 4);
     assert_eq!(reordered, threaded, "{label}: threaded run diverges");
+    let row_store = materialize_text(&program, &db, |c| c.row_store = true);
+    assert_eq!(reordered, row_store, "{label}: row-store layout diverges");
     let oracle = naive_materialize(&program, &db, T_MIN, T_MAX).unwrap();
     assert_eq!(
         engine_grid_text(&program, &db),
@@ -176,12 +178,17 @@ fn reordered_plans_are_equivalent_on_the_corpus() {
         let src = std::fs::read_to_string(&path).unwrap();
         let (program, facts) = parse_source(&src).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&facts);
+        db.extend_facts(&facts).unwrap();
         let texts: Vec<String> = [
             |_c: &mut ReasonerConfig| {},
             |c: &mut ReasonerConfig| c.cost_based_reorder = false,
             |c: &mut ReasonerConfig| c.semi_naive = false,
             |c: &mut ReasonerConfig| c.threads = 4,
+            |c: &mut ReasonerConfig| c.row_store = true,
+            |c: &mut ReasonerConfig| {
+                c.row_store = true;
+                c.threads = 4;
+            },
         ]
         .into_iter()
         .map(|tweak| {

@@ -22,7 +22,7 @@ fn corpus() -> Vec<(&'static str, String)> {
 fn materialize(src: &str, profiler: Option<SpanRecorder>, threads: usize) -> String {
     let (program, facts) = parse_source(src).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     Reasoner::new(
         program,
         ReasonerConfig {

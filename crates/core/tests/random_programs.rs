@@ -8,7 +8,7 @@
 //! per case), so every failure is reproducible from the printed seed.
 
 use chronolog_core::naive::naive_materialize;
-use chronolog_core::{Database, Rational, Reasoner, ReasonerConfig, Value};
+use chronolog_core::{Database, IntervalSet, Rational, Reasoner, ReasonerConfig, Value};
 use chronolog_obs::SmallRng;
 
 const T_MIN: i64 = 0;
@@ -160,10 +160,9 @@ fn engine_text(db: &Database) -> String {
     let mut lines = Vec::new();
     for (pred, tuple, ivs) in db.iter() {
         for t in T_MIN..=T_MAX {
-            if ivs.contains(Rational::integer(t)) {
-                let args = tuple
-                    .iter()
-                    .map(|v| v.to_string())
+            if IntervalSet::components_contain(ivs, Rational::integer(t)) {
+                let args = (0..tuple.len())
+                    .map(|i| tuple.value(i).to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
                 lines.push(format!("{pred}({args})@{t}"));
@@ -238,7 +237,7 @@ fn session_streaming_equals_batch() {
         };
         let mut genesis = Database::new();
         for f in facts.iter().filter(|&&(_, _, _, t)| t == T_MIN) {
-            genesis.insert_fact(&mk_fact(f));
+            genesis.insert_fact(&mk_fact(f)).unwrap();
         }
         let mut later: Vec<&(usize, i64, i64, i64)> =
             facts.iter().filter(|&&(_, _, _, t)| t > T_MIN).collect();

@@ -103,6 +103,10 @@ fn gen_events(rng: &mut SmallRng) -> Vec<(&'static str, Vec<Value>, i64)> {
 /// watermark (late submits), and a random subset is retracted again.
 /// Returns how many corrections entered the repair path.
 fn run_interleaved(threads: usize, repair: bool) -> u64 {
+    run_interleaved_with_layout(threads, repair, false)
+}
+
+fn run_interleaved_with_layout(threads: usize, repair: bool, row_store: bool) -> u64 {
     let mut attempted_total = 0u64;
     for case in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0x0EA12 ^ (case << 4));
@@ -131,7 +135,8 @@ fn run_interleaved(threads: usize, repair: bool) -> u64 {
 
         let config = ReasonerConfig::default()
             .with_threads(threads)
-            .with_repair(repair);
+            .with_repair(repair)
+            .with_row_store(row_store);
         let mut session = Reasoner::new(program.clone(), config)
             .unwrap_or_else(|e| panic!("case {case}: program must validate: {e}\n{src}"))
             .into_session(&initial, T_MIN)
@@ -186,7 +191,7 @@ fn run_interleaved(threads: usize, repair: bool) -> u64 {
         // surviving facts must agree byte-for-byte.
         let mut db = Database::new();
         for fact in &survivors {
-            db.insert_fact(fact);
+            db.insert_fact(fact).unwrap();
         }
         let cold = Reasoner::new(
             program,
@@ -200,7 +205,8 @@ fn run_interleaved(threads: usize, repair: bool) -> u64 {
         assert_eq!(
             session.database().to_facts_text(),
             cold.database.to_facts_text(),
-            "case {case} (threads={threads}, repair={repair}): \
+            "case {case} (threads={threads}, repair={repair}, \
+             row_store={row_store}): \
              patched session diverged from cold run over survivors\n{src}"
         );
 
@@ -242,4 +248,13 @@ fn interleaved_corrections_equal_cold_1_thread_fallback_only() {
 fn interleaved_corrections_equal_cold_4_threads_fallback_only() {
     let attempted = run_interleaved(4, false);
     assert!(attempted > 0, "the interleavings must exercise fallbacks");
+}
+
+#[test]
+fn interleaved_corrections_equal_cold_row_store_repair() {
+    // The --row-store ablation must repair to the same bytes the cold run
+    // over survivors produces, on both thread counts.
+    let attempted =
+        run_interleaved_with_layout(1, true, true) + run_interleaved_with_layout(4, true, true);
+    assert!(attempted > 0, "the interleavings must exercise repairs");
 }

@@ -25,7 +25,7 @@ fn corpus() -> Vec<(&'static str, String, i64, i64)> {
 fn materialize(src: &str, lo: i64, hi: i64, semi_naive: bool) -> (RunStats, String) {
     let (program, facts) = parse_source(src).unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     let m = Reasoner::new(
         program,
         ReasonerConfig {
@@ -174,22 +174,32 @@ fn join_path_counters_account_for_every_lookup() {
     for (name, src, lo, hi) in corpus() {
         let (program, facts) = parse_source(&src).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&facts);
+        db.extend_facts(&facts).unwrap();
         let mut totals = Vec::new();
         let mut tuple_totals = Vec::new();
-        for (index_joins, time_index) in
-            [(true, true), (true, false), (false, true), (false, false)]
-        {
+        for (index_joins, time_index, row_store) in [
+            (true, true, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, false),
+            (true, true, true),
+            (true, false, true),
+            (false, true, true),
+            (false, false, true),
+        ] {
             // Reordering is pinned off: the call-multiset comparison below
-            // needs the same join order in all four configurations, and the
+            // needs the same join order in all eight configurations, and the
             // cost model's distinct counts (hence the chosen order) depend
             // on which indexes exist. Reorder-on equivalence is covered by
-            // the plan_equivalence suite.
+            // the plan_equivalence suite. The row-store half of the matrix
+            // proves the counters are a property of the access path, not of
+            // the storage layout underneath it.
             let stats = Reasoner::new(
                 program.clone(),
                 ReasonerConfig {
                     index_joins,
                     time_index,
+                    row_store,
                     cost_based_reorder: false,
                     ..ReasonerConfig::default().with_horizon(lo, hi)
                 },
@@ -238,7 +248,7 @@ fn join_path_counters_account_for_every_lookup() {
 fn missing_relations_count_as_zero_tuple_full_scans() {
     let (program, facts) = parse_source("h(X) :- e(X), ghost(X).\ne(a)@0.").unwrap();
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     // Textual order: both `e` and `ghost` are looked up before the join
     // comes up empty.
     let stats = Reasoner::new(
@@ -283,7 +293,7 @@ fn worker_pool_spawns_at_most_once_per_run() {
     for (name, src, lo, hi) in corpus() {
         let (program, facts) = parse_source(&src).unwrap();
         let mut db = Database::new();
-        db.extend_facts(&facts);
+        db.extend_facts(&facts).unwrap();
         let stats = Reasoner::new(
             program,
             ReasonerConfig {
@@ -325,7 +335,7 @@ fn profiler_spans_tie_out_against_stratum_walls() {
         for threads in [1, 4] {
             let (program, facts) = parse_source(&src).unwrap();
             let mut db = Database::new();
-            db.extend_facts(&facts);
+            db.extend_facts(&facts).unwrap();
             let recorder = SpanRecorder::new();
             let stats = Reasoner::new(
                 program,

@@ -3,7 +3,7 @@
 
 use crate::encode::{account_value, EncodedTrace};
 use crate::types::{MarketRun, Method, Trace, TradeSettlement};
-use chronolog_core::{Database, Rational, Symbol, Value};
+use chronolog_core::{Database, IntervalSet, Rational, Symbol, Value};
 
 /// Extraction failure: a value the run should have derived is missing or
 /// ambiguous — always a bug in the encoding or the engine.
@@ -33,13 +33,15 @@ fn lookup_unique(
     let time = Rational::integer(t);
     let mut found: Option<Vec<Value>> = None;
     for (tuple, ivs) in rel.iter() {
-        if tuple.len() < prefix.len() || !ivs.contains(time) {
+        if tuple.len() < prefix.len() || !IntervalSet::components_contain(ivs, time) {
             continue;
         }
-        if !tuple.iter().zip(prefix).all(|(a, b)| a.semantic_eq(b)) {
+        if !(0..prefix.len()).all(|i| tuple.value(i).semantic_eq(&prefix[i])) {
             continue;
         }
-        let rest: Vec<Value> = tuple[prefix.len()..].to_vec();
+        let rest: Vec<Value> = (prefix.len()..tuple.len())
+            .map(|i| tuple.value(i))
+            .collect();
         if let Some(prev) = &found {
             if prev != &rest {
                 return Err(ExtractError(format!(

@@ -16,7 +16,8 @@ use crate::params::MarketParams;
 use crate::reference::ReferenceEngine;
 use crate::types::{MarketRun, Method, Trace};
 use chronolog_core::{
-    parse_program, Database, Program, Rational, Reasoner, ReasonerConfig, Result, Symbol, Value,
+    parse_program, Database, IntervalSet, Program, Rational, Reasoner, ReasonerConfig, Result,
+    Symbol, Value,
 };
 use std::collections::HashMap;
 
@@ -282,13 +283,13 @@ fn lookup(db: &Database, pred: Symbol, prefix: &[Value], epoch: i64) -> Option<f
     let t = Rational::integer(epoch);
     let mut found = None;
     for (tuple, ivs) in rel.iter() {
-        if tuple.len() != prefix.len() + 1 || !ivs.contains(t) {
+        if tuple.len() != prefix.len() + 1 || !IntervalSet::components_contain(ivs, t) {
             continue;
         }
-        if !tuple.iter().zip(prefix).all(|(a, b)| a.semantic_eq(b)) {
+        if !(0..prefix.len()).all(|i| tuple.value(i).semantic_eq(&prefix[i])) {
             continue;
         }
-        let v = tuple.last()?.as_f64()?;
+        let v = tuple.value(prefix.len()).as_f64()?;
         match found {
             Some(prev) if prev != v => return None, // ambiguous
             _ => found = Some(v),

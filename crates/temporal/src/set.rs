@@ -50,6 +50,58 @@ impl IntervalSet {
         s
     }
 
+    /// Trusted constructor from components already sorted and pairwise
+    /// non-connected — the invariant every slice handed out by
+    /// [`IntervalSet::components`] satisfies. Lets arena-backed storage
+    /// rebuild a set from a stored component slice without re-coalescing.
+    pub fn from_sorted(items: Vec<Interval>) -> IntervalSet {
+        let s = IntervalSet { items };
+        #[cfg(debug_assertions)]
+        s.check_invariant();
+        s
+    }
+
+    /// Clips a sorted, non-connected component slice against one interval —
+    /// [`IntervalSet::intersect_interval`] for callers that hold raw
+    /// components (arena slabs) rather than a set.
+    pub fn clip_components(items: &[Interval], interval: &Interval) -> IntervalSet {
+        let start = items.partition_point(|i| i.entirely_before(interval));
+        let mut out = Vec::new();
+        for i in &items[start..] {
+            if interval.entirely_before(i) {
+                break;
+            }
+            if let Some(x) = i.intersect(interval) {
+                out.push(x);
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// [`IntervalSet::punctual_points`] over a raw component slice.
+    pub fn punctual_points_of(items: &[Interval]) -> Option<Vec<Rational>> {
+        items
+            .iter()
+            .map(|i| i.punctual_value())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Membership test over a raw component slice ([`IntervalSet::contains`]
+    /// without constructing a set).
+    pub fn components_contain(items: &[Interval], t: Rational) -> bool {
+        let idx = items.partition_point(|i| match i.hi() {
+            TimeBound::Finite(h) => h < t,
+            TimeBound::NegInf => true,
+            TimeBound::PosInf => false,
+        });
+        items.get(idx).map(|i| i.contains(t)).unwrap_or(false)
+            || idx
+                .checked_sub(1)
+                .and_then(|j| items.get(j))
+                .map(|i| i.contains(t))
+                .unwrap_or(false)
+    }
+
     /// The maximal disjoint intervals, in increasing order.
     pub fn components(&self) -> &[Interval] {
         &self.items

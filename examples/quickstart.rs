@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
     let (program, facts) = parse_source(source)?;
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
 
     let config = ReasonerConfig {
         provenance: true, // record derivations so we can explain results

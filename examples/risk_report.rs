@@ -90,14 +90,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rel = out.database.relation(chronolog_core::Symbol::new("pnl"))?;
         let acc_val = account_value(account);
         let (tuple, _) = rel.iter().find(|(tuple, ivs)| {
-            tuple[0].semantic_eq(&acc_val)
-                && ivs.contains(chronolog_core::Rational::integer(close_epoch))
+            tuple.value(0).semantic_eq(&acc_val)
+                && chronolog_core::IntervalSet::components_contain(
+                    ivs,
+                    chronolog_core::Rational::integer(close_epoch),
+                )
         })?;
         log.explain(
             &program,
             &out.database,
             chronolog_core::Symbol::new("pnl"),
-            tuple,
+            &tuple.to_vec(),
             close_epoch,
         )
     }) {

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
     let (program, facts) = parse_source(source)?;
     let mut db = Database::new();
-    db.extend_facts(&facts);
+    db.extend_facts(&facts).unwrap();
     let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20))?;
     let out = reasoner.materialize(&db)?;
     let d = &out.database;

@@ -65,14 +65,24 @@ fn explain_fact(m: &Materialized, pred: &str, t: i64) -> String {
     let (tuple, _) = rel
         .iter()
         .find(|(tuple, ivs)| {
-            tuple[0].semantic_eq(&acc) && ivs.contains(chronolog_core::Rational::integer(t))
+            tuple.value(0).semantic_eq(&acc)
+                && chronolog_core::IntervalSet::components_contain(
+                    ivs,
+                    chronolog_core::Rational::integer(t),
+                )
         })
         .unwrap_or_else(|| panic!("{pred} holds for acc at t={t}"));
     m.out
         .provenance
         .as_ref()
         .expect("provenance on")
-        .explain(&m.program, &m.out.database, Symbol::new(pred), tuple, t)
+        .explain(
+            &m.program,
+            &m.out.database,
+            Symbol::new(pred),
+            &tuple.to_vec(),
+            t,
+        )
         .expect("explainable")
         .to_string()
 }

@@ -4,7 +4,7 @@
 //! every predicate at every epoch — including the float values.
 
 use chronolog_core::naive::naive_materialize;
-use chronolog_core::{Rational, Reasoner, ReasonerConfig};
+use chronolog_core::{IntervalSet, Rational, Reasoner, ReasonerConfig};
 use chronolog_market::{generate, ScenarioConfig};
 use chronolog_perp::encode::encode_trace;
 use chronolog_perp::program::{build_program, TimelineMode};
@@ -15,10 +15,9 @@ fn engine_text(db: &chronolog_core::Database, lo: i64, hi: i64) -> String {
     let mut lines = Vec::new();
     for (pred, tuple, ivs) in db.iter() {
         for t in lo..=hi {
-            if ivs.contains(Rational::integer(t)) {
-                let args = tuple
-                    .iter()
-                    .map(|v| v.to_string())
+            if IntervalSet::components_contain(ivs, Rational::integer(t)) {
+                let args = (0..tuple.len())
+                    .map(|i| tuple.value(i).to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
                 lines.push(format!("{pred}({args})@{t}"));
