@@ -33,6 +33,9 @@
 //!   --no-time-index       disable the sorted-endpoint time index (ablation)
 //!   --no-reorder          disable cost-based join reordering (ablation;
 //!                         rules run in textual delta-first order)
+//!   --no-adaptive         disable adaptive planner feedback (ablation;
+//!                         sustained misestimates no longer force replans
+//!                         with corrected estimates — identical facts)
 //!   --row-store           store relations row-major instead of the default
 //!                         columnar layout (ablation; byte-identical output)
 //!   --explain-plans       print each rule's compiled physical plan with
@@ -70,7 +73,10 @@ use std::fmt::Write as _;
 /// overdeleted_components).
 /// v7 added the `storage` section (relation-storage layout, interner and
 /// arena figures, clone traffic).
-pub const REPORT_SCHEMA_VERSION: u64 = 7;
+/// v8 added `planner.replans_triggered` (adaptive-feedback replans), a
+/// `corrections` array (learned per-literal correction factors) to each
+/// `planner.plans` entry, and `access_path` to each plan step.
+pub const REPORT_SCHEMA_VERSION: u64 = 8;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -133,7 +139,8 @@ const USAGE: &str = "usage: chronolog <check|run|graph|validate-trace> <file>...
   run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
                --session  --stream FILE  --no-repair  --repair-budget N\n\
-               --no-time-index  --no-reorder  --row-store  --explain-plans\n\
+               --no-time-index  --no-reorder  --no-adaptive  --row-store\n\
+               --explain-plans\n\
                --profile FILE  --profile-folded FILE";
 
 fn load_sources(
@@ -316,6 +323,7 @@ fn cmd_run(
     let mut repair_budget: Option<u64> = None;
     let mut time_index = true;
     let mut cost_based_reorder = true;
+    let mut adaptive = true;
     let mut row_store = false;
     let mut explain_plans = false;
 
@@ -421,6 +429,7 @@ fn cmd_run(
             "--no-repair" => repair = false,
             "--no-time-index" => time_index = false,
             "--no-reorder" => cost_based_reorder = false,
+            "--no-adaptive" => adaptive = false,
             "--row-store" => row_store = true,
             "--explain-plans" => explain_plans = true,
             other if other.starts_with("--") => {
@@ -457,6 +466,7 @@ fn cmd_run(
         threads,
         time_index,
         cost_based_reorder,
+        adaptive,
         repair,
         row_store,
         ..ReasonerConfig::default()
@@ -711,15 +721,30 @@ fn render_plans(out: &mut String, stats: &RunStats) {
             "plan {} ({variant}{reordered}): est {} rows",
             p.label, p.est_rows
         );
+        if !p.corrections.is_empty() {
+            let factors: Vec<String> = p
+                .corrections
+                .iter()
+                .map(|(lit, c)| format!("literal {lit} x{c:.2}"))
+                .collect();
+            let _ = writeln!(out, "  corrections: {}", factors.join(", "));
+        }
         for s in &p.steps {
             let _ = writeln!(
                 out,
-                "  {:<44} est {:>6}  actual {:>6}",
-                s.desc, s.est_rows, s.actual_rows
+                "  {:<44} {:<16} est {:>6}  actual {:>6}",
+                s.desc, s.access, s.est_rows, s.actual_rows
             );
         }
     }
-    let feedback = stats.plan_feedback();
+    // Near-perfect estimates are noise in a "worst first" block (and
+    // never-executed plans would be pure noise): only genuinely-off,
+    // executed plans make the cut.
+    let feedback: Vec<_> = stats
+        .plan_feedback()
+        .into_iter()
+        .filter(|f| f.executions > 0 && f.error_factor >= 1.5)
+        .collect();
     if !feedback.is_empty() {
         let _ = writeln!(out, "-- misestimates (worst first) --");
         for f in feedback.iter().take(5) {
@@ -756,9 +781,11 @@ fn render_stats(out: &mut String, stats: &RunStats) {
     );
     let _ = writeln!(
         out,
-        "planner: {} plans built, {} replans, {} reorders applied, est {} rows vs {} actual",
+        "planner: {} plans built, {} replans ({} adaptive), {} reorders applied, \
+         est {} rows vs {} actual",
         stats.plans_built,
         stats.replans,
+        stats.replans_triggered,
         stats.reorders_applied,
         stats.planner_estimated_rows,
         stats.planner_actual_rows
@@ -1659,17 +1686,16 @@ mod tests {
         let out = run(&[]);
         assert!(out.starts_with("-- plans --\n"), "{out}");
         // The planner hoists the empty `ghost` ahead of `e` in rule 0.
+        // Both plans estimate within the noise threshold, so the
+        // misestimate block is suppressed entirely.
         assert_eq!(
             out,
             "-- plans --\n\
              plan r0 (full, reordered): est 0 rows\n  \
-             join ghost(X) [scan]                         est      0  actual      0\n  \
-             join e(X) [scan]                             est      1  actual      0\n\
+             join ghost(X)                                scan             est      0  actual      0\n  \
+             join e(X)                                    scan             est      1  actual      0\n\
              plan r1 (full): est 2 rows\n  \
-             join e(X) [scan]                             est      2  actual      2\n\
-             -- misestimates (worst first) --\n\
-             plan r0 (full): est 0 rows, avg actual 0.0 over 1 runs (x1.0 off)\n\
-             plan r1 (full): est 2 rows, avg actual 2.0 over 1 runs (x1.0 off)\n"
+             join e(X)                                    scan             est      2  actual      2\n"
         );
         // Ablated: textual order, nothing reordered.
         let ablated = run(&["--no-reorder"]);

@@ -25,7 +25,7 @@
 
 use crate::ast::Fact;
 use crate::error::Result;
-use crate::hash::{hash_ids, FxHashMap, FxHashSet};
+use crate::hash::{hash_ids, FxHashMap};
 use crate::intern::{self, NONE_VID};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
@@ -374,9 +374,11 @@ pub(crate) struct ColumnStore {
     handles: Vec<Handle>,
     arena: Arena,
     ids: IdTable,
-    /// Distinct semantic classes per position (exact, maintained on
-    /// insert); feeds the planner's cardinality estimates.
-    sid_seen: Vec<FxHashSet<u32>>,
+    /// Live tuple count per semantic class per position (exact, maintained
+    /// on tuple birth/death — an entry whose interval set empties out stops
+    /// counting); `len()` of each map feeds the planner's distinct
+    /// estimates. See [`Relation::distinct_count`].
+    sid_live: Vec<FxHashMap<u32, u32>>,
 }
 
 impl ColumnStore {
@@ -466,6 +468,67 @@ impl ColumnStore {
             self.handles[id as usize] = nh;
         }
         (before, after)
+    }
+
+    /// Counts a tuple into (`born = true`) or out of (`born = false`) the
+    /// per-position live semantic-class stats. Called exactly on the
+    /// empty↔non-empty transitions of the tuple's interval set, so each
+    /// map's size is the number of distinct values among tuples that
+    /// currently hold at least one interval.
+    fn note_liveness(&mut self, id: u32, born: bool) {
+        let g = intern::read();
+        for pos in 0..self.len_of(id) {
+            let sid = g.sid(self.cols[pos][id as usize]);
+            if born {
+                *self.sid_live[pos].entry(sid).or_insert(0) += 1;
+            } else {
+                let n = self.sid_live[pos]
+                    .get_mut(&sid)
+                    .expect("dying tuple was counted at birth");
+                *n -= 1;
+                if *n == 0 {
+                    self.sid_live[pos].remove(&sid);
+                }
+            }
+        }
+    }
+
+    /// Appends `iv` to the tail of a tuple's component slab in place when it
+    /// lies entirely past the stored last component (merging into it when
+    /// connected), avoiding the decode → difference → full-copy round-trip
+    /// of the general path. Returns the `(before, after)` component counts,
+    /// or `None` when the interval may overlap stored components and the
+    /// caller must take the general path.
+    fn append_comp(&mut self, id: u32, iv: Interval) -> Option<(usize, usize)> {
+        let h = self.handles[id as usize];
+        if h.len == 0 {
+            let nh = self.arena.alloc(1);
+            self.arena.data[nh.off as usize] = iv;
+            self.handles[id as usize] = nh;
+            return Some((0, 1));
+        }
+        let last_at = (h.off + h.len - 1) as usize;
+        let last = self.arena.data[last_at];
+        if !last.entirely_before(&iv) {
+            return None;
+        }
+        if let Some(u) = last.union_if_connected(&iv) {
+            // Touching at the boundary: extend the last component in place.
+            self.arena.data[last_at] = u;
+            Some((h.len as usize, h.len as usize))
+        } else if h.len < h.cap {
+            self.arena.data[(h.off + h.len) as usize] = iv;
+            self.handles[id as usize].len = h.len + 1;
+            Some((h.len as usize, h.len as usize + 1))
+        } else {
+            let nh = self.arena.alloc(h.len as usize + 1);
+            let (src, dst) = (h.off as usize, nh.off as usize);
+            self.arena.data.copy_within(src..src + h.len as usize, dst);
+            self.arena.data[dst + h.len as usize] = iv;
+            self.arena.release(h);
+            self.handles[id as usize] = nh;
+            Some((h.len as usize, h.len as usize + 1))
+        }
     }
 }
 
@@ -565,6 +628,11 @@ pub struct Relation {
     /// Live interval components across all tuples, maintained on every
     /// mutation so `Database::component_count` is O(relations).
     live_components: usize,
+    /// Tuples currently holding at least one interval component. Unlike
+    /// [`Relation::len`] this shrinks when [`Relation::remove`] empties an
+    /// entry, so planner cardinality estimates track survivors instead of
+    /// phantom rows after repair churn.
+    live_tuples: usize,
     indexes: RwLock<SecondaryIndexes>,
 }
 
@@ -606,6 +674,7 @@ impl Clone for Relation {
         Relation {
             store,
             live_components: self.live_components,
+            live_tuples: self.live_tuples,
             indexes: RwLock::new(indexes),
         }
     }
@@ -621,6 +690,7 @@ impl Relation {
         Relation {
             store,
             live_components: 0,
+            live_tuples: 0,
             indexes: RwLock::new(SecondaryIndexes::default()),
         }
     }
@@ -669,19 +739,18 @@ impl Relation {
                         // Widest arity grew: pad new columns for old rows.
                         s.cols
                             .resize_with(tuple.len(), || vec![NONE_VID; id as usize]);
-                        s.sid_seen.resize_with(tuple.len(), FxHashSet::default);
+                        s.sid_live.resize_with(tuple.len(), FxHashMap::default);
                     }
-                    let g = intern::read();
+                    // Distinct stats are deliberately NOT touched here: a
+                    // fresh entry holds no intervals yet, and `sid_live` is
+                    // maintained on the empty↔non-empty transitions by
+                    // `apply_component_delta`.
                     for (pos, col) in s.cols.iter_mut().enumerate() {
                         match vids.get(pos) {
-                            Some(&vid) => {
-                                col.push(vid);
-                                s.sid_seen[pos].insert(g.sid(vid));
-                            }
+                            Some(&vid) => col.push(vid),
                             None => col.push(NONE_VID),
                         }
                     }
-                    drop(g);
                     s.lens.push(tuple.len() as u32);
                     s.handles.push(Handle::default());
                     let h = hash_ids(vids.iter().copied());
@@ -733,8 +802,7 @@ impl Relation {
         }
     }
 
-    /// Writes a tuple's interval set back, updating the live-component
-    /// count.
+    /// Writes a tuple's interval set back, updating the live statistics.
     fn write_set(&mut self, id: u32, set: &IntervalSet) {
         let (before, after) = match &mut self.store {
             Store::Row(s) => {
@@ -745,12 +813,66 @@ impl Relation {
             }
             Store::Col(s) => s.store_comps(id, set.components()),
         };
+        self.apply_component_delta(id, before, after);
+    }
+
+    /// Folds one tuple's `(before, after)` component-count transition into
+    /// the relation's live statistics: the O(1) component total, the live
+    /// tuple count, and (columnar) the per-position distinct stats. Every
+    /// mutation path — general write-back and in-place append alike — funnels
+    /// through here, so the planner's cardinality inputs can never drift
+    /// from the stored intervals.
+    fn apply_component_delta(&mut self, id: u32, before: usize, after: usize) {
         self.live_components = self.live_components - before + after;
+        if before == 0 && after > 0 {
+            self.live_tuples += 1;
+            if let Store::Col(s) = &mut self.store {
+                s.note_liveness(id, true);
+            }
+        } else if before > 0 && after == 0 {
+            self.live_tuples -= 1;
+            if let Store::Col(s) = &mut self.store {
+                s.note_liveness(id, false);
+            }
+        }
+    }
+
+    /// Fast path shared by [`Relation::insert`] and [`Relation::merge`]:
+    /// when `iv` lies entirely past the stored last component (the common
+    /// shape for monotone temporal recursion, which appends one instant per
+    /// iteration), the genuinely new part is exactly `iv` and both layouts
+    /// can mutate the stored tail in place — no owned-set decode, no
+    /// difference, no full slab copy. Returns the delta, or `None` when the
+    /// interval may overlap and the general path must decide.
+    fn append_fast(&mut self, id: u32, iv: Interval) -> Option<IntervalSet> {
+        let (before, after) = match &mut self.store {
+            Store::Row(s) => {
+                let entry = &mut s.entries[id as usize].1;
+                let before = entry.components().len();
+                if entry
+                    .components()
+                    .last()
+                    .is_some_and(|l| !l.entirely_before(&iv))
+                {
+                    return None;
+                }
+                let grew = entry.insert(iv);
+                debug_assert!(grew, "an appended interval always grows the set");
+                (before, entry.components().len())
+            }
+            Store::Col(s) => s.append_comp(id, iv)?,
+        };
+        self.apply_component_delta(id, before, after);
+        Some(IntervalSet::from_interval(iv))
     }
 
     /// Inserts an interval for a tuple; returns `true` iff the set grew.
     pub fn insert(&mut self, tuple: &[Value], interval: Interval) -> Result<bool> {
         let id = self.id_of(tuple)?;
+        if let Some(delta) = self.append_fast(id, interval) {
+            self.note_time(&delta, id);
+            return Ok(true);
+        }
         let mut set = self.set_of(id);
         let grew = set.insert(interval);
         if grew {
@@ -764,6 +886,12 @@ impl Relation {
     /// (empty when nothing grew).
     pub fn merge(&mut self, tuple: &[Value], ivs: &IntervalSet) -> Result<IntervalSet> {
         let id = self.id_of(tuple)?;
+        if let [iv] = ivs.components() {
+            if let Some(delta) = self.append_fast(id, *iv) {
+                self.note_time(&delta, id);
+                return Ok(delta);
+            }
+        }
         let mut set = self.set_of(id);
         let delta = ivs.difference(&set);
         if !delta.is_empty() {
@@ -835,9 +963,20 @@ impl Relation {
         }
     }
 
-    /// Number of distinct tuples.
+    /// Number of distinct tuples, *including* emptied-but-kept entries
+    /// (tuple ids are dense and never reclaimed). This is the count access
+    /// paths iterate over; planner cardinality estimates use
+    /// [`Relation::live_len`] instead.
     pub fn len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Number of tuples currently holding at least one interval component.
+    /// Unlike [`Relation::len`] this shrinks when [`Relation::remove`]
+    /// empties an entry, so repair-heavy sessions replan against survivors
+    /// rather than phantom rows. O(1).
+    pub fn live_len(&self) -> usize {
+        self.live_tuples
     }
 
     /// `true` iff the relation has no tuples.
@@ -1044,16 +1183,18 @@ impl Relation {
         r.by_pos.len() + usize::from(r.time.is_some())
     }
 
-    /// Number of distinct semantic values at argument position `pos`.
-    /// Columnar relations answer exactly from their per-column interned-id
-    /// stats; row relations only know once the per-position value index
-    /// has been built. Strictly read-only — never triggers an index build —
-    /// so the planner can consult cardinalities without perturbing
-    /// access-path counters.
+    /// Number of distinct semantic values at argument position `pos`,
+    /// among *live* tuples. Columnar relations answer exactly from their
+    /// per-column live semantic-class counts (maintained on tuple
+    /// birth/death, so retractions shrink the answer); row relations only
+    /// know once the per-position value index has been built, and that
+    /// answer still counts emptied entries. Strictly read-only — never
+    /// triggers an index build — so the planner can consult cardinalities
+    /// without perturbing access-path counters.
     pub fn distinct_count(&self, pos: usize) -> Option<usize> {
         if let Store::Col(s) = &self.store {
-            if let Some(seen) = s.sid_seen.get(pos) {
-                return Some(seen.len());
+            if let Some(live) = s.sid_live.get(pos) {
+                return Some(live.len());
             }
         }
         self.indexes
@@ -1723,6 +1864,105 @@ mod tests {
             db.assert_at("p", &[Value::Int(2)], 0);
             assert_eq!(db.tuple_count(), 2);
             assert_eq!(db.component_count(), 3);
+        }
+    }
+
+    /// Retracting most of a relation must shrink the planner-facing live
+    /// statistics (`live_len`, columnar `distinct_count`) even though the
+    /// dense id space — and with it `len()` — keeps the emptied entries.
+    #[test]
+    fn remove_shrinks_live_stats_to_survivors() {
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            for i in 0..20 {
+                db.insert(pred, &[Value::Int(i), Value::sym("hub")], Interval::at(0))
+                    .unwrap();
+            }
+            {
+                let rel = db.relation(pred).unwrap();
+                assert_eq!(rel.len(), 20);
+                assert_eq!(rel.live_len(), 20);
+                if rel.mode() == StorageMode::Columnar {
+                    assert_eq!(rel.distinct_count(0), Some(20));
+                    assert_eq!(rel.distinct_count(1), Some(1));
+                }
+            }
+            // Retract 18 of the 20 tuples entirely.
+            for i in 0..18 {
+                db.remove(
+                    pred,
+                    &[Value::Int(i), Value::sym("hub")],
+                    &IntervalSet::from_interval(Interval::ALL),
+                );
+            }
+            {
+                let rel = db.relation(pred).unwrap();
+                assert_eq!(rel.len(), 20, "ids stay dense");
+                assert_eq!(rel.live_len(), 2, "live count tracks survivors");
+                if rel.mode() == StorageMode::Columnar {
+                    assert_eq!(rel.distinct_count(0), Some(2));
+                    assert_eq!(rel.distinct_count(1), Some(1));
+                }
+            }
+            // Revival through merge counts the tuple (and its values) again.
+            db.merge(
+                pred,
+                &[Value::Int(0), Value::sym("hub")],
+                &IntervalSet::from_interval(Interval::at(1)),
+            )
+            .unwrap();
+            let rel = db.relation(pred).unwrap();
+            assert_eq!(rel.live_len(), 3);
+            if rel.mode() == StorageMode::Columnar {
+                assert_eq!(rel.distinct_count(0), Some(3));
+            }
+        }
+    }
+
+    /// The in-place tail-append fast path in `insert`/`merge` must produce
+    /// exactly the same stored components, deltas, and live statistics as
+    /// the general difference/union path — across disjoint appends, touching
+    /// merges, slab growth, and overlap fallbacks, in both layouts.
+    #[test]
+    fn append_fast_path_matches_general_path() {
+        for mut db in both_modes() {
+            let pred = Symbol::new("p");
+            let tup = [Value::Int(7)];
+            let mut oracle = IntervalSet::new();
+            let steps = [
+                Interval::closed_int(0, 2),   // birth
+                Interval::closed_int(5, 6),   // disjoint append
+                Interval::closed_int(8, 9),   // append forcing slab growth
+                Interval::closed_int(12, 12), // punctual append
+                Interval::closed_int(1, 7),   // overlap: general path
+                Interval::closed_int(20, 21), // append again after fallback
+            ];
+            for iv in steps {
+                let expect = IntervalSet::from_interval(iv).difference(&oracle);
+                let delta = db
+                    .merge(pred, &tup, &IntervalSet::from_interval(iv))
+                    .unwrap();
+                assert_eq!(delta.components(), expect.components(), "delta for {iv}");
+                oracle.union_with(&IntervalSet::from_interval(iv));
+                let rel = db.relation(pred).unwrap();
+                assert_eq!(rel.components_of(&tup).unwrap(), oracle.components());
+                assert_eq!(rel.live_len(), 1);
+                assert_eq!(rel.live_component_count(), oracle.components().len());
+            }
+            // A touching append extends the last component in place.
+            let open_touch = Interval::new(
+                Rational::integer(21).into(),
+                false,
+                Rational::integer(25).into(),
+                true,
+            )
+            .unwrap();
+            db.merge(pred, &tup, &IntervalSet::from_interval(open_touch))
+                .unwrap();
+            oracle.union_with(&IntervalSet::from_interval(open_touch));
+            let rel = db.relation(pred).unwrap();
+            assert_eq!(rel.components_of(&tup).unwrap(), oracle.components());
+            assert_eq!(rel.live_component_count(), oracle.components().len());
         }
     }
 

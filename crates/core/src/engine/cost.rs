@@ -40,14 +40,18 @@ pub(crate) struct DbCardinalities<'a> {
 }
 
 impl CardinalitySource for DbCardinalities<'_> {
+    // Sizes are *live* tuple counts: entries emptied by `Relation::remove`
+    // keep their dense ids (and are still walked by scans) but no longer
+    // count toward cardinality, so post-repair replans estimate against
+    // survivors instead of phantom rows.
     fn relation_size(&self, pred: Symbol) -> usize {
-        self.total.relation(pred).map_or(0, |r| r.len())
+        self.total.relation(pred).map_or(0, |r| r.live_len())
     }
 
     fn delta_size(&self, pred: Symbol) -> usize {
         self.delta
             .and_then(|d| d.relation(pred))
-            .map_or(0, |r| r.len())
+            .map_or(0, |r| r.live_len())
     }
 
     fn distinct_at(&self, pred: Symbol, pos: usize) -> Option<usize> {

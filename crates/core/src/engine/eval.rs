@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use super::cost::NoCardinalities;
-use super::plan::{build_plan, ConstraintMode, PlanConfig, RulePlan, StepKind};
+use super::plan::{build_plan, AccessPath, ConstraintMode, PlanConfig, RulePlan, StepKind};
 use super::pool::WorkerPool;
 
 /// A variable assignment. Fx-hashed: binding maps are cloned once per
@@ -155,8 +155,11 @@ pub(crate) fn eval_body(
         cost_based: false,
         index_joins: ctx.index_joins,
         time_index: ctx.time_index,
+        // Planned blind (no cardinalities): access paths stay advisory and
+        // `eval_rel` keeps its legacy per-lookup selection.
+        authoritative: false,
     };
-    let plan = build_plan(rule, delta_literal, &cfg, &NoCardinalities);
+    let plan = build_plan(rule, delta_literal, &cfg, &NoCardinalities, &[]);
     execute_plan(rule, &plan, ctx)
 }
 
@@ -191,12 +194,16 @@ pub(crate) fn execute_plan(
             s
         });
         match &step.kind {
-            StepKind::Join { .. } => {
+            StepKind::Join { access } => {
                 let Literal::Pos(m) = &rule.body[step.literal] else {
                     unreachable!("join step on a non-positive literal");
                 };
                 let use_delta = plan.delta_literal == Some(step.literal);
-                acc = join_positive(acc, m, ctx, use_delta, step.est_rows)?;
+                // Authoritative plans bind the access path for the step's
+                // relation leaf; advisory (throwaway) plans leave the
+                // per-lookup runtime selection in place.
+                let planned = plan.authoritative.then_some(*access);
+                acc = join_positive(acc, m, ctx, use_delta, step.est_rows, planned)?;
                 step.note_actual(acc.len());
                 if let Some(s) = step_span.as_mut() {
                     s.add("rows", acc.len() as u64);
@@ -439,6 +446,7 @@ fn join_positive(
     ctx: &EvalCtx<'_>,
     use_delta: bool,
     est_rows: u64,
+    planned: Option<AccessPath>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     let enough_work = acc.len() >= PAR_FANOUT_MIN
         && (acc.len() as u64).saturating_mul(est_rows.max(1)) >= PAR_FANOUT_WORK_MIN;
@@ -452,7 +460,7 @@ fn join_positive(
                 s.add("bindings", chunks[i].len() as u64);
                 s
             });
-            let r = join_chunk(chunks[i], m, ctx, use_delta);
+            let r = join_chunk(chunks[i], m, ctx, use_delta, planned);
             if let (Some(s), Ok(rows)) = (chunk_span.as_mut(), &r) {
                 s.add("rows", rows.len() as u64);
             }
@@ -464,7 +472,7 @@ fn join_positive(
         }
         Ok(out)
     } else {
-        join_chunk(&acc, m, ctx, use_delta)
+        join_chunk(&acc, m, ctx, use_delta, planned)
     }
 }
 
@@ -473,11 +481,12 @@ fn join_chunk(
     m: &MetricAtom,
     ctx: &EvalCtx<'_>,
     use_delta: bool,
+    planned: Option<AccessPath>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     let mut out = Vec::new();
     for (b, ivs) in acc {
         let mask = ivs.hull();
-        for (b2, ivs2) in eval_matom_masked(m, ctx, use_delta, b, mask)? {
+        for (b2, ivs2) in eval_matom_masked(m, ctx, use_delta, b, mask, planned)? {
             let joined = ivs.intersect(&ivs2);
             if !joined.is_empty() {
                 out.push((b2, joined));
@@ -497,7 +506,7 @@ fn apply_negation(
     for (b, ivs) in acc {
         let mask = ivs.hull();
         let mut neg = IntervalSet::new();
-        for (_, nivs) in eval_matom_masked(m, ctx, false, &b, mask)? {
+        for (_, nivs) in eval_matom_masked(m, ctx, false, &b, mask, None)? {
             neg.union_with(&nivs);
         }
         let rest = ivs.difference(&neg);
@@ -516,7 +525,7 @@ pub(crate) fn eval_matom(
     use_delta: bool,
     binding: &Bindings,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
-    eval_matom_masked(m, ctx, use_delta, binding, None)
+    eval_matom_masked(m, ctx, use_delta, binding, None, None)
 }
 
 /// Masked evaluation: `mask`, when present, is a time window such that only
@@ -531,6 +540,7 @@ fn eval_matom_masked(
     use_delta: bool,
     binding: &Bindings,
     mask: Option<Interval>,
+    planned: Option<AccessPath>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     // Base times contributing to past-operator outputs in `mask` lie in
     // mask ⊕ mirrored-ρ, which is exactly the hull transform below. All
@@ -566,21 +576,21 @@ fn eval_matom_masked(
     match m {
         MetricAtom::Top => Ok(vec![(binding.clone(), ctx.horizon_set())]),
         MetricAtom::Bottom => Ok(vec![]),
-        MetricAtom::Rel(atom) => eval_rel(atom, ctx, use_delta, binding, mask),
+        MetricAtom::Rel(atom) => eval_rel(atom, ctx, use_delta, binding, mask, planned),
         MetricAtom::DiamondMinus(rho, inner) => transform(
-            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?)?,
+            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?, planned)?,
             |ivs| ivs.checked_diamond_minus(rho),
         ),
         MetricAtom::DiamondPlus(rho, inner) => transform(
-            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?)?,
+            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?, planned)?,
             |ivs| ivs.checked_diamond_plus(rho),
         ),
         MetricAtom::BoxMinus(rho, inner) => transform(
-            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?)?,
+            eval_matom_masked(inner, ctx, use_delta, binding, past_mask(rho)?, planned)?,
             |ivs| ivs.checked_box_minus(rho),
         ),
         MetricAtom::BoxPlus(rho, inner) => transform(
-            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?)?,
+            eval_matom_masked(inner, ctx, use_delta, binding, future_mask(rho)?, planned)?,
             |ivs| ivs.checked_box_plus(rho),
         ),
         MetricAtom::Since(m1, rho, m2) => {
@@ -652,6 +662,7 @@ fn eval_rel(
     use_delta: bool,
     binding: &Bindings,
     mask: Option<Interval>,
+    access: Option<AccessPath>,
 ) -> Result<Vec<(Bindings, IntervalSet)>> {
     let db = if use_delta {
         ctx.delta
@@ -671,9 +682,20 @@ fn eval_rel(
     // capacity reuse.
     let mut scr = PROBE_SCRATCH.take();
 
+    // Access-path selection: an authoritative plan binds the choice made at
+    // plan time; without one (throwaway plans, negation re-checks, Since/
+    // Until arms) the legacy config toggles decide. Either way a runtime
+    // degrade guard drops to a scan on tiny relations — probing a relation
+    // below `INDEX_MIN_TUPLES` never builds (or consults) an index, so a
+    // plan chosen against stale sizes can't force a pointless index build.
+    let (want_value, want_time) = match access {
+        Some(p) => (p.uses_value(), p.uses_time()),
+        None => (ctx.index_joins, ctx.time_index),
+    };
+
     // Argument positions that are ground under the current binding.
     scr.ground.clear();
-    if ctx.index_joins && rel.len() >= INDEX_MIN_TUPLES {
+    if want_value && rel.len() >= INDEX_MIN_TUPLES {
         for (i, t) in atom.args.iter().enumerate() {
             match t {
                 Term::Val(c) => scr.ground.push((i, *c)),
@@ -685,7 +707,7 @@ fn eval_rel(
             }
         }
     }
-    let use_time = ctx.time_index && mask.is_some() && rel.len() >= INDEX_MIN_TUPLES;
+    let use_time = want_time && mask.is_some() && rel.len() >= INDEX_MIN_TUPLES;
 
     // Candidate selection is shared across storage layouts: both modes see
     // the same index buckets and bump the same counters, so the

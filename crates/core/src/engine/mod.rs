@@ -32,7 +32,7 @@ use mtl_temporal::{Interval, IntervalSet};
 use pool::WorkerPool;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Minimum evaluation wall time of the *previous* fixpoint iteration for
@@ -41,6 +41,16 @@ use std::time::{Duration, Instant};
 /// than this lose more to hand-off than they could recoup, so they run on
 /// the main thread.
 const PAR_MIN_EVAL_WALL: Duration = Duration::from_millis(2);
+
+/// Minimum executions a cached plan must accumulate before its observed
+/// misestimate may force a replan. Small windows are noise: the first few
+/// fixpoint iterations see wildly different delta sizes by construction.
+const ADAPTIVE_MIN_EXECUTIONS: u64 = 8;
+
+/// Symmetric error factor (`max(f, 1/f)` of avg-actual vs. estimated rows)
+/// at or above which a sustained misestimate forces a replan even when the
+/// cardinality fingerprint never moved.
+const ADAPTIVE_ERROR_THRESHOLD: f64 = 4.0;
 
 /// Reasoner configuration.
 #[derive(Clone, Debug)]
@@ -86,6 +96,15 @@ pub struct ReasonerConfig {
     /// setting produces identical output; only the evaluation order and
     /// the access-path counters move.
     pub cost_based_reorder: bool,
+    /// Adaptive planner feedback: when a cached plan's runtime row counts
+    /// show a sustained misestimate (error factor ≥ 4 over ≥ 8 executions),
+    /// force a replan whose cost estimates carry per-literal correction
+    /// factors learned from the observed rows — even though the input
+    /// cardinalities never crossed a fingerprint boundary. `false` is the
+    /// `--no-adaptive` ablation baseline: identical facts and join-path
+    /// counters, estimates just stay uncorrected. Facts can never differ
+    /// because join order and access paths only affect evaluation order.
+    pub adaptive: bool,
     /// Incremental repair for out-of-order session corrections
     /// ([`Session::retract`] / [`Session::submit_late`]): overdelete the
     /// affected temporal cone, then re-derive from the surviving base
@@ -121,6 +140,7 @@ impl Default for ReasonerConfig {
             index_joins: true,
             time_index: true,
             cost_based_reorder: true,
+            adaptive: true,
             repair: true,
             repair_budget: 50_000,
             row_store: false,
@@ -307,8 +327,12 @@ pub struct RunStats {
     /// stratum, plus re-plans).
     pub plans_built: u64,
     /// Plans rebuilt because input cardinalities crossed a magnitude
-    /// boundary mid-fixpoint.
+    /// boundary mid-fixpoint, or because adaptive feedback forced it.
     pub replans: u64,
+    /// Replans forced by the adaptive feedback trigger alone — a sustained
+    /// misestimate on a plan whose cardinality fingerprint never moved.
+    /// A subset of `replans`; always 0 with adaptivity disabled.
+    pub replans_triggered: u64,
     /// Built plans whose cost-based join order differs from the textual
     /// delta-first order.
     pub reorders_applied: u64,
@@ -525,6 +549,20 @@ impl RunStats {
                         ("executions", Json::from(p.executions)),
                         ("actual_rows", Json::from(p.actual_rows)),
                         (
+                            "corrections",
+                            Json::Arr(
+                                p.corrections
+                                    .iter()
+                                    .map(|&(lit, c)| {
+                                        Json::from_pairs([
+                                            ("literal", Json::from(lit)),
+                                            ("factor", Json::from(c)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        (
                             "steps",
                             Json::Arr(
                                 p.steps
@@ -532,6 +570,7 @@ impl RunStats {
                                     .map(|s| {
                                         Json::from_pairs([
                                             ("desc", Json::from(s.desc.as_str())),
+                                            ("access_path", Json::from(s.access)),
                                             ("estimated_rows", Json::from(s.est_rows)),
                                             ("actual_rows", Json::from(s.actual_rows)),
                                         ])
@@ -566,6 +605,7 @@ impl RunStats {
         let planner = Json::from_pairs([
             ("plans_built", Json::from(self.plans_built)),
             ("replans", Json::from(self.replans)),
+            ("replans_triggered", Json::from(self.replans_triggered)),
             ("reorders_applied", Json::from(self.reorders_applied)),
             ("estimated_rows", Json::from(self.planner_estimated_rows)),
             ("actual_rows", Json::from(self.planner_actual_rows)),
@@ -654,6 +694,13 @@ pub struct Reasoner {
     /// multi-threaded dispatch and reused across fixpoint iterations,
     /// strata, and session advances.
     pool: OnceLock<WorkerPool>,
+    /// Learned misestimate correction factors, keyed by
+    /// `(rule index, body literal)`. Harvested when runtime feedback
+    /// forces a replan and blended into that rule's next cost estimates;
+    /// kept on the reasoner (not the stratum) so corrections survive
+    /// session advances and keep compounding. A `BTreeMap` so the slice
+    /// handed to the planner is deterministically ordered.
+    corrections: Mutex<BTreeMap<(usize, usize), f64>>,
 }
 
 /// How a rule participates in its stratum's fixpoint (distinct from the
@@ -680,6 +727,7 @@ impl Reasoner {
             strat,
             config,
             pool: OnceLock::new(),
+            corrections: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -1100,10 +1148,15 @@ impl Reasoner {
             cost_based: self.config.cost_based_reorder,
             index_joins: self.config.index_joins,
             time_index: self.config.time_index,
+            // Fixpoint plans estimate against live cardinalities, so their
+            // compiled access paths bind the executor (with the runtime
+            // degrade guard in `eval_rel`).
+            authoritative: true,
         };
         let mut plan_cache: BTreeMap<(usize, Option<usize>), plan::RulePlan> = BTreeMap::new();
         let mut plans_built = 0u64;
         let mut replans = 0u64;
+        let mut replans_triggered = 0u64;
         let mut reorders_applied = 0u64;
         let mut planner_estimated_rows = 0u64;
         let mut planner_actual_rows = 0u64;
@@ -1192,18 +1245,43 @@ impl Reasoner {
                     total,
                     delta: Some(delta_base),
                 };
+                let mut corr = self.corrections.lock().expect("corrections mutex poisoned");
                 for &(rule_idx, delta_literal) in &tasks {
                     let rule = &self.program.rules[rule_idx];
                     let key = (rule_idx, delta_literal);
                     let fresh = plan::fingerprint(rule, delta_literal, &cards);
                     let existing = plan_cache.get(&key);
-                    if existing.is_some_and(|p| p.fingerprint == fresh) {
-                        continue;
-                    }
-                    if existing.is_some() {
+                    if let Some(p) = existing {
+                        if p.fingerprint == fresh {
+                            // Fingerprint unchanged: only a sustained,
+                            // large misestimate forces a rebuild (the
+                            // adaptive feedback trigger).
+                            let sustained = self.config.adaptive
+                                && p.observed_error().is_some_and(|(err, execs)| {
+                                    execs >= ADAPTIVE_MIN_EXECUTIONS
+                                        && err >= ADAPTIVE_ERROR_THRESHOLD
+                                });
+                            if !sustained {
+                                continue;
+                            }
+                            // Harvest this incarnation's learned factors
+                            // so the rebuild estimates with them.
+                            for (lit, c) in p.corrected_factors(&p.corrections) {
+                                corr.insert((rule_idx, lit), c);
+                            }
+                            replans_triggered += 1;
+                        }
                         replans += 1;
                     }
-                    let compiled = plan::build_plan(rule, delta_literal, &plan_cfg, &cards);
+                    let rule_corrections: Vec<(usize, f64)> = if self.config.adaptive {
+                        corr.range((rule_idx, 0)..=(rule_idx, usize::MAX))
+                            .map(|(&(_, lit), &c)| (lit, c))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let compiled =
+                        plan::build_plan(rule, delta_literal, &plan_cfg, &cards, &rule_corrections);
                     plans_built += 1;
                     if compiled.reordered {
                         reorders_applied += 1;
@@ -1388,11 +1466,15 @@ impl Reasoner {
         // events (swapped out so a session advance only counts its own).
         stats.plans_built += plans_built;
         stats.replans += replans;
+        stats.replans_triggered += replans_triggered;
         stats.reorders_applied += reorders_applied;
         stats.planner_estimated_rows += planner_estimated_rows;
         stats.planner_actual_rows += planner_actual_rows;
         registry.counter("engine.plans_built").add(plans_built);
         registry.counter("engine.replans").add(replans);
+        registry
+            .counter("engine.replans_triggered")
+            .add(replans_triggered);
         registry
             .counter("engine.reorders_applied")
             .add(reorders_applied);

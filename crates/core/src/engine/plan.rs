@@ -18,15 +18,26 @@
 //!    [`Error::Unsafe`] when reached — unconditionally, where the old
 //!    interpretive loop could mask the error behind an empty accumulator.
 //! 3. **Access path.** Each join step carries the access path the executor
-//!    is expected to take (scan / value probe / time probe / both), derived
-//!    from the same thresholds `eval_rel` applies at runtime. The annotation
-//!    is advisory — `eval_rel` stays authoritative per lookup — but makes
-//!    `--explain-plans` output honest about what the engine will do.
+//!    takes (scan / value probe / time probe / both), derived at plan time
+//!    from the same thresholds `eval_rel` used to re-derive per lookup. For
+//!    plans built with live cardinalities ([`PlanConfig::authoritative`])
+//!    the choice is binding: `eval_rel` follows it, keeping only a runtime
+//!    guard that degrades to a scan when the chosen index's preconditions
+//!    do not hold at execution time (relation shrank below the index
+//!    threshold, no read mask for a time probe). Throwaway plans (compiled
+//!    with no cardinality information) stay advisory, so their `eval_rel`
+//!    calls keep the legacy per-lookup selection. Composite (`since` /
+//!    `until`) steps always resolve per leaf at runtime.
 //!
 //! Plans are cheap to build (linear passes over the body) and carry a
 //! [`RulePlan::fingerprint`] over coarse (power-of-two bucketed) relation
 //! sizes, so the stratum loop only re-plans when a relation crosses a
-//! magnitude boundary, not on every delta tick.
+//! magnitude boundary, not on every delta tick. On top of that fingerprint
+//! gate the stratum loop *forces* a replan when a plan's observed rows
+//! drift a sustained factor from its estimate (see
+//! [`RulePlan::observed_error`]), feeding per-literal correction factors
+//! back into [`build_plan`] — the self-tuning loop described in
+//! `docs/PERFORMANCE.md`.
 
 use crate::ast::{CmpOp, Expr, Literal, MetricAtom, Rule, Term};
 use crate::engine::cost::{estimate_rows, size_bucket, CardinalitySource};
@@ -46,11 +57,18 @@ pub(crate) struct PlanConfig {
     pub index_joins: bool,
     /// The time index is enabled, so masked reads can probe by window.
     pub time_index: bool,
+    /// The compiled access paths are binding for the executor. Set by the
+    /// fixpoint loop, whose plans see live cardinalities; `false` for
+    /// throwaway plans (`eval_body`, the naive oracle), which plan against
+    /// [`NoCardinalities`](crate::engine::cost::NoCardinalities) and would
+    /// otherwise pin every step to a size-0 scan.
+    pub authoritative: bool,
 }
 
-/// The access path a join step is expected to take. Advisory: `eval_rel`
-/// re-derives the decision per lookup (a position that is ground in the
-/// plan is ground at runtime, but relation sizes may have moved).
+/// The access path a join step takes. For authoritative plans the executor
+/// follows it (with a runtime degrade-to-scan guard when the index
+/// preconditions no longer hold); for throwaway plans `eval_rel` re-derives
+/// the decision per lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum AccessPath {
     /// Full relation scan (small relation, or no usable index).
@@ -71,6 +89,16 @@ impl AccessPath {
             AccessPath::TimeProbe => "time-probe",
             AccessPath::ValueTimeProbe => "value+time-probe",
         }
+    }
+
+    /// Whether this path probes the secondary value index.
+    pub(crate) fn uses_value(self) -> bool {
+        matches!(self, AccessPath::ValueProbe | AccessPath::ValueTimeProbe)
+    }
+
+    /// Whether this path probes the sorted-endpoint time index.
+    pub(crate) fn uses_time(self) -> bool {
+        matches!(self, AccessPath::TimeProbe | AccessPath::ValueTimeProbe)
     }
 }
 
@@ -138,6 +166,14 @@ pub(crate) struct RulePlan {
     pub has_unschedulable: bool,
     /// Hash over coarse input cardinalities; see [`fingerprint`].
     pub fingerprint: u64,
+    /// `true` iff the compiled access paths are binding for the executor
+    /// (see [`PlanConfig::authoritative`]).
+    pub authoritative: bool,
+    /// Misestimate correction factors applied to this build, as
+    /// `(literal index, factor)` pairs — empty until runtime feedback has
+    /// forced a replan of this variant. Surfaced by `--explain-plans` and
+    /// the stats-json `planner.plans[].corrections` field.
+    pub corrections: Vec<(usize, f64)>,
     /// Times this plan has been executed (relaxed: statistics). Divides
     /// the steps' accumulated `actual_rows` back into per-execution
     /// averages for the misestimate report.
@@ -147,6 +183,65 @@ pub(crate) struct RulePlan {
 impl RulePlan {
     pub(crate) fn note_execution(&self) {
         self.executions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The plan's observed symmetric error factor — how far the average
+    /// bindings out of the join pipeline sit from `est_total`, as a ratio
+    /// `>= 1` — together with the execution count it was averaged over.
+    /// `None` until the plan has executed (or when it has no join steps).
+    /// The `+1` smoothing matches `RunStats::plan_feedback`, so the replan
+    /// trigger and the misestimate report agree on what "off" means.
+    pub(crate) fn observed_error(&self) -> Option<(f64, u64)> {
+        let execs = self.executions.load(Ordering::Relaxed);
+        if execs == 0 {
+            return None;
+        }
+        let last_join = self
+            .steps
+            .iter()
+            .rev()
+            .find(|s| matches!(s.kind, StepKind::Join { .. }))?;
+        let avg = last_join.actual_rows.load(Ordering::Relaxed) as f64 / execs as f64;
+        let f = (avg + 1.0) / (self.est_total as f64 + 1.0);
+        Some((f.max(1.0 / f), execs))
+    }
+
+    /// Per-literal correction factors learned from this plan's execution
+    /// history, blended into `prior` (the factors this plan was built
+    /// with): for each join step, the incremental drift of the observed
+    /// cumulative row count against the estimated one is attributed to that
+    /// step's literal, then geometrically averaged with the prior factor so
+    /// one noisy window cannot whipsaw the estimates. Factors are clamped
+    /// to `[1/1024, 1024]`; the product over all join steps reproduces the
+    /// plan-level drift [`RulePlan::observed_error`] reports.
+    pub(crate) fn corrected_factors(&self, prior: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let execs = self.executions.load(Ordering::Relaxed);
+        if execs == 0 {
+            return prior.to_vec();
+        }
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        let mut cum_est: f64 = 1.0;
+        let mut prev_ratio: f64 = 1.0;
+        for step in &self.steps {
+            let StepKind::Join { .. } = step.kind else {
+                continue;
+            };
+            cum_est *= step.est_rows as f64;
+            let avg = step.actual_rows.load(Ordering::Relaxed) as f64 / execs as f64;
+            let ratio = (avg + 1.0) / (cum_est + 1.0);
+            let drift = ratio / prev_ratio;
+            prev_ratio = ratio;
+            let old = prior
+                .iter()
+                .find(|(l, _)| *l == step.literal)
+                .map_or(1.0, |&(_, c)| c);
+            // `est_rows` already carries `old`, so the residual drift moves
+            // the factor toward `old * drift`; the geometric mean with the
+            // current factor halves the step (in log space) for damping.
+            let blended = (old * drift.sqrt()).clamp(1.0 / 1024.0, 1024.0);
+            out.push((step.literal, blended));
+        }
+        out
     }
 }
 
@@ -326,12 +421,33 @@ fn schedule_constraints(
     }
 }
 
+/// Multiplies a literal's row estimate by its learned correction factor
+/// (identity when no feedback has been recorded for it). A zero estimate
+/// stays zero — corrections scale what the cost model believes, they do
+/// not resurrect empty relations — and a corrected non-zero estimate stays
+/// at least 1 so ordering comparisons keep their sign.
+fn corrected(est: u64, literal: usize, corrections: &[(usize, f64)]) -> u64 {
+    if est == 0 {
+        return 0;
+    }
+    match corrections.iter().find(|(l, _)| *l == literal) {
+        Some(&(_, c)) => ((est as f64 * c).round()).max(1.0) as u64,
+        None => est,
+    }
+}
+
 /// Compiles one rule body (for one semi-naive variant) into a plan.
+///
+/// `corrections` holds per-literal misestimate correction factors for this
+/// rule (from [`RulePlan::corrected_factors`] of the variant's previous
+/// incarnation); pass an empty slice for a cold build or when adaptive
+/// replanning is disabled.
 pub(crate) fn build_plan(
     rule: &Rule,
     delta_literal: Option<usize>,
     cfg: &PlanConfig,
     cards: &dyn CardinalitySource,
+    corrections: &[(usize, f64)],
 ) -> RulePlan {
     let n = rule.body.len();
     let positives: Vec<usize> = (0..n)
@@ -369,7 +485,7 @@ pub(crate) fn build_plan(
                 let Literal::Pos(m) = &rule.body[i] else {
                     unreachable!("positives contains only positive literals");
                 };
-                let est = est_positive(m, false, &bound, cards);
+                let est = corrected(est_positive(m, false, &bound, cards), i, corrections);
                 if est < best_est {
                     best_est = est;
                     best = k;
@@ -395,7 +511,7 @@ pub(crate) fn build_plan(
             unreachable!("join order contains only positive literals");
         };
         let is_delta = delta_literal == Some(i);
-        let est = est_positive(m, is_delta, &bound, cards);
+        let est = corrected(est_positive(m, is_delta, &bound, cards), i, corrections);
         est_total = est_total.saturating_mul(est);
         steps.push(PlanStep {
             literal: i,
@@ -440,6 +556,19 @@ pub(crate) fn build_plan(
         }
     }
 
+    // Only corrections for literals this variant actually joins are carried
+    // (a factor learned for a literal that became a negation-only variant
+    // would be noise in the explain output).
+    let applied: Vec<(usize, f64)> = corrections
+        .iter()
+        .copied()
+        .filter(|(l, _)| {
+            steps
+                .iter()
+                .any(|s| s.literal == *l && matches!(s.kind, StepKind::Join { .. }))
+        })
+        .collect();
+
     RulePlan {
         delta_literal,
         steps,
@@ -447,6 +576,8 @@ pub(crate) fn build_plan(
         reordered,
         has_unschedulable,
         fingerprint: fingerprint(rule, delta_literal, cards),
+        authoritative: cfg.authoritative,
+        corrections: applied,
         executions: AtomicU64::new(0),
     }
 }
@@ -471,6 +602,10 @@ pub struct PlanExplain {
     /// (the last join step's observed accumulator total; equals
     /// `executions` seed rows for join-free plans).
     pub actual_rows: u64,
+    /// Misestimate correction factors this build applied, as
+    /// `(literal index, factor)` pairs (empty until adaptive feedback has
+    /// forced a replan of this variant).
+    pub corrections: Vec<(usize, f64)>,
     /// Steps in execution order.
     pub steps: Vec<PlanStepExplain>,
 }
@@ -478,8 +613,12 @@ pub struct PlanExplain {
 /// One rendered plan step.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlanStepExplain {
-    /// Human-readable step description, e.g. `join Δprice(S, P) [value+time-probe]`.
+    /// Human-readable step description, e.g. `join Δprice(S, P)`.
     pub desc: String,
+    /// The compiled access path's tag for join steps (`scan`,
+    /// `value-probe`, `time-probe`, `value+time-probe`); `-` for
+    /// constraints and negations.
+    pub access: &'static str,
     /// Estimated rows after this step (join steps only; else 0).
     pub est_rows: u64,
     /// Accumulated rows observed after this step across executions.
@@ -493,26 +632,30 @@ pub(crate) fn explain(rule_idx: usize, label: &str, rule: &Rule, plan: &RulePlan
         .iter()
         .map(|s| {
             let lit = &rule.body[s.literal];
-            let desc = match &s.kind {
+            let (desc, access) = match &s.kind {
                 StepKind::Join { access } => {
                     let delta = if plan.delta_literal == Some(s.literal) {
                         "Δ"
                     } else {
                         ""
                     };
-                    format!("join {delta}{lit} [{}]", access.tag())
+                    (format!("join {delta}{lit}"), access.tag())
                 }
-                StepKind::Negation => format!("negate {lit}"),
-                StepKind::Constraint { mode: Some(m) } => match m {
-                    ConstraintMode::Filter => format!("filter {lit}"),
-                    ConstraintMode::AssignLeft | ConstraintMode::AssignRight => {
-                        format!("assign {lit}")
-                    }
-                },
-                StepKind::Constraint { mode: None } => format!("unschedulable {lit}"),
+                StepKind::Negation => (format!("negate {lit}"), "-"),
+                StepKind::Constraint { mode: Some(m) } => (
+                    match m {
+                        ConstraintMode::Filter => format!("filter {lit}"),
+                        ConstraintMode::AssignLeft | ConstraintMode::AssignRight => {
+                            format!("assign {lit}")
+                        }
+                    },
+                    "-",
+                ),
+                StepKind::Constraint { mode: None } => (format!("unschedulable {lit}"), "-"),
             };
             PlanStepExplain {
                 desc,
+                access,
                 est_rows: s.est_rows,
                 actual_rows: s.actual_rows.load(Ordering::Relaxed),
             }
@@ -535,6 +678,7 @@ pub(crate) fn explain(rule_idx: usize, label: &str, rule: &Rule, plan: &RulePlan
         est_rows: plan.est_total,
         executions,
         actual_rows,
+        corrections: plan.corrections.clone(),
         steps,
     }
 }

@@ -269,8 +269,9 @@ fn oracle_plan(rule: &Rule) -> RulePlan {
         cost_based: false,
         index_joins: false,
         time_index: false,
+        authoritative: false,
     };
-    build_plan(rule, None, &cfg, &NoCardinalities)
+    build_plan(rule, None, &cfg, &NoCardinalities, &[])
 }
 
 /// All bindings making the body true at time `t`, by executing the rule's

@@ -12,7 +12,7 @@
 use chronolog_core::naive::naive_materialize;
 use chronolog_core::{
     parse_program, parse_source, Database, IntervalSet, Program, Rational, Reasoner,
-    ReasonerConfig, Value,
+    ReasonerConfig, RunStats, Value,
 };
 use chronolog_obs::SmallRng;
 
@@ -207,6 +207,107 @@ fn reordered_plans_are_equivalent_on_the_corpus() {
             "{name}: configurations disagree"
         );
     }
+}
+
+/// Adaptive replanning matrix: misestimate-corrected cost estimates are a
+/// pure estimation change. Whatever order or access path the corrected
+/// planner picks, every program and input must land byte-identical to the
+/// `--no-adaptive` baseline, sequential and threaded alike.
+#[test]
+fn adaptive_replanning_is_equivalent_on_random_programs() {
+    for case in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(0xADA9 ^ (case << 3));
+        let trace = gen_trace(&mut rng);
+        let program_idx = (case as usize) % PROGRAMS.len();
+        let program = parse_program(PROGRAMS[program_idx]).unwrap();
+        let db = build_db(&trace);
+        let texts: Vec<String> = [(true, 1), (false, 1), (true, 4), (false, 4)]
+            .into_iter()
+            .map(|(adaptive, threads)| {
+                materialize_text(&program, &db, |c| {
+                    c.adaptive = adaptive;
+                    c.threads = threads;
+                })
+            })
+            .collect();
+        assert!(
+            texts.windows(2).all(|w| w[0] == w[1]),
+            "case {case} program {program_idx}: adaptive matrix disagrees"
+        );
+    }
+}
+
+/// A skewed join inside punctual recursion misestimates every iteration:
+/// `fan` holds 64 tuples over 8 distinct keys (est 8 rows per probe), but
+/// the recursion only ever probes the heavy key's 57. The sustained error
+/// must force an adaptive replan whose corrected estimate at least halves
+/// the observed error factor — without moving a single fact in any
+/// layout or thread count.
+#[test]
+fn adaptive_replanning_corrects_a_sustained_misestimate() {
+    let src = "run(X) :- seed(X).\n\
+               run(X) :- boxminus[1, 1] run(X), fan(X, Y).";
+    let program = parse_program(src).unwrap();
+    let mut db = Database::new();
+    db.assert_at("seed", &[Value::Int(0)], 0);
+    let span = chronolog_core::Interval::closed_int(0, 24);
+    for i in 0..57 {
+        db.assert_over("fan", &[Value::Int(0), Value::Int(100 + i)], span);
+    }
+    for k in 1..8 {
+        db.assert_over("fan", &[Value::Int(k), Value::Int(0)], span);
+    }
+    let run = |adaptive: bool, threads: usize, row_store: bool| {
+        let m = Reasoner::new(
+            program.clone(),
+            ReasonerConfig {
+                adaptive,
+                threads,
+                row_store,
+                ..ReasonerConfig::default().with_horizon(0, 24)
+            },
+        )
+        .unwrap()
+        .materialize(&db)
+        .unwrap();
+        (m.database.to_facts_text(), m.stats)
+    };
+    let (facts, stats) = run(true, 1, false);
+    let (base_facts, base_stats) = run(false, 1, false);
+    assert_eq!(facts, base_facts, "adaptivity moved a fact");
+    for (adaptive, threads, row_store) in [
+        (true, 4, false),
+        (false, 4, false),
+        (true, 1, true),
+        (false, 1, true),
+        (true, 4, true),
+        (false, 4, true),
+    ] {
+        let (other, _) = run(adaptive, threads, row_store);
+        assert_eq!(
+            facts, other,
+            "adaptive={adaptive} threads={threads} row_store={row_store} moved a fact"
+        );
+    }
+    assert!(
+        stats.replans_triggered > 0,
+        "sustained misestimate never forced a replan: {stats:?}"
+    );
+    assert_eq!(
+        base_stats.replans_triggered, 0,
+        "adaptivity off must not trigger feedback replans"
+    );
+    let worst = |s: &RunStats| s.plan_feedback().first().map(|f| f.error_factor).unwrap();
+    let baseline_err = worst(&base_stats);
+    let adaptive_err = worst(&stats);
+    assert!(
+        baseline_err >= 4.0,
+        "workload is supposed to misestimate hard: x{baseline_err:.1}"
+    );
+    assert!(
+        adaptive_err * 2.0 <= baseline_err,
+        "correction did not halve the error: x{adaptive_err:.1} vs x{baseline_err:.1}"
+    );
 }
 
 #[test]

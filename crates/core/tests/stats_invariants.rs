@@ -242,6 +242,130 @@ fn join_path_counters_account_for_every_lookup() {
     }
 }
 
+/// Corrected estimates change what the planner believes, never what a
+/// lookup does: on a workload whose sustained misestimate forces adaptive
+/// replans, the join-path counters — including the
+/// `scanned + probed + avoided` tuple-volume partition — must be identical
+/// with adaptivity on and off, across the full access-path matrix (join
+/// order pinned, as in `join_path_counters_account_for_every_lookup`).
+#[test]
+fn corrected_estimates_preserve_tuple_volume_accounting() {
+    let src = "run(X) :- seed(X).\n\
+               run(X) :- boxminus[1, 1] run(X), fan(X, Y).\n\
+               seed(0)@0.";
+    let (program, facts) = parse_source(src).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts).unwrap();
+    let span = chronolog_core::Interval::closed_int(0, 24);
+    for i in 0..57 {
+        db.assert_over(
+            "fan",
+            &[
+                chronolog_core::Value::Int(0),
+                chronolog_core::Value::Int(100 + i),
+            ],
+            span,
+        );
+    }
+    for k in 1..8 {
+        db.assert_over(
+            "fan",
+            &[chronolog_core::Value::Int(k), chronolog_core::Value::Int(0)],
+            span,
+        );
+    }
+    let mut totals = Vec::new();
+    let mut tuple_totals = Vec::new();
+    let mut triggered_any = false;
+    for adaptive in [true, false] {
+        for (index_joins, time_index) in
+            [(true, true), (true, false), (false, true), (false, false)]
+        {
+            let stats = Reasoner::new(
+                program.clone(),
+                ReasonerConfig {
+                    adaptive,
+                    index_joins,
+                    time_index,
+                    cost_based_reorder: false,
+                    ..ReasonerConfig::default().with_horizon(0, 24)
+                },
+            )
+            .unwrap()
+            .materialize(&db)
+            .unwrap()
+            .stats;
+            triggered_any |= adaptive && stats.replans_triggered > 0;
+            totals.push(stats.index_probes + stats.full_scans);
+            tuple_totals
+                .push(stats.scanned_tuples + stats.probed_tuples + stats.index_scan_avoided);
+        }
+    }
+    assert!(
+        triggered_any,
+        "workload must actually exercise the adaptive replan path"
+    );
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "lookup totals differ across adaptive/access configs: {totals:?}"
+    );
+    assert!(
+        tuple_totals.windows(2).all(|w| w[0] == w[1]),
+        "tuple-volume totals differ across adaptive/access configs: {tuple_totals:?}"
+    );
+}
+
+/// `Relation::remove` must shrink what the planner sees: after a session
+/// retracts most of a relation, the repair's replanned estimate reflects
+/// the survivors, not the phantom rows the emptied entries used to count
+/// (the statistics-staleness bug fixed alongside stats-json v8).
+#[test]
+fn retraction_shrinks_planner_estimates_to_survivors() {
+    let src = "out(X, Y) :- big(X, Y), sel(X).";
+    let (program, _) = parse_source(src).unwrap();
+    let mut initial = Database::new();
+    for i in 0..40 {
+        initial.assert_at(
+            "big",
+            &[chronolog_core::Value::Int(i), chronolog_core::Value::Int(i)],
+            0,
+        );
+        initial.assert_at("sel", &[chronolog_core::Value::Int(i)], 0);
+    }
+    let mut session = Reasoner::new(program, ReasonerConfig::default())
+        .unwrap()
+        .into_session(&initial, 0)
+        .unwrap();
+    for i in 4..40 {
+        session
+            .retract(chronolog_core::Fact::at(
+                "big",
+                vec![chronolog_core::Value::Int(i), chronolog_core::Value::Int(i)],
+                0,
+            ))
+            .unwrap();
+    }
+    let stats = session.stats();
+    assert!(
+        stats.repairs.incremental > 0,
+        "retractions must exercise the incremental repair path: {:?}",
+        stats.repairs
+    );
+    // The final replan (after the last retraction's repair) estimated the
+    // rule against 4 surviving `big` rows; stale length accounting would
+    // have kept it at the 40-row scale.
+    let plan = stats
+        .plan_explains
+        .iter()
+        .find(|p| p.rule == 0)
+        .expect("rule 0 plan explain");
+    assert!(
+        plan.est_rows <= 8,
+        "estimate still sees phantom rows: est {} rows after 36 of 40 retracted",
+        plan.est_rows
+    );
+}
+
 /// A lookup against a relation with no facts at all is still a lookup:
 /// it must land in `full_scans` (walking zero tuples), not vanish.
 #[test]
