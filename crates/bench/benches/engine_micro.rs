@@ -465,6 +465,68 @@ fn bench_repair(c: &mut Bench) {
     group.finish();
 }
 
+/// Goal-driven point queries vs full materialization. The netting corpus
+/// is the magic-sets showcase: a bound-counterparty `exposure` query
+/// demands a few hundred tuples of a ~7k-tuple model, so the rewrite
+/// should win outright. The ETH-PERP funding query lands in cone mode
+/// (the funding pipeline leans on negation/aggregation, which cannot be
+/// demand-guarded) — there the comparison bounds the cost of degradation
+/// instead.
+fn bench_point_query(c: &mut Bench) {
+    let netting = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus/netting.dmtl"),
+    )
+    .unwrap();
+    let (program, facts) = parse_source(&netting).unwrap();
+    let mut db = Database::new();
+    db.extend_facts(&facts).unwrap();
+    let reasoner = Reasoner::new(program, ReasonerConfig::default().with_horizon(0, 20)).unwrap();
+    let query = chronolog_core::parse_query("exposure(cp0, X)").unwrap();
+
+    let mut group = c.group("point_query");
+    group.sample_size(10);
+    group.bench_function("netting_magic", |b| {
+        b.iter(|| black_box(reasoner.query(&db, &query).unwrap().answers.len()))
+    });
+    group.bench_function("netting_full", |b| {
+        b.iter(|| {
+            let m = reasoner.materialize(&db).unwrap();
+            black_box(m.database.query(&query.atom, None).len())
+        })
+    });
+
+    let config = chronolog_market::paper_intervals().remove(1);
+    let trace = chronolog_market::generate(&config);
+    let params = chronolog_perp::MarketParams::default();
+    let mode = chronolog_perp::program::TimelineMode::EventEpochs;
+    let perp_program = chronolog_perp::program::build_program(&params, mode).unwrap();
+    let encoded = chronolog_perp::encode::encode_trace(&trace, mode);
+    let perp_reasoner = Reasoner::new(
+        perp_program,
+        ReasonerConfig::default().with_horizon(encoded.horizon.0, encoded.horizon.1),
+    )
+    .unwrap();
+    let frs = chronolog_core::parse_query("frs(F)").unwrap();
+    group.bench_function("ethperp_frs_magic", |b| {
+        b.iter(|| {
+            black_box(
+                perp_reasoner
+                    .query(&encoded.database, &frs)
+                    .unwrap()
+                    .answers
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("ethperp_frs_full", |b| {
+        b.iter(|| {
+            let m = perp_reasoner.materialize(&encoded.database).unwrap();
+            black_box(m.database.query(&frs.atom, None).len())
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let mut c = Bench::from_env();
     bench_interval_sets(&mut c);
@@ -477,6 +539,7 @@ fn main() {
     bench_columnar_scan(&mut c);
     bench_session_stream(&mut c);
     bench_repair(&mut c);
+    bench_point_query(&mut c);
     c.set_env("value_size_bytes", std::mem::size_of::<Value>() as u64);
     c.set_env(
         "interval_size_bytes",

@@ -10,7 +10,18 @@
 //!   --horizon LO..HI      reasoning horizon (integers; default unbounded)
 //!   --threads N           evaluation worker threads (default 1; output is
 //!                         identical for every N)
-//!   --query 'p(X, 1)'     print facts matching an atom pattern (repeatable)
+//!   --query 'p(X, 1)'     print facts matching an atom pattern (repeatable).
+//!                         An optional `@t` / `@[lo, hi]` suffix restricts
+//!                         the answer to a time window. Queries are
+//!                         goal-driven by default: the program is rewritten
+//!                         with magic-sets demand guards and only the
+//!                         query's dependency cone is materialized
+//!   --no-magic            answer queries from a full materialization
+//!                         instead of the goal-driven rewrite (ablation;
+//!                         byte-identical answers)
+//!   --explain-query       print the magic-sets rewrite report for each
+//!                         --query (cone, adornments, rewritten rules,
+//!                         demand seeds) before the answers
 //!   --explain 'p(a)@5'    print the derivation tree of a ground fact
 //!   --facts               dump the full materialization as fact text
 //!   --stats               print run statistics (totals + per-rule hot list)
@@ -52,9 +63,10 @@
 #![warn(missing_docs)]
 
 use chronolog_core::{
-    parse_source, Atom, Database, DependencyGraph, Error, Fact, Literal, MetricAtom, Program,
-    Rational, Reasoner, ReasonerConfig, RunStats, Stratification, Term, Value,
+    parse_query, parse_source, Atom, Database, DependencyGraph, Error, Fact, Literal, MetricAtom,
+    Program, Query, Rational, Reasoner, ReasonerConfig, RunStats, Stratification, Term, Value,
 };
+use chronolog_core::{Interval, IntervalSet, Tuple};
 use chronolog_obs::{Json, Registry, Tracer};
 use std::fmt::Write as _;
 
@@ -76,7 +88,9 @@ use std::fmt::Write as _;
 /// v8 added `planner.replans_triggered` (adaptive-feedback replans), a
 /// `corrections` array (learned per-literal correction factors) to each
 /// `planner.plans` entry, and `access_path` to each plan step.
-pub const REPORT_SCHEMA_VERSION: u64 = 8;
+/// v9 added the `magic` section (goal-driven query evaluation: mode,
+/// degradation flag, cone/rewrite counters, demanded vs. magic tuples).
+pub const REPORT_SCHEMA_VERSION: u64 = 9;
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -136,7 +150,8 @@ pub fn run_cli(
 }
 
 const USAGE: &str = "usage: chronolog <check|run|graph|validate-trace> <file>... [options]\n\
-  run options: --horizon LO..HI  --threads N  --query 'p(X)'  --explain 'p(a)@5'\n\
+  run options: --horizon LO..HI  --threads N  --query 'p(X)@[lo,hi]'\n\
+               --no-magic  --explain-query  --explain 'p(a)@5'\n\
                --facts  --stats  --stats-json FILE  --trace FILE\n\
                --session  --stream FILE  --no-repair  --repair-budget N\n\
                --no-time-index  --no-reorder  --no-adaptive  --row-store\n\
@@ -326,6 +341,8 @@ fn cmd_run(
     let mut adaptive = true;
     let mut row_store = false;
     let mut explain_plans = false;
+    let mut magic = true;
+    let mut explain_query = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -432,6 +449,8 @@ fn cmd_run(
             "--no-adaptive" => adaptive = false,
             "--row-store" => row_store = true,
             "--explain-plans" => explain_plans = true,
+            "--no-magic" => magic = false,
+            "--explain-query" => explain_query = true,
             other if other.starts_with("--") => {
                 return Err(CliError::usage(format!("unknown option {other}")));
             }
@@ -455,6 +474,14 @@ fn cmd_run(
         ),
         None => None,
     };
+    let parsed_queries: Vec<(String, Query)> = queries
+        .iter()
+        .map(|q| {
+            parse_query(q)
+                .map(|query| (q.clone(), query))
+                .map_err(|e| CliError::usage(format!("bad query `{q}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
 
     let tracer = trace_file.as_ref().map(|_| Tracer::new());
     let profiler = (profile_file.is_some() || profile_folded_file.is_some())
@@ -479,10 +506,34 @@ fn cmd_run(
     }
     let reasoner = Reasoner::new(program.clone(), config)?;
 
+    // Rewrite reports are built before the run: in session mode the
+    // reasoner is consumed by the session below.
+    let mut explain_query_out = String::new();
+    if explain_query {
+        let mut base = Database::new();
+        base.extend_facts(&facts)
+            .map_err(|e| CliError::failed(e.to_string()))?;
+        for (text, query) in &parsed_queries {
+            let _ = writeln!(explain_query_out, "-- explain-query {text} --");
+            let report = reasoner.explain_query(&base, query);
+            explain_query_out.push_str(&report);
+            if !report.ends_with('\n') {
+                explain_query_out.push('\n');
+            }
+        }
+    }
+
     enum Outcome {
         Batch(Box<chronolog_core::Materialization>),
         Session(Box<chronolog_core::Session>),
+        /// Goal-driven: no upfront materialization — each `--query` runs
+        /// its own demand-restricted sub-program against the base facts.
+        Goal(Box<Database>, Box<Reasoner>),
     }
+    // Queries are goal-driven unless something else needs the full model
+    // (--facts, --explain provenance) or --no-magic asked for the ablation.
+    let goal_driven =
+        magic && !parsed_queries.is_empty() && explains.is_empty() && !dump_facts && !session_mode;
     let outcome = if session_mode {
         let (lo, hi) =
             horizon.ok_or_else(|| CliError::usage("--session needs --horizon LO..HI"))?;
@@ -497,12 +548,65 @@ fn cmd_run(
         let mut db = Database::new();
         db.extend_facts(&facts)
             .map_err(|e| CliError::failed(e.to_string()))?;
-        Outcome::Batch(Box::new(reasoner.materialize(&db)?))
+        if goal_driven {
+            Outcome::Goal(Box::new(db), Box::new(reasoner))
+        } else {
+            Outcome::Batch(Box::new(reasoner.materialize(&db)?))
+        }
     };
-    let (database, run_stats) = match &outcome {
-        Outcome::Batch(m) => (&m.database, &m.stats),
-        Outcome::Session(s) => (s.database(), s.stats()),
+    let materialized: Option<&Database> = match &outcome {
+        Outcome::Batch(m) => Some(&m.database),
+        Outcome::Session(s) => Some(s.database()),
+        Outcome::Goal(..) => None,
     };
+
+    // Answer the queries before reporting: goal-driven query runs *are*
+    // the engine runs whose statistics --stats/--stats-json describe (the
+    // last query wins when several are given).
+    let mut report_stats: RunStats = match &outcome {
+        Outcome::Batch(m) => m.stats.clone(),
+        Outcome::Session(s) => s.stats().clone(),
+        Outcome::Goal(..) => RunStats::default(),
+    };
+    let mut query_out = String::new();
+    for (text, query) in &parsed_queries {
+        let _ = writeln!(query_out, "-- query {text} --");
+        let mut lines = match &outcome {
+            Outcome::Goal(db, r) => {
+                let o = r.query(db, query)?;
+                let lines = render_answers(&query.atom, &o.answers);
+                report_stats = o.stats;
+                lines
+            }
+            Outcome::Session(s) if magic => {
+                let o = s.query(query)?;
+                let lines = render_answers(&query.atom, &o.answers);
+                report_stats.magic = o.stats.magic;
+                lines
+            }
+            Outcome::Batch(m) => query_database(&m.database, &query.atom, query.window.as_ref()),
+            Outcome::Session(s) => query_database(s.database(), &query.atom, query.window.as_ref()),
+        };
+        lines.sort();
+        if lines.is_empty() {
+            let _ = writeln!(query_out, "(no matches)");
+        }
+        for line in lines {
+            let _ = writeln!(query_out, "{line}");
+        }
+    }
+    let served_full = !parsed_queries.is_empty()
+        && match &outcome {
+            Outcome::Goal(..) => false,
+            Outcome::Session(_) => !magic,
+            Outcome::Batch(_) => true,
+        };
+    if served_full {
+        // Queries answered from the unrestricted model: record what that
+        // costs so the two modes compare in stats-json.
+        report_stats.magic.mode = "full".to_string();
+        report_stats.magic.demanded_tuples = materialized.map_or(0, |db| db.tuple_count() as u64);
+    }
 
     if let (Some(path), Some(tracer)) = (&trace_file, &tracer) {
         std::fs::write(path, tracer.drain_jsonl())
@@ -517,30 +621,21 @@ fn cmd_run(
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = &stats_json {
-        let report = run_report(run_stats, &paths, horizon);
+        let report = run_report(&report_stats, &paths, horizon);
         std::fs::write(path, report.to_pretty())
             .map_err(|e| CliError::failed(format!("cannot write {path}: {e}")))?;
     }
 
     let mut out = String::new();
     if dump_facts || (queries.is_empty() && explains.is_empty() && !stats && !explain_plans) {
-        let _ = writeln!(out, "{}", database.to_facts_text());
+        let db = materialized.expect("facts dump implies a materialized model");
+        let _ = writeln!(out, "{}", db.to_facts_text());
     }
     if explain_plans {
-        render_plans(&mut out, run_stats);
+        render_plans(&mut out, &report_stats);
     }
-    for q in &queries {
-        let pattern = parse_query_atom(q)?;
-        let _ = writeln!(out, "-- query {q} --");
-        let mut lines = query_database(database, &pattern);
-        lines.sort();
-        if lines.is_empty() {
-            let _ = writeln!(out, "(no matches)");
-        }
-        for line in lines {
-            let _ = writeln!(out, "{line}");
-        }
-    }
+    out.push_str(&explain_query_out);
+    out.push_str(&query_out);
     for e in &explains {
         let (atom, t) = parse_explain_spec(e)?;
         let args: Vec<Value> = atom
@@ -565,7 +660,7 @@ fn cmd_run(
         }
     }
     if stats {
-        render_stats(&mut out, run_stats);
+        render_stats(&mut out, &report_stats);
     }
     Ok(out)
 }
@@ -933,6 +1028,10 @@ pub fn run_report(stats: &RunStats, files: &[String], horizon: Option<(i64, i64)
         "storage",
         stats_json.get("storage").cloned().unwrap_or(Json::Null),
     );
+    report.set(
+        "magic",
+        stats_json.get("magic").cloned().unwrap_or(Json::Null),
+    );
     report.set("metrics", Registry::global().snapshot());
     report
 }
@@ -962,9 +1061,16 @@ fn parse_explain_spec(spec: &str) -> Result<(Atom, i64), CliError> {
 }
 
 /// All facts matching an atom pattern, rendered one per line.
-fn query_database(db: &Database, pattern: &Atom) -> Vec<String> {
+fn query_database(db: &Database, pattern: &Atom, window: Option<&Interval>) -> Vec<String> {
+    render_answers(pattern, &db.query(pattern, window))
+}
+
+/// Renders query answers one line per validity component, in the same
+/// format for both the goal-driven and the full-materialization path (CI
+/// diffs the two byte for byte).
+fn render_answers(pattern: &Atom, answers: &[(Tuple, IntervalSet)]) -> Vec<String> {
     let mut out = Vec::new();
-    for (tuple, ivs) in db.query(pattern, None) {
+    for (tuple, ivs) in answers {
         let args = tuple
             .iter()
             .map(|v| v.to_string())
@@ -1767,5 +1873,222 @@ mod tests {
         assert!(out.contains("p(x, 1)@[0]"), "{out}");
         assert!(out.contains("p(x, 2)@[1]"), "{out}");
         assert!(!out.contains("p(y, 1)"), "{out}");
+    }
+
+    /// A recursive scenario with a bound query: the goal-driven default
+    /// and the --no-magic ablation must print byte-identical answers, in
+    /// batch and in session mode.
+    const REACH: &str = "reach(X, Y) :- edge(X, Y).\n\
+                         reach(X, Z) :- reach(X, Y), edge(Y, Z).\n\
+                         edge(a, b)@[0, 10]. edge(b, c)@[0, 10]. edge(c, d)@[0, 8].\n\
+                         edge(z, a)@[0, 6].";
+
+    #[test]
+    fn magic_and_no_magic_answers_are_byte_identical() {
+        let run = |extra: &[&str]| {
+            let mut a = vec![
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "reach(a, T)",
+            ];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", REACH)])).unwrap()
+        };
+        let magic = run(&[]);
+        assert_eq!(magic, run(&["--no-magic"]));
+        assert_eq!(magic, run(&["--session"]));
+        assert_eq!(magic, run(&["--session", "--no-magic"]));
+        assert_eq!(magic, run(&["--threads", "4"]));
+        assert!(magic.contains("reach(a, d)@[0,8]"), "{magic}");
+        assert!(!magic.contains("reach(z"), "{magic}");
+    }
+
+    #[test]
+    fn windowed_queries_clip_answers_in_both_modes() {
+        let run = |extra: &[&str]| {
+            let mut a = vec![
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "reach(a, T)@[3, 5]",
+            ];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", REACH)])).unwrap()
+        };
+        let magic = run(&[]);
+        assert_eq!(magic, run(&["--no-magic"]));
+        assert!(magic.contains("reach(a, d)@[3,5]"), "{magic}");
+        assert!(!magic.contains("@[2"), "{magic}");
+    }
+
+    #[test]
+    fn explain_query_prints_the_rewrite_report() {
+        let out = run_cli(
+            &args(&[
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "reach(a, T)",
+                "--explain-query",
+            ]),
+            fake_fs(&[("g.dmtl", REACH)]),
+        )
+        .unwrap();
+        assert!(out.contains("-- explain-query reach(a, T) --"), "{out}");
+        assert!(out.contains("mode: magic"), "{out}");
+        assert!(out.contains("adornments:"), "{out}");
+        assert!(out.contains("reach: bf -> magic_reach_bf"), "{out}");
+        // The report precedes the answers, which are still printed.
+        assert!(out.contains("-- query reach(a, T) --"), "{out}");
+        assert!(out.contains("reach(a, b)@[0,10]"), "{out}");
+    }
+
+    #[test]
+    fn query_parsing_edge_cases() {
+        // Inverted window: a usage error naming the window.
+        let err = run_cli(
+            &args(&["run", "g.dmtl", "--query", "reach(a, T)@[5, 2]"]),
+            fake_fs(&[("g.dmtl", REACH)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("lo > hi"), "{}", err.message);
+        // Garbage atom: a usage error naming the query.
+        let err = run_cli(
+            &args(&["run", "g.dmtl", "--query", "reach(a"]),
+            fake_fs(&[("g.dmtl", REACH)]),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("bad query"), "{}", err.message);
+        // Unknown predicate: no matches, identically in both modes.
+        let run = |extra: &[&str]| {
+            let mut a = vec!["run", "g.dmtl", "--horizon", "0..10", "--query", "ghost(X)"];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", REACH)])).unwrap()
+        };
+        let magic = run(&[]);
+        assert_eq!(magic, run(&["--no-magic"]));
+        assert!(magic.contains("(no matches)"), "{magic}");
+        // All-variable query (nothing bound): still goal-driven, still
+        // byte-identical to the full model.
+        let run = |extra: &[&str]| {
+            let mut a = vec![
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "reach(X, Y)",
+            ];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", REACH)])).unwrap()
+        };
+        assert_eq!(run(&[]), run(&["--no-magic"]));
+    }
+
+    #[test]
+    fn negation_in_the_cone_keeps_negated_predicates_unguarded() {
+        // `cool` depends on negated `hot`: `hot` (and everything below it)
+        // must stay unguarded so the negation sees the complete relation,
+        // while `cool` itself still takes a demand guard — answers equal
+        // to the full model either way.
+        let scenario = "hot(X) :- load(X, L), L > 5.\n\
+                        cool(X) :- node(X), not hot(X).\n\
+                        node(a)@[0, 9]. node(b)@[0, 9].\n\
+                        load(a, 7)@[0, 9]. load(b, 3)@[0, 9].";
+        let run = |query: &str, extra: &[&str]| {
+            let mut a = vec!["run", "g.dmtl", "--horizon", "0..9", "--query", query];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", scenario)])).unwrap()
+        };
+        assert_eq!(run("cool(a)", &[]), run("cool(a)", &["--no-magic"]));
+        assert_eq!(run("cool(b)", &[]), run("cool(b)", &["--no-magic"]));
+        assert!(run("cool(b)", &[]).contains("cool(b)@[0,9]"));
+        let report = run("cool(a)", &["--explain-query"]);
+        assert!(report.contains("mode: magic"), "{report}");
+        assert!(
+            report.contains("unguardable (negation/aggregation): hot, load"),
+            "{report}"
+        );
+        assert!(report.contains("hot(X) :- load(X, L), L > 5."), "{report}");
+    }
+
+    #[test]
+    fn aggregate_queries_degrade_to_cone_mode_with_equal_answers() {
+        // An aggregate head cannot take a demand guard (the guard would
+        // change the aggregated multiset), so the whole cone is
+        // unguardable and the query runs cone-restricted — but the
+        // `other` rule outside the cone is still skipped.
+        let scenario = "total(sum(M)) :- tran(A, M).\n\
+                        other(X) :- noise(X).\n\
+                        tran(acc1, 5.0)@[0, 9]. tran(acc2, 2.0)@[0, 9].\n\
+                        noise(n)@[0, 9].";
+        let run = |extra: &[&str]| {
+            let mut a = vec!["run", "g.dmtl", "--horizon", "0..9", "--query", "total(T)"];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", scenario)])).unwrap()
+        };
+        let cone = run(&[]);
+        assert_eq!(cone, run(&["--no-magic"]));
+        assert!(cone.contains("total(7"), "{cone}");
+        let report = run(&["--explain-query"]);
+        assert!(report.contains("mode: cone"), "{report}");
+        assert!(!report.contains("other(X)"), "{report}");
+    }
+
+    #[test]
+    fn stats_json_v9_reports_demand_restriction() {
+        let dir = std::env::temp_dir().join("chronolog-cli-magic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_for = |extra: &[&str], name: &str| {
+            let path = dir.join(name);
+            let mut a = vec![
+                "run",
+                "g.dmtl",
+                "--horizon",
+                "0..10",
+                "--query",
+                "reach(a, T)",
+                "--stats-json",
+                path.to_str().unwrap(),
+            ];
+            a.extend_from_slice(extra);
+            run_cli(&args(&a), fake_fs(&[("g.dmtl", REACH)])).unwrap();
+            let report = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            std::fs::remove_file(&path).ok();
+            report
+        };
+        let get = |r: &Json, field: &str| {
+            r.get("magic")
+                .and_then(|m| m.get(field))
+                .cloned()
+                .unwrap_or_else(|| panic!("missing magic.{field}"))
+        };
+        let goal = report_for(&[], "magic.json");
+        assert_eq!(
+            goal.get("schema_version").and_then(Json::as_u64),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(get(&goal, "mode").as_str(), Some("magic"));
+        assert_eq!(get(&goal, "enabled").as_bool(), Some(true));
+        assert_eq!(get(&goal, "degraded").as_bool(), Some(false));
+        let demanded = get(&goal, "demanded_tuples").as_u64().unwrap();
+        let full = report_for(&["--no-magic"], "full.json");
+        assert_eq!(get(&full, "mode").as_str(), Some("full"));
+        assert_eq!(get(&full, "enabled").as_bool(), Some(false));
+        let full_tuples = get(&full, "demanded_tuples").as_u64().unwrap();
+        // The bound query must not pay for the z-rooted reachability.
+        assert!(
+            demanded < full_tuples,
+            "demanded {demanded} vs full {full_tuples}"
+        );
     }
 }

@@ -125,17 +125,24 @@ fn funding_corpus_survives_churn() {
 }
 
 #[test]
-#[ignore = "every [0,20] correction repairs the full 60-counterparty closure \
-            (~6 min unoptimized); CI replays corpus/netting.stream against \
-            the release binary instead"]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "every [0,20] correction repairs the full 60-counterparty \
+              closure (~6 min unoptimized); run with --release \
+              (`just test-slow`, mirrored by the CI slow-suite step)"
+)]
 fn netting_corpus_survives_the_committed_stream() {
     let stream = disk("corpus/netting.stream").unwrap();
     assert_churn_equivalent("corpus/netting.dmtl", "0..20", &stream);
 }
 
 #[test]
-#[ignore = "replays the full netting repair closure (~5 min unoptimized); \
-            CI greps the storage section of the release replay instead"]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "replays the full netting repair closure (~5 min unoptimized); \
+              run with --release (`just test-slow`, mirrored by the CI \
+              slow-suite step)"
+)]
 fn netting_stream_churn_reuses_arena_slabs() {
     // Regression for Relation::remove leaking arena space: replaying
     // corpus/netting.stream retracts and re-books trades, which empties

@@ -13,6 +13,7 @@
 
 use crate::database::Database;
 use crate::symbol::Symbol;
+use std::collections::HashSet;
 
 /// Assumed distinct values per argument position when the storage layer
 /// has no count yet (row layout before any value index). Deliberately
@@ -37,6 +38,14 @@ pub(crate) trait CardinalitySource {
 pub(crate) struct DbCardinalities<'a> {
     pub total: &'a Database,
     pub delta: Option<&'a Database>,
+    /// Magic (demand) predicates of a goal-driven sub-program. Their size
+    /// estimates are floored at one tuple: demand relations legitimately
+    /// start empty (the seed may not have landed, derived demand spreads
+    /// per fixpoint iteration), and a hard zero would make every guarded
+    /// pipeline estimate collapse — the planner would stop
+    /// distinguishing access paths exactly where the guard placement
+    /// matters most.
+    pub magic_floor: &'a HashSet<Symbol>,
 }
 
 impl CardinalitySource for DbCardinalities<'_> {
@@ -45,7 +54,12 @@ impl CardinalitySource for DbCardinalities<'_> {
     // count toward cardinality, so post-repair replans estimate against
     // survivors instead of phantom rows.
     fn relation_size(&self, pred: Symbol) -> usize {
-        self.total.relation(pred).map_or(0, |r| r.live_len())
+        let n = self.total.relation(pred).map_or(0, |r| r.live_len());
+        if n == 0 && self.magic_floor.contains(&pred) {
+            1
+        } else {
+            n
+        }
     }
 
     fn delta_size(&self, pred: Symbol) -> usize {

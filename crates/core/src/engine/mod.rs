@@ -24,6 +24,7 @@ use crate::analysis::{check_program, DependencyGraph, Stratification};
 use crate::ast::{HeadOp, Program, Rule, Term};
 use crate::database::Database;
 use crate::error::{Error, Result};
+use crate::rewrite::{self, Query};
 use crate::symbol::Symbol;
 use crate::value::{Tuple, Value};
 use chronolog_obs::{Json, SpanRecorder, Tracer};
@@ -289,6 +290,59 @@ pub(crate) struct OverdeleteOutcome {
     pub budget_tripped: bool,
 }
 
+/// What the magic-sets demand transformation did for a goal-driven query
+/// run (all defaults — `enabled: false`, mode `"off"` — for plain
+/// materializations). Surfaced as the `magic` section of stats-json.
+#[derive(Clone, Debug)]
+pub struct MagicStats {
+    /// `true` when the run evaluated a demand-guarded program.
+    pub enabled: bool,
+    /// `"off"` (plain materialization), `"magic"` (guarded rewrite),
+    /// `"cone"` (cone-restricted, no guards), or `"full"` (a query served
+    /// from an unrestricted materialization, e.g. `--no-magic`).
+    pub mode: String,
+    /// The guarded program failed validation or blew its budget and the
+    /// run fell back to the unguarded cone.
+    pub degraded: bool,
+    /// Predicates in the query's dependency cone.
+    pub cone_preds: u64,
+    /// Rules in the cone, out of `program_rules` in the source program.
+    pub cone_rules: u64,
+    /// Rules in the source program.
+    pub program_rules: u64,
+    /// Cone rules that received a demand guard.
+    pub rules_rewritten: u64,
+    /// Magic demand-propagation rules evaluated.
+    pub magic_rules: u64,
+    /// Magic seed facts inserted.
+    pub seeds: u64,
+    /// Live tuples of non-magic predicates in the final database — the
+    /// slice of the model this query actually paid for (compare with the
+    /// same figure of a `"full"` run).
+    pub demanded_tuples: u64,
+    /// Live tuples of the magic predicates themselves (the demand
+    /// bookkeeping overhead; never part of answers).
+    pub magic_tuples: u64,
+}
+
+impl Default for MagicStats {
+    fn default() -> MagicStats {
+        MagicStats {
+            enabled: false,
+            mode: "off".to_string(),
+            degraded: false,
+            cone_preds: 0,
+            cone_rules: 0,
+            program_rules: 0,
+            rules_rewritten: 0,
+            magic_rules: 0,
+            seeds: 0,
+            demanded_tuples: 0,
+            magic_tuples: 0,
+        }
+    }
+}
+
 /// Statistics of one materialization run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -361,6 +415,8 @@ pub struct RunStats {
     pub repairs: RepairStats,
     /// Relation-storage breakdown (interning, arena, clone traffic).
     pub storage: StorageStats,
+    /// Goal-driven (magic-sets) query breakdown (defaults for plain runs).
+    pub magic: MagicStats,
 }
 
 /// Relation-storage statistics: what the columnar layout interns and
@@ -646,6 +702,19 @@ impl RunStats {
             ),
             ("column_clones", Json::from(self.storage.column_clones)),
         ]);
+        let magic = Json::from_pairs([
+            ("enabled", Json::from(self.magic.enabled)),
+            ("mode", Json::from(self.magic.mode.as_str())),
+            ("degraded", Json::from(self.magic.degraded)),
+            ("cone_predicates", Json::from(self.magic.cone_preds)),
+            ("cone_rules", Json::from(self.magic.cone_rules)),
+            ("program_rules", Json::from(self.magic.program_rules)),
+            ("rules_rewritten", Json::from(self.magic.rules_rewritten)),
+            ("magic_rules", Json::from(self.magic.magic_rules)),
+            ("seeds", Json::from(self.magic.seeds)),
+            ("demanded_tuples", Json::from(self.magic.demanded_tuples)),
+            ("magic_tuples", Json::from(self.magic.magic_tuples)),
+        ]);
         Json::from_pairs([
             ("totals", totals),
             ("strata", strata),
@@ -655,8 +724,20 @@ impl RunStats {
             ("pool", pool),
             ("repairs", repairs),
             ("storage", storage),
+            ("magic", magic),
         ])
     }
+}
+
+/// The result of a goal-driven point query ([`Reasoner::query`]).
+pub struct QueryOutcome {
+    /// Matching tuples with their validity intervals, clipped to the
+    /// query window and sorted by tuple (deterministic across thread
+    /// counts and evaluation modes).
+    pub answers: Vec<(Tuple, IntervalSet)>,
+    /// Statistics of the inner sub-program materialization, with the
+    /// `magic` section describing the rewrite.
+    pub stats: RunStats,
 }
 
 /// The result of materializing a program over a database.
@@ -701,6 +782,12 @@ pub struct Reasoner {
     /// session advances and keep compounding. A `BTreeMap` so the slice
     /// handed to the planner is deterministically ordered.
     corrections: Mutex<BTreeMap<(usize, usize), f64>>,
+    /// Magic (demand) predicates of a goal-driven sub-program, set only on
+    /// the inner reasoner built by [`Reasoner::query`]. The planner floors
+    /// their cardinality estimates: demand relations start empty (the seed
+    /// lands mid-plan, derived demand propagates per iteration), and a
+    /// zero estimate would price the guard as producing nothing.
+    magic_preds: HashSet<Symbol>,
 }
 
 /// How a rule participates in its stratum's fixpoint (distinct from the
@@ -728,6 +815,7 @@ impl Reasoner {
             config,
             pool: OnceLock::new(),
             corrections: Mutex::new(BTreeMap::new()),
+            magic_preds: HashSet::new(),
         })
     }
 
@@ -821,6 +909,136 @@ impl Reasoner {
             stats,
             provenance,
         })
+    }
+
+    /// Answers a point query goal-driven: the program is magic-sets
+    /// rewritten to the query's dependency cone with demand guards (see
+    /// [`crate::rewrite`]), the rewritten sub-program is materialized
+    /// against a private snapshot of `input` (which is never mutated, so
+    /// concurrent full materializations and sessions are undisturbed),
+    /// and the answers are read back clipped to the query window.
+    ///
+    /// Answers are byte-identical to full materialization followed by
+    /// [`Database::query`] (pinned by the `magic_equivalence` suite);
+    /// only the `demanded_tuples` slice of the model is computed. When
+    /// the guarded program fails validation (magic can break
+    /// stratification in corner cases) or exceeds the iteration budget,
+    /// the query degrades to unguarded cone-restricted evaluation —
+    /// `stats.magic` records which mode ran.
+    pub fn query(&self, input: &Database, query: &Query) -> Result<QueryOutcome> {
+        self.query_within(input, query, self.config.horizon)
+    }
+
+    /// [`Reasoner::query`] with an explicit horizon override (the session
+    /// path clips to its watermark).
+    pub(crate) fn query_within(
+        &self,
+        input: &Database,
+        query: &Query,
+        horizon: Interval,
+    ) -> Result<QueryOutcome> {
+        let reserved: Vec<Symbol> = input.predicates().collect();
+        let rw = rewrite::rewrite(&self.program, query, &reserved);
+        if rw.is_guarded() {
+            match self.run_rewritten(input, query, &rw, horizon, true, false) {
+                Ok(outcome) => return Ok(outcome),
+                // Guard edges can close a cycle through negation
+                // (NotStratifiable) and unbounded backward demand spread
+                // can blow the iteration budget where the forward
+                // fixpoint converged; both degrade to the unguarded cone.
+                Err(Error::NotStratifiable(_) | Error::Unsafe(_) | Error::BudgetExceeded(_)) => {}
+                Err(e) => return Err(e),
+            }
+            return self.run_rewritten(input, query, &rw, horizon, false, true);
+        }
+        self.run_rewritten(input, query, &rw, horizon, false, false)
+    }
+
+    /// Evaluates either the guarded program plus seeds (`magic`) or the
+    /// unguarded cone program against a snapshot of `input`.
+    fn run_rewritten(
+        &self,
+        input: &Database,
+        query: &Query,
+        rw: &rewrite::MagicRewrite,
+        horizon: Interval,
+        magic: bool,
+        degraded: bool,
+    ) -> Result<QueryOutcome> {
+        let mut config = self.config.clone();
+        config.horizon = horizon;
+        let program = if magic {
+            rw.program.clone()
+        } else {
+            rw.cone_program.clone()
+        };
+        let mut inner = Reasoner::new(program, config)?;
+        inner.magic_preds = rw.magic_preds.clone();
+        let mut db = input.to_mode(self.config.storage_mode());
+        let mut seeds_inserted = 0u64;
+        if magic {
+            for seed in &rw.seeds {
+                if let Some(iv) = seed.interval.intersect(&horizon) {
+                    db.insert(seed.pred, &seed.args, iv)?;
+                    seeds_inserted += 1;
+                }
+            }
+        }
+        let mat = inner.materialize(&db)?;
+        let mut answers = mat.database.query(&query.atom, query.window.as_ref());
+        answers.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut stats = mat.stats;
+        let mut demanded = 0u64;
+        let mut magic_tuples = 0u64;
+        for pred in mat.database.predicates() {
+            let n = mat.database.relation(pred).map_or(0, |r| r.live_len()) as u64;
+            if rw.magic_preds.contains(&pred) {
+                magic_tuples += n;
+            } else {
+                demanded += n;
+            }
+        }
+        stats.magic = MagicStats {
+            enabled: magic,
+            mode: if magic { "magic" } else { "cone" }.to_string(),
+            degraded,
+            cone_preds: rw.counters.cone_preds as u64,
+            cone_rules: rw.counters.cone_rules as u64,
+            program_rules: rw.counters.program_rules as u64,
+            rules_rewritten: if magic {
+                rw.counters.guarded_rules as u64
+            } else {
+                0
+            },
+            magic_rules: if magic {
+                rw.counters.magic_rules as u64
+            } else {
+                0
+            },
+            seeds: seeds_inserted,
+            demanded_tuples: demanded,
+            magic_tuples,
+        };
+        Ok(QueryOutcome { answers, stats })
+    }
+
+    /// A deterministic report of what the magic rewrite does for `query`
+    /// (cone, adornments, guarded and magic rules, seeds) — the body of
+    /// the CLI's `--explain-query` view. Purely static: nothing is
+    /// evaluated.
+    pub fn explain_query(&self, input: &Database, query: &Query) -> String {
+        let reserved: Vec<Symbol> = input.predicates().collect();
+        let rw = rewrite::rewrite(&self.program, query, &reserved);
+        let mut out = rw.explain(query);
+        if rw.is_guarded() {
+            if let Err(e) = Reasoner::new(rw.program.clone(), self.config.clone()) {
+                out.push_str(&format!(
+                    "note: guarded program fails validation ({e}); \
+                     this query degrades to cone-only evaluation\n"
+                ));
+            }
+        }
+        out
     }
 
     /// Sizes `stats.rules` to the program, filling the static columns
@@ -1244,6 +1462,7 @@ impl Reasoner {
                 let cards = cost::DbCardinalities {
                     total,
                     delta: Some(delta_base),
+                    magic_floor: &self.magic_preds,
                 };
                 let mut corr = self.corrections.lock().expect("corrections mutex poisoned");
                 for &(rule_idx, delta_literal) in &tasks {

@@ -208,6 +208,31 @@ impl Session {
         &self.asserted
     }
 
+    /// Answers a goal-driven point query against the session's surviving
+    /// base facts, materializing only the query's demanded cone (see
+    /// [`Reasoner::query`]). The horizon is clipped to the watermark, so
+    /// answers agree byte-for-byte with querying [`Session::database`]
+    /// over the same window. Runs against a private snapshot: the
+    /// session's materialization, watermark, and statistics are
+    /// untouched, and pending (not yet advanced-over) submissions are
+    /// not visible.
+    pub fn query(&self, query: &crate::rewrite::Query) -> Result<super::QueryOutcome> {
+        let mut base = Database::with_mode(self.reasoner.config().storage_mode());
+        base.extend_facts(&self.asserted)?;
+        let horizon = self
+            .reasoner
+            .config()
+            .horizon
+            .intersect(&Interval::up_to(self.now))
+            .ok_or_else(|| {
+                Error::EmptyWindow(format!(
+                    "session watermark {} is below the horizon start",
+                    self.now
+                ))
+            })?;
+        self.reasoner.query_within(&base, query, horizon)
+    }
+
     /// Submits a fact that happened strictly after the watermark. It takes
     /// effect at the next [`Session::advance_to`]. Facts at or below the
     /// watermark are corrections — use [`Session::submit_late`] (or

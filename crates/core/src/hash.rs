@@ -13,7 +13,7 @@
 //! user-visible is explicitly sorted); a fixed seed only makes iteration
 //! order reproducible, never *more* load-bearing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -82,6 +82,8 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 /// Hashes a slice of interned ids directly (used by the open-addressing
 /// tuple-id table, which stores no owned keys at all).

@@ -36,6 +36,8 @@
 //! * [`parser`] — the concrete syntax (`boxminus`, `diamondminus`, …).
 //! * [`analysis`] — safety, dependency graph (Figure 1), stratification.
 //! * [`engine`] — semi-naive temporal materialization with provenance.
+//! * [`rewrite`] — magic-sets demand transformation for goal-driven
+//!   point queries ([`Reasoner::query`]).
 //! * [`naive`] — a brute-force discrete-time evaluator used as a test
 //!   oracle for the engine.
 
@@ -51,6 +53,7 @@ mod intern;
 pub mod lexer;
 pub mod naive;
 pub mod parser;
+pub mod rewrite;
 mod symbol;
 mod value;
 
@@ -60,12 +63,13 @@ pub use ast::{
 };
 pub use database::{Database, Relation, StorageMode, TupleRef};
 pub use engine::{
-    BaseEvent, Explanation, Materialization, PlanExplain, PlanFeedback, PlanStepExplain,
-    ProvenanceLog, Reasoner, ReasonerConfig, RepairPath, RepairReport, RepairStats, RuleStats,
-    RunStats, Session, StratumStats,
+    BaseEvent, Explanation, MagicStats, Materialization, PlanExplain, PlanFeedback,
+    PlanStepExplain, ProvenanceLog, QueryOutcome, Reasoner, ReasonerConfig, RepairPath,
+    RepairReport, RepairStats, RuleStats, RunStats, Session, StratumStats,
 };
 pub use error::{Error, Result};
 pub use parser::{parse_facts, parse_program, parse_rule, parse_source};
+pub use rewrite::{parse_query, MagicCounters, MagicRewrite, Query};
 pub use symbol::Symbol;
 pub use value::{OrdF64, Tuple, Value};
 

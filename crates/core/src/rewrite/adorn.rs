@@ -1,0 +1,193 @@
+//! Unguardable-set and adornment computation for the magic rewrite.
+//!
+//! *Unguardable* predicates are those whose extensions must stay complete
+//! for the rewritten program to be sound: anything read under negation
+//! (negation-as-failure consults absence, which demand filtering would
+//! fabricate) or involved in aggregation (an aggregate over a demanded
+//! subset is simply a different number). The set closes *downward*: an
+//! unguardable predicate's rules run unguarded, so everything those rules
+//! read must be complete too.
+//!
+//! *Adornment* assigns each guardable predicate one global binding
+//! pattern — the argument positions every demand site can supply. Sites
+//! are the query itself plus every positive occurrence in a guarded rule;
+//! a position is suppliable when its term is a constant or a variable
+//! bound by the guard (adorned head positions), the positive prefix, or
+//! the assignment closure over prefix constraints (mirroring
+//! `check_rule_safety`). Suppliability depends on the head's own
+//! adornment, so the meet is iterated to a (shrinking, hence terminating)
+//! fixpoint starting from all-bound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{CmpOp, Expr, Literal, Program, Rule, Term};
+use crate::hash::FxHashSet;
+use crate::symbol::Symbol;
+
+use super::{constant_positions, Query};
+
+/// Predicates that must keep their full extension (see module docs).
+/// Returns the downward closure over the cone rules.
+pub(super) fn unguardable(program: &Program, cone_rules: &[usize]) -> BTreeSet<Symbol> {
+    let mut tainted: BTreeSet<Symbol> = BTreeSet::new();
+    for &ri in cone_rules {
+        let rule = &program.rules[ri];
+        if rule.head.aggregate.is_some() {
+            // The aggregate needs every group member; guard neither the
+            // head (its rules must see all inputs) nor the inputs.
+            tainted.insert(rule.head.atom.pred);
+            for lit in &rule.body {
+                if let Literal::Pos(m) | Literal::Neg(m) = lit {
+                    for a in m.atoms() {
+                        tainted.insert(a.pred);
+                    }
+                }
+            }
+        }
+        for lit in &rule.body {
+            if let Literal::Neg(m) = lit {
+                for a in m.atoms() {
+                    tainted.insert(a.pred);
+                }
+            }
+        }
+    }
+    // Downward closure: a tainted head's whole rule body is read at full
+    // extension, so its body predicates are tainted in turn.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &ri in cone_rules {
+            let rule = &program.rules[ri];
+            if !tainted.contains(&rule.head.atom.pred) {
+                continue;
+            }
+            for lit in &rule.body {
+                if let Literal::Pos(m) | Literal::Neg(m) = lit {
+                    for a in m.atoms() {
+                        if tainted.insert(a.pred) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    tainted
+}
+
+/// Variables known to be bound when evaluation reaches body literal
+/// `lit_idx` of `rule`, given that the guard supplies the head variables
+/// at `head_bound` positions. Mirrors the assignment-closure logic of
+/// `check_rule_safety`, restricted to the prefix.
+pub(crate) fn bound_before(
+    rule: &Rule,
+    lit_idx: usize,
+    head_bound: &BTreeSet<usize>,
+) -> FxHashSet<Symbol> {
+    let mut bound: FxHashSet<Symbol> = FxHashSet::default();
+    for (j, term) in rule.head.atom.args.iter().enumerate() {
+        if head_bound.contains(&j) {
+            if let Term::Var(v) = term {
+                bound.insert(*v);
+            }
+        }
+    }
+    for lit in &rule.body[..lit_idx] {
+        if let Literal::Pos(m) = lit {
+            bound.extend(m.variables());
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for lit in &rule.body[..lit_idx] {
+            if let Literal::Constraint(lhs, CmpOp::Eq, rhs) = lit {
+                for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+                    if let Expr::Term(Term::Var(v)) = a {
+                        if !bound.contains(v) && b.variables().iter().all(|w| bound.contains(w)) {
+                            bound.insert(*v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bound
+}
+
+/// One global adornment per guardable predicate: the meet over all demand
+/// sites of the suppliable argument positions, iterated to fixpoint.
+pub(super) fn adornments(
+    program: &Program,
+    cone_rules: &[usize],
+    guardable: &BTreeSet<Symbol>,
+    unguarded: &BTreeSet<Symbol>,
+    query: &Query,
+) -> BTreeMap<Symbol, BTreeSet<usize>> {
+    let arity_of = |p: Symbol| -> usize {
+        cone_rules
+            .iter()
+            .map(|&ri| &program.rules[ri].head.atom)
+            .find(|a| a.pred == p)
+            .map_or(0, |a| a.arity())
+    };
+    let mut adorn: BTreeMap<Symbol, BTreeSet<usize>> = guardable
+        .iter()
+        .map(|&p| (p, (0..arity_of(p)).collect()))
+        .collect();
+    // Guarded rules are exactly the cone rules of guardable heads.
+    let guarded: Vec<&Rule> = cone_rules
+        .iter()
+        .map(|&ri| &program.rules[ri])
+        .filter(|r| guardable.contains(&r.head.atom.pred) && !unguarded.contains(&r.head.atom.pred))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &p in guardable.iter() {
+            let mut meet: Option<BTreeSet<usize>> = None;
+            let mut fold = |supp: BTreeSet<usize>| {
+                meet = Some(match meet.take() {
+                    None => supp,
+                    Some(prev) => prev.intersection(&supp).copied().collect(),
+                });
+            };
+            if p == query.atom.pred {
+                fold(constant_positions(&query.atom));
+            }
+            for rule in &guarded {
+                let head_bound = adorn[&rule.head.atom.pred].clone();
+                for (i, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(m) = lit else { continue };
+                    let occurrences: Vec<_> =
+                        m.atoms().into_iter().filter(|a| a.pred == p).collect();
+                    if occurrences.is_empty() {
+                        continue;
+                    }
+                    let bound = bound_before(rule, i, &head_bound);
+                    for atom in occurrences {
+                        let supp: BTreeSet<usize> = atom
+                            .args
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| match t {
+                                Term::Val(_) => true,
+                                Term::Var(v) => bound.contains(v),
+                            })
+                            .map(|(j, _)| j)
+                            .collect();
+                        fold(supp);
+                    }
+                }
+            }
+            let fresh = meet.unwrap_or_default();
+            if fresh != adorn[&p] {
+                adorn.insert(p, fresh);
+                changed = true;
+            }
+        }
+    }
+    adorn
+}

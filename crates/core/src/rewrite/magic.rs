@@ -1,0 +1,227 @@
+//! Guard literals, magic demand-propagation rules, and seed facts.
+//!
+//! All demand machinery is expressed as ordinary DatalogMTL syntax so the
+//! rewritten program flows through the planner and semi-naive engine
+//! unchanged:
+//!
+//! * A rule deriving `h` with head operators `ops` (applied in order)
+//!   maps body time `T` to the spread `ops(T)`; the derivation matters
+//!   exactly when that spread meets the demanded window, i.e. when the
+//!   *mirrored diamond chain* over the magic predicate holds at `T`
+//!   (`⊟ρ` head ↔ `◇⁻ρ` guard, `⊞ρ` ↔ `◇⁺ρ`). The guard joins like any
+//!   other positive literal, so time-window intersection happens in the
+//!   engine's existing interval algebra.
+//! * A positive body occurrence of guardable `q` nested under metric
+//!   operators demands `q` at the times reached by the operator path;
+//!   collecting the path root-first as head operators reproduces exactly
+//!   that set (`◇⁻ρ`/`⊟ρ` → `⊟ρ` head, future mirrored; `S_ρ`/`U_ρ`
+//!   demand their continuation side over `[0, ρ.hi]`, a sound
+//!   over-approximation). Negated prefix literals are dropped from magic
+//!   bodies — demanding more than needed is always sound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Atom, Fact, Head, HeadOp, Literal, MetricAtom, Rule, Term};
+use crate::symbol::Symbol;
+use mtl_temporal::{Interval, MetricInterval, Rational, TimeBound};
+
+use super::{adorn::bound_before, constant_positions, project_constants, Query};
+
+/// The demand guard for a guardable rule: the magic atom over the head's
+/// adorned arguments, wrapped in the mirror of the head-operator chain
+/// (outermost head op becomes the outermost diamond).
+pub(super) fn guard_literal(
+    rule: &Rule,
+    adornments: &BTreeMap<Symbol, BTreeSet<usize>>,
+    magic_names: &BTreeMap<Symbol, Symbol>,
+) -> Literal {
+    let head = &rule.head.atom;
+    let positions = &adornments[&head.pred];
+    let args: Vec<Term> = positions.iter().map(|&j| head.args[j]).collect();
+    let mut guard = MetricAtom::Rel(Atom {
+        pred: magic_names[&head.pred],
+        args,
+        time_var: None,
+    });
+    for op in rule.head.ops.iter().rev() {
+        guard = match op {
+            HeadOp::BoxMinus(rho) => MetricAtom::DiamondMinus(*rho, Box::new(guard)),
+            HeadOp::BoxPlus(rho) => MetricAtom::DiamondPlus(*rho, Box::new(guard)),
+        };
+    }
+    Literal::Pos(guard)
+}
+
+/// The guarded rewrite: the guard joins first, everything else unchanged.
+pub(super) fn guard_rule(rule: &Rule, guard: Literal) -> Rule {
+    let mut body = Vec::with_capacity(rule.body.len() + 1);
+    body.push(guard);
+    body.extend(rule.body.iter().cloned());
+    Rule {
+        head: rule.head.clone(),
+        body,
+        label: rule.label.clone(),
+    }
+}
+
+/// `[0, ρ.hi]` — the window over which the continuation side of a
+/// `Since`/`Until` is demanded.
+fn continuation_rho(rho: &MetricInterval) -> MetricInterval {
+    let iv = rho.as_interval();
+    let interval = Interval::new(
+        TimeBound::Finite(Rational::ZERO),
+        true,
+        iv.hi(),
+        iv.hi_closed() || iv.hi().is_finite(),
+    )
+    .expect("[0, rho.hi] is non-empty");
+    MetricInterval::new(interval).expect("[0, rho.hi] is non-negative")
+}
+
+/// Every atom occurrence in `m` with the metric-operator path from the
+/// root, collected root-first as head operators.
+fn occurrences<'a>(
+    m: &'a MetricAtom,
+    path: &mut Vec<HeadOp>,
+    out: &mut Vec<(&'a Atom, Vec<HeadOp>)>,
+) {
+    match m {
+        MetricAtom::Top | MetricAtom::Bottom => {}
+        MetricAtom::Rel(a) => out.push((a, path.clone())),
+        MetricAtom::BoxMinus(rho, inner) | MetricAtom::DiamondMinus(rho, inner) => {
+            path.push(HeadOp::BoxMinus(*rho));
+            occurrences(inner, path, out);
+            path.pop();
+        }
+        MetricAtom::BoxPlus(rho, inner) | MetricAtom::DiamondPlus(rho, inner) => {
+            path.push(HeadOp::BoxPlus(*rho));
+            occurrences(inner, path, out);
+            path.pop();
+        }
+        MetricAtom::Since(m1, rho, m2) => {
+            path.push(HeadOp::BoxMinus(continuation_rho(rho)));
+            occurrences(m1, path, out);
+            path.pop();
+            path.push(HeadOp::BoxMinus(*rho));
+            occurrences(m2, path, out);
+            path.pop();
+        }
+        MetricAtom::Until(m1, rho, m2) => {
+            path.push(HeadOp::BoxPlus(continuation_rho(rho)));
+            occurrences(m1, path, out);
+            path.pop();
+            path.push(HeadOp::BoxPlus(*rho));
+            occurrences(m2, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Generates the magic rules of one guarded rule: for every positive body
+/// occurrence of a guardable predicate, a rule deriving its demand from
+/// the guard plus the positive prefix. Appends to `out`, deduplicating
+/// (and dropping identity tautologies) via `seen`.
+pub(super) fn magic_rules(
+    rule: &Rule,
+    guard: &Literal,
+    adornments: &BTreeMap<Symbol, BTreeSet<usize>>,
+    magic_names: &BTreeMap<Symbol, Symbol>,
+    guardable: &BTreeSet<Symbol>,
+    seen: &mut BTreeSet<String>,
+    out: &mut Vec<Rule>,
+) {
+    let head_bound = &adornments[&rule.head.atom.pred];
+    for (i, lit) in rule.body.iter().enumerate() {
+        let Literal::Pos(m) = lit else { continue };
+        let mut occs = Vec::new();
+        occurrences(m, &mut Vec::new(), &mut occs);
+        let interesting: Vec<_> = occs
+            .into_iter()
+            .filter(|(a, _)| guardable.contains(&a.pred))
+            .collect();
+        if interesting.is_empty() {
+            continue;
+        }
+        let bound = bound_before(rule, i, head_bound);
+        for (atom, ops) in interesting {
+            let positions = &adornments[&atom.pred];
+            let args: Vec<Term> = positions.iter().map(|&j| atom.args[j]).collect();
+            debug_assert!(
+                args.iter().all(|t| match t {
+                    Term::Val(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                }),
+                "adorned positions must be suppliable by the prefix"
+            );
+            let magic_head = Atom {
+                pred: magic_names[&atom.pred],
+                args,
+                time_var: None,
+            };
+            let mut body = vec![guard.clone()];
+            for prefix in &rule.body[..i] {
+                match prefix {
+                    Literal::Pos(_) => body.push(prefix.clone()),
+                    Literal::Neg(_) => {} // over-approximate: demand without the filter
+                    Literal::Constraint(lhs, _, rhs) => {
+                        let vars = lhs
+                            .variables()
+                            .into_iter()
+                            .chain(rhs.variables())
+                            .all(|v| bound.contains(&v));
+                        if vars {
+                            body.push(prefix.clone());
+                        }
+                    }
+                }
+            }
+            // Identity tautology (`magic_p(X) :- magic_p(X).`): derives
+            // nothing new, drop it.
+            if ops.is_empty() && body.len() == 1 {
+                if let Literal::Pos(MetricAtom::Rel(g)) = &body[0] {
+                    if *g == magic_head {
+                        continue;
+                    }
+                }
+            }
+            let magic_rule = Rule {
+                head: Head {
+                    atom: magic_head,
+                    ops,
+                    aggregate: None,
+                },
+                body,
+                label: None,
+            };
+            let key = magic_rule.to_string();
+            if seen.insert(key) {
+                out.push(magic_rule);
+            }
+        }
+    }
+}
+
+/// The magic seed: the query's constants at the adorned positions, over
+/// the query window (unclipped — the engine intersects with its horizon).
+pub(super) fn seed_facts(
+    query: &Query,
+    adornments: &BTreeMap<Symbol, BTreeSet<usize>>,
+    magic_names: &BTreeMap<Symbol, Symbol>,
+) -> Vec<Fact> {
+    let Some(&magic) = magic_names.get(&query.atom.pred) else {
+        return Vec::new();
+    };
+    let positions = &adornments[&query.atom.pred];
+    debug_assert!(
+        positions.is_subset(&constant_positions(&query.atom)),
+        "query adornment can only shrink below the query's constant mask"
+    );
+    let Some(args) = project_constants(&query.atom, positions) else {
+        return Vec::new();
+    };
+    vec![Fact {
+        pred: magic,
+        args,
+        interval: query.window.unwrap_or(Interval::ALL),
+    }]
+}

@@ -1,0 +1,60 @@
+//! Goal-driven queries must be invisible on the paper's ETH-PERP program:
+//! the magic-sets rewrite may only change *how much* of the model is
+//! materialized, never what a query answers. The funding pipeline leans on
+//! negation and aggregation, so much of it is unguardable — this pins the
+//! graceful-degradation path (cone-restricted evaluation) on the real
+//! 52-rule program, not just on synthetic fixtures.
+
+use chronolog_core::{parse_query, Reasoner, ReasonerConfig};
+use chronolog_perp::encode::encode_trace;
+use chronolog_perp::program::{build_program, TimelineMode};
+use chronolog_perp::MarketParams;
+
+fn render(answers: &[(chronolog_core::Tuple, chronolog_core::IntervalSet)]) -> String {
+    let mut lines: Vec<String> = answers
+        .iter()
+        .flat_map(|(tuple, ivs)| {
+            let args = tuple
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            ivs.iter().map(move |iv| format!("({args})@{iv}"))
+        })
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+#[cfg_attr(debug_assertions, ignore = "slow in debug profile; run with --release")]
+#[test]
+fn perp_queries_match_full_materialization() {
+    let config = chronolog_market::paper_intervals().remove(1);
+    let trace = chronolog_market::generate(&config);
+    let params = MarketParams::default();
+    let mode = TimelineMode::EventEpochs;
+    let program = build_program(&params, mode).unwrap();
+    let encoded = encode_trace(&trace, mode);
+
+    let reasoner = Reasoner::new(
+        program,
+        ReasonerConfig::default().with_horizon(encoded.horizon.0, encoded.horizon.1),
+    )
+    .unwrap();
+    let full = reasoner.materialize(&encoded.database).unwrap();
+
+    for text in ["frs(F)", "skew(K)", "price(P)"] {
+        let query = parse_query(text).unwrap();
+        let mut expected = full.database.query(&query.atom, None);
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        let outcome = reasoner.query(&encoded.database, &query).unwrap();
+        assert_eq!(
+            render(&outcome.answers),
+            render(&expected),
+            "query {text} diverged from the full materialization \
+             (mode {}, degraded {})",
+            outcome.stats.magic.mode,
+            outcome.stats.magic.degraded
+        );
+    }
+}

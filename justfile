@@ -16,6 +16,14 @@ release:
 test:
     cargo test --workspace
 
+# Release-profile slow suite: the netting churn replays in
+# crates/cli/tests/repair_corpus.rs and the release-gated ETH-PERP
+# equivalence tests (cfg_attr(debug_assertions, ignore)). CI mirrors this
+# in the "Slow release suite" step.
+test-slow:
+    cargo test --release -p chronolog-cli --test repair_corpus
+    cargo test --release -p chronolog-perp
+
 # Lints are errors.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
